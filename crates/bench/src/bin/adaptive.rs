@@ -1,0 +1,12 @@
+//! Regenerates the §VI-D on/off control study of the paper. `CABLE_QUICK=1` for a fast pass.
+
+use cable_bench::{print_table, save_json};
+
+fn main() {
+    let r = cable_bench::figs_timing::adaptive();
+    print_table(r.title, &r.columns, &r.rows);
+    save_json(&r);
+    let t = cable_bench::figs_timing::adaptive_throughput();
+    print_table(t.title, &t.columns, &t.rows);
+    save_json(&t);
+}

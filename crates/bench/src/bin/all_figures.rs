@@ -1,0 +1,43 @@
+//! Runs every table and figure of the evaluation in sequence.
+//!
+//! `CABLE_QUICK=1 cargo run --release -p cable-bench --bin all_figures`
+//! for a fast smoke pass; unset for the full study.
+
+use cable_bench::{print_table, save_json};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let done = |r: cable_bench::FigureResult<'_>| {
+        print_table(r.title, &r.columns, &r.rows);
+        save_json(&r);
+        println!("[{:?} elapsed]", t0.elapsed());
+    };
+
+    done(cable_bench::figs_timing::table02());
+    done(cable_bench::figs_timing::table03());
+    done(cable_bench::figs_timing::table04());
+    done(cable_bench::figs_timing::table05());
+    done(cable_bench::figs::fig03());
+    let f12 = cable_bench::figs::fig12();
+    let f11 = cable_bench::figs::fig11_from(&f12);
+    done(f11);
+    done(f12);
+    done(cable_bench::figs::fig13());
+    done(cable_bench::figs_timing::fig14a());
+    done(cable_bench::figs_timing::fig14b());
+    done(cable_bench::figs::fig15());
+    done(cable_bench::figs::fig16());
+    done(cable_bench::figs_timing::fig17());
+    done(cable_bench::figs_timing::fig18());
+    done(cable_bench::figs::fig19a());
+    done(cable_bench::figs::fig19b());
+    done(cable_bench::figs::fig20());
+    done(cable_bench::figs::fig21());
+    done(cable_bench::figs::fig22());
+    done(cable_bench::figs::fig23());
+    done(cable_bench::figs::toggles());
+    done(cable_bench::figs_timing::adaptive());
+    done(cable_bench::figs_timing::adaptive_throughput());
+    println!("\nall figures regenerated in {:?}", t0.elapsed());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figs. 11 and 12 (they share one study).
+
+use cable_bench::{print_table, save_json};
+
+fn main() {
+    let f12 = cable_bench::figs::fig12();
+    let f11 = cable_bench::figs::fig11_from(&f12);
+    print_table(f11.title, &f11.columns, &f11.rows);
+    save_json(&f11);
+    print_table(f12.title, &f12.columns, &f12.rows);
+    save_json(&f12);
+}

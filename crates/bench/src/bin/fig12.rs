@@ -1,0 +1,9 @@
+//! Regenerates Fig. 12 (raw off-chip compression ratios).
+
+use cable_bench::{print_table, save_json};
+
+fn main() {
+    let r = cable_bench::figs::fig12();
+    print_table(r.title, &r.columns, &r.rows);
+    save_json(&r);
+}

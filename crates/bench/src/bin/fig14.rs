@@ -1,0 +1,12 @@
+//! Regenerates Fig. 14 (throughput speedups). Heavy; CABLE_QUICK=1 helps.
+
+use cable_bench::{print_table, save_json};
+
+fn main() {
+    let a = cable_bench::figs_timing::fig14a();
+    print_table(a.title, &a.columns, &a.rows);
+    save_json(&a);
+    let b = cable_bench::figs_timing::fig14b();
+    print_table(b.title, &b.columns, &b.rows);
+    save_json(&b);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 16 of the paper. `CABLE_QUICK=1` for a fast pass.
+
+use cable_bench::{print_table, save_json};
+
+fn main() {
+    let r = cable_bench::figs::fig16();
+    print_table(r.title, &r.columns, &r.rows);
+    save_json(&r);
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 19 (cache-size and L4-ratio sensitivity).
+
+use cable_bench::{print_table, save_json};
+
+fn main() {
+    let a = cable_bench::figs::fig19a();
+    print_table(a.title, &a.columns, &a.rows);
+    save_json(&a);
+    let b = cable_bench::figs::fig19b();
+    print_table(b.title, &b.columns, &b.rows);
+    save_json(&b);
+}

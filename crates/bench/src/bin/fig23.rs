@@ -1,0 +1,9 @@
+//! Regenerates Fig. 23 of the paper. `CABLE_QUICK=1` for a fast pass.
+
+use cable_bench::{print_table, save_json};
+
+fn main() {
+    let r = cable_bench::figs::fig23();
+    print_table(r.title, &r.columns, &r.rows);
+    save_json(&r);
+}

@@ -1,0 +1,42 @@
+//! Set-associative cache models for the CABLE reproduction.
+//!
+//! CABLE compresses the link between two *coherent caches*: a large **home**
+//! cache (e.g. an off-chip L4 / DRAM buffer, or a remote chip's LLC) and a
+//! smaller **remote** cache (e.g. the on-chip LLC) that the home cache is
+//! inclusive of (§II-C). This crate provides:
+//!
+//! - [`CacheGeometry`]: capacity/associativity arithmetic, index and LineID
+//!   bit widths.
+//! - [`LineId`]: the `index + way` coordinate CABLE uses as a compression
+//!   pointer (17–18 bits instead of a 40-bit tag, §III-D).
+//! - [`SetAssocCache`]: an LRU set-associative cache with MESI-lite states,
+//!   replacement-way reporting (the UltraSPARC T1/T2-style request hint the
+//!   paper relies on, §II-C) and tag-check-free data-array reads (the search
+//!   pipeline reads candidates "directly without tag checks", §III-C).
+//! - [`pair::InclusivePair`]: a home/remote pair that maintains inclusion and
+//!   surfaces the synchronization events CABLE's hash table and Way-Map
+//!   Table must observe.
+//!
+//! # Examples
+//!
+//! ```
+//! use cable_cache::{CacheGeometry, CoherenceState, SetAssocCache};
+//! use cable_common::{Address, LineData};
+//!
+//! let mut llc = SetAssocCache::new(CacheGeometry::new(1 << 20, 8));
+//! let addr = Address::new(0x4000);
+//! let outcome = llc.insert(addr, LineData::splat_word(7), CoherenceState::Shared);
+//! assert!(outcome.evicted.is_none());
+//! assert_eq!(llc.lookup(addr), Some(outcome.line_id));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod geometry;
+pub mod pair;
+pub mod set_assoc;
+
+pub use geometry::{CacheGeometry, LineId};
+pub use pair::{InclusivePair, PairEvent};
+pub use set_assoc::{CoherenceState, EvictedLine, InsertOutcome, SetAssocCache};

@@ -1,0 +1,418 @@
+//! An inclusive home/remote cache pair.
+//!
+//! CABLE assumes the home cache (e.g. the off-chip L4) is **inclusive** of
+//! the remote cache (e.g. the on-chip LLC), "which aids in identifying which
+//! line is present in both caches" (§II-A). [`InclusivePair`] maintains that
+//! invariant and reports every synchronization-relevant event so the CABLE
+//! endpoints (hash table + Way-Map Table) can track it precisely.
+
+use crate::geometry::{CacheGeometry, LineId};
+use crate::set_assoc::{CoherenceState, EvictedLine, SetAssocCache};
+use cable_common::{Address, LineData};
+use std::fmt;
+
+/// A synchronization-relevant event produced by the pair.
+///
+/// These correspond exactly to the events §III-F says must update the hash
+/// tables and WMTs: lines sent/received, and invalidations (remote victim
+/// displacement, home eviction forcing a back-invalidation, upgrades).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PairEvent {
+    /// A line was sent home → remote and installed in the remote cache.
+    SentToRemote {
+        /// Line-aligned address of the transferred line.
+        addr: Address,
+        /// Slot in the home cache.
+        home_lid: LineId,
+        /// Slot in the remote cache.
+        remote_lid: LineId,
+        /// Coherence state granted to the remote copy.
+        state: CoherenceState,
+    },
+    /// Installing into the remote cache displaced a valid victim; with
+    /// replacement-way info in the request, the home cache learns this
+    /// implicitly (§IV-B).
+    RemoteVictim(EvictedLine),
+    /// A home-cache capacity eviction; inclusion forces the remote copy (if
+    /// any) to be invalidated too.
+    HomeVictim {
+        /// The line evicted from the home cache.
+        home: EvictedLine,
+        /// The remote copy that was back-invalidated, if one existed.
+        remote: Option<EvictedLine>,
+    },
+    /// The remote upgraded a line Shared → Modified; the line may now change
+    /// silently and is no longer reference-safe.
+    Upgrade {
+        /// Line-aligned address of the upgraded line.
+        addr: Address,
+        /// Slot in the remote cache.
+        remote_lid: LineId,
+    },
+    /// The remote wrote a dirty line back to the home cache.
+    WriteBack {
+        /// Line-aligned address of the written-back line.
+        addr: Address,
+        /// Slot in the home cache that absorbed the data.
+        home_lid: LineId,
+    },
+}
+
+/// Outcome of a remote-cache request serviced through the pair.
+#[derive(Clone, Debug)]
+pub struct RequestOutcome {
+    /// The data delivered to the remote cache.
+    pub data: LineData,
+    /// Whether the home cache already held the line (false = memory fetch).
+    pub home_hit: bool,
+    /// Slot the line occupies in the home cache.
+    pub home_lid: LineId,
+    /// Slot the line was installed into in the remote cache.
+    pub remote_lid: LineId,
+    /// All synchronization events, in order of occurrence.
+    pub events: Vec<PairEvent>,
+}
+
+/// A home cache kept inclusive of a remote cache.
+///
+/// # Examples
+///
+/// ```
+/// use cable_cache::{CacheGeometry, InclusivePair};
+/// use cable_common::{Address, LineData};
+///
+/// let mut pair = InclusivePair::new(
+///     CacheGeometry::new(256 << 10, 8), // home: 256 KB
+///     CacheGeometry::new(64 << 10, 8),  // remote: 64 KB
+/// );
+/// let out = pair.remote_request(Address::new(0x1000), |_| LineData::splat_word(3));
+/// assert!(!out.home_hit);
+/// assert!(pair.check_inclusion());
+/// ```
+pub struct InclusivePair {
+    home: SetAssocCache,
+    remote: SetAssocCache,
+}
+
+impl InclusivePair {
+    /// Creates an empty pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the home cache is not strictly larger than the remote cache
+    /// (the paper's home cache is the larger of the two, Table I).
+    #[must_use]
+    pub fn new(home: CacheGeometry, remote: CacheGeometry) -> Self {
+        assert!(
+            home.size_bytes() > remote.size_bytes(),
+            "home cache must be larger than remote cache"
+        );
+        InclusivePair {
+            home: SetAssocCache::new(home),
+            remote: SetAssocCache::new(remote),
+        }
+    }
+
+    /// The home (larger) cache.
+    #[must_use]
+    pub fn home(&self) -> &SetAssocCache {
+        &self.home
+    }
+
+    /// The remote (smaller) cache.
+    #[must_use]
+    pub fn remote(&self) -> &SetAssocCache {
+        &self.remote
+    }
+
+    /// Mutable access to the home cache (used by the CABLE endpoints to read
+    /// reference candidates and install fills).
+    pub fn home_mut(&mut self) -> &mut SetAssocCache {
+        &mut self.home
+    }
+
+    /// Mutable access to the remote cache.
+    pub fn remote_mut(&mut self) -> &mut SetAssocCache {
+        &mut self.remote
+    }
+
+    /// Services a remote-cache miss for `addr`.
+    ///
+    /// On a home miss, `fetch` supplies the line from backing memory ("for
+    /// misses, first the L4 fetches data from main memory, then compression
+    /// continues as if it was a hit", §V-A). The line is installed in the
+    /// remote cache at its advertised victim way, inclusion is maintained,
+    /// and every synchronization event is reported.
+    pub fn remote_request(
+        &mut self,
+        addr: Address,
+        fetch: impl FnOnce(Address) -> LineData,
+    ) -> RequestOutcome {
+        let addr = addr.line_aligned();
+        let mut events = Vec::new();
+
+        // 1. Home lookup / fill.
+        let home_hit = self.home.access(addr).is_some();
+        let (home_lid, data) = if home_hit {
+            let lid = self.home.lookup(addr).expect("hit implies present");
+            (lid, self.home.read_by_id(lid).expect("hit implies valid"))
+        } else {
+            let data = fetch(addr);
+            let outcome = self.home.insert(addr, data, CoherenceState::Shared);
+            if let Some(home_victim) = outcome.evicted {
+                // Inclusion: back-invalidate the remote copy.
+                let remote_victim = self.remote.invalidate(home_victim.addr);
+                events.push(PairEvent::HomeVictim {
+                    home: home_victim,
+                    remote: remote_victim,
+                });
+            }
+            (outcome.line_id, data)
+        };
+
+        // 2. Install in the remote cache at its advertised replacement way.
+        let victim_way = self.remote.victim_way(addr);
+        let outcome = self
+            .remote
+            .insert_at_way(addr, data, CoherenceState::Shared, Some(victim_way));
+        if let Some(victim) = outcome.evicted {
+            if victim.state == CoherenceState::Modified {
+                // Dirty victims write back to the home cache.
+                self.absorb_writeback(victim.addr, victim.data, &mut events);
+            }
+            events.push(PairEvent::RemoteVictim(victim.clone()));
+        }
+        events.push(PairEvent::SentToRemote {
+            addr,
+            home_lid,
+            remote_lid: outcome.line_id,
+            state: CoherenceState::Shared,
+        });
+
+        RequestOutcome {
+            data,
+            home_hit,
+            home_lid,
+            remote_lid: outcome.line_id,
+            events,
+        }
+    }
+
+    fn absorb_writeback(&mut self, addr: Address, data: LineData, events: &mut Vec<PairEvent>) {
+        let outcome = self.home.insert(addr, data, CoherenceState::Modified);
+        if let Some(home_victim) = outcome.evicted {
+            let remote_victim = self.remote.invalidate(home_victim.addr);
+            events.push(PairEvent::HomeVictim {
+                home: home_victim,
+                remote: remote_victim,
+            });
+        }
+        events.push(PairEvent::WriteBack {
+            addr,
+            home_lid: outcome.line_id,
+        });
+    }
+
+    /// Remote store to `addr`: upgrades the line to Modified, which makes it
+    /// unusable as a reference until it is re-shared.
+    ///
+    /// Returns the upgrade event if the line was present remotely.
+    pub fn remote_write(&mut self, addr: Address, data: LineData) -> Option<PairEvent> {
+        let addr = addr.line_aligned();
+        let remote_lid = self.remote.lookup(addr)?;
+        self.remote.write(addr, data);
+        // The home copy is now stale; mark it Modified-elsewhere by dropping
+        // it to Modified state as well (data refreshed on write-back).
+        self.home.set_state(addr, CoherenceState::Modified);
+        Some(PairEvent::Upgrade { addr, remote_lid })
+    }
+
+    /// Explicit remote write-back of a dirty line to home.
+    ///
+    /// Returns the events, or `None` if the line is not dirty in the remote.
+    pub fn remote_writeback(&mut self, addr: Address) -> Option<Vec<PairEvent>> {
+        let addr = addr.line_aligned();
+        let lid = self.remote.lookup(addr)?;
+        if self.remote.state_by_id(lid) != CoherenceState::Modified {
+            return None;
+        }
+        let data = self.remote.read_by_id(lid).expect("valid line");
+        let mut events = Vec::new();
+        self.absorb_writeback(addr, data, &mut events);
+        self.remote.set_state(addr, CoherenceState::Shared);
+        self.home.set_state(addr, CoherenceState::Shared);
+        Some(events)
+    }
+
+    /// Verifies the inclusion invariant: every valid remote line is present
+    /// in the home cache.
+    #[must_use]
+    pub fn check_inclusion(&self) -> bool {
+        self.remote
+            .iter_valid()
+            .all(|(_, addr, _)| self.home.lookup(addr).is_some())
+    }
+}
+
+impl fmt::Debug for InclusivePair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InclusivePair(home: {:?}, remote: {:?})", self.home, self.remote)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> InclusivePair {
+        InclusivePair::new(
+            CacheGeometry::new(8 * 2 * 64, 2), // home: 16 lines, 8 sets
+            CacheGeometry::new(4 * 2 * 64, 2), // remote: 8 lines, 4 sets
+        )
+    }
+
+    #[test]
+    fn miss_fetches_and_installs_both_levels() {
+        let mut p = pair();
+        let a = Address::new(0x40);
+        let out = p.remote_request(a, |_| LineData::splat_word(5));
+        assert!(!out.home_hit);
+        assert_eq!(out.data, LineData::splat_word(5));
+        assert!(p.home().lookup(a).is_some());
+        assert!(p.remote().lookup(a).is_some());
+        assert!(p.check_inclusion());
+    }
+
+    #[test]
+    fn second_request_hits_home() {
+        let mut p = pair();
+        let a = Address::new(0x40);
+        p.remote_request(a, |_| LineData::splat_word(5));
+        p.remote_mut().invalidate(a);
+        let out = p.remote_request(a, |_| panic!("must not refetch"));
+        assert!(out.home_hit);
+    }
+
+    #[test]
+    fn inclusion_survives_pressure() {
+        let mut p = pair();
+        for i in 0..64u64 {
+            p.remote_request(Address::from_line_number(i * 3 + 1), |a| {
+                LineData::splat_word(a.line_number() as u32)
+            });
+            assert!(p.check_inclusion(), "inclusion violated at line {i}");
+        }
+    }
+
+    #[test]
+    fn home_eviction_back_invalidates_remote() {
+        let mut p = pair();
+        // Fill one home set (2 ways) with lines mapping to the same home set
+        // and then overflow it.
+        let sets = p.home().geometry().sets();
+        let addrs: Vec<Address> = (0..3).map(|t| Address::from_line_number(t * sets)).collect();
+        for &a in &addrs {
+            p.remote_request(a, |_| LineData::zeroed());
+        }
+        // The first address must have been evicted from home; inclusion says
+        // it is gone from remote as well.
+        assert!(p.home().lookup(addrs[0]).is_none());
+        assert!(p.remote().lookup(addrs[0]).is_none());
+        assert!(p.check_inclusion());
+    }
+
+    #[test]
+    fn remote_victim_event_reported() {
+        let mut p = pair();
+        let sets = p.remote().geometry().sets();
+        let addrs: Vec<Address> = (0..3).map(|t| Address::from_line_number(t * sets)).collect();
+        p.remote_request(addrs[0], |_| LineData::zeroed());
+        p.remote_request(addrs[1], |_| LineData::zeroed());
+        let out = p.remote_request(addrs[2], |_| LineData::zeroed());
+        assert!(out
+            .events
+            .iter()
+            .any(|e| matches!(e, PairEvent::RemoteVictim(v) if v.addr == addrs[0])));
+    }
+
+    #[test]
+    fn upgrade_reports_event_and_changes_state() {
+        let mut p = pair();
+        let a = Address::new(0x80);
+        p.remote_request(a, |_| LineData::zeroed());
+        let ev = p.remote_write(a, LineData::splat_word(1)).expect("present");
+        assert!(matches!(ev, PairEvent::Upgrade { addr, .. } if addr == a.line_aligned()));
+        let lid = p.remote().lookup(a).unwrap();
+        assert_eq!(p.remote().state_by_id(lid), CoherenceState::Modified);
+    }
+
+    #[test]
+    fn writeback_returns_line_to_shared() {
+        let mut p = pair();
+        let a = Address::new(0xc0);
+        p.remote_request(a, |_| LineData::zeroed());
+        p.remote_write(a, LineData::splat_word(7));
+        let events = p.remote_writeback(a).expect("dirty line");
+        assert!(events.iter().any(|e| matches!(e, PairEvent::WriteBack { .. })));
+        let home_lid = p.home().lookup(a).unwrap();
+        assert_eq!(p.home().read_by_id(home_lid), Some(LineData::splat_word(7)));
+        assert_eq!(p.home().state_by_id(home_lid), CoherenceState::Shared);
+        // Non-dirty write-back is a no-op.
+        assert!(p.remote_writeback(a).is_none());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            /// Inclusion holds under arbitrary interleavings of requests,
+            /// writes, write-backs and invalidations.
+            #[test]
+            fn prop_inclusion_invariant(
+                ops in proptest::collection::vec((0u8..4, 0u64..64), 1..200)
+            ) {
+                let mut p = InclusivePair::new(
+                    CacheGeometry::new(8 * 2 * 64, 2),
+                    CacheGeometry::new(4 * 2 * 64, 2),
+                );
+                for (op, line) in ops {
+                    let addr = Address::from_line_number(line);
+                    match op {
+                        0 => {
+                            p.remote_request(addr, |a| {
+                                LineData::splat_word(a.line_number() as u32)
+                            });
+                        }
+                        1 => {
+                            p.remote_write(addr, LineData::splat_word(0x77));
+                        }
+                        2 => {
+                            p.remote_writeback(addr);
+                        }
+                        _ => {
+                            p.remote_mut().invalidate(addr);
+                        }
+                    }
+                    prop_assert!(p.check_inclusion());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_remote_victim_writes_back() {
+        let mut p = pair();
+        let sets = p.remote().geometry().sets();
+        let a = Address::from_line_number(0);
+        let b = Address::from_line_number(sets);
+        let c = Address::from_line_number(2 * sets);
+        p.remote_request(a, |_| LineData::zeroed());
+        p.remote_write(a, LineData::splat_word(42));
+        p.remote_request(b, |_| LineData::zeroed());
+        p.remote_request(c, |_| LineData::zeroed()); // evicts dirty `a`
+        let home_lid = p.home().lookup(a).unwrap();
+        assert_eq!(p.home().read_by_id(home_lid), Some(LineData::splat_word(42)));
+    }
+}

@@ -1,0 +1,410 @@
+//! Subcommand parsing and execution.
+
+use cable_cache::CacheGeometry;
+use cable_compress::EngineKind;
+use cable_core::area::{home_side_area, paper_offchip_config, remote_side_area, SEARCH_LOGIC_ROWS};
+use cable_core::BaselineKind;
+use cable_sim::{run_group, CompressedLink, Scheme, SystemConfig};
+use cable_trace::record::{record_synthetic, TraceReader, TraceRecord};
+use cable_trace::WorkloadGen;
+
+/// Usage text shown on errors and `cable help`.
+pub const USAGE: &str = "\
+usage: cable <command> [args]
+
+commands:
+  workloads                        list the synthetic SPEC2006-like benchmarks
+  bench <workload> [accesses]      compression ratios of every scheme
+  record <workload> <n> <file>     capture a synthetic trace (CBTR format)
+  replay <file>                    evaluate compression schemes on a trace
+  throughput <workload> [threads]  throughput speedups at a thread count
+  fabric <workload> [nodes] [GB/s] multi-chip PTP-link throughput (§V-B)
+  stats <workload> [lines]         data-pattern statistics of a workload
+  area                             Table III-style area overhead report
+  help                             this text";
+
+/// Parses and runs one invocation.
+///
+/// # Errors
+///
+/// Returns a message suitable for the user on unknown commands, missing
+/// arguments, unknown workloads, or I/O failures.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        None | Some("help" | "--help" | "-h") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some("workloads") => {
+            workloads();
+            Ok(())
+        }
+        Some("bench") => {
+            let name = args.get(1).ok_or("bench needs a workload name")?;
+            let accesses = parse_or(args.get(2), 60_000)?;
+            bench(name, accesses)
+        }
+        Some("record") => {
+            let name = args.get(1).ok_or("record needs a workload name")?;
+            let n = parse_or(args.get(2).map(some_str), 0)?;
+            if n == 0 {
+                return Err("record needs an access count".into());
+            }
+            let path = args.get(3).ok_or("record needs an output file")?;
+            record(name, n, path)
+        }
+        Some("replay") => {
+            let path = args.get(1).ok_or("replay needs a trace file")?;
+            replay(path)
+        }
+        Some("throughput") => {
+            let name = args.get(1).ok_or("throughput needs a workload name")?;
+            let threads = parse_or(args.get(2), 2048)?;
+            throughput(name, threads as usize)
+        }
+        Some("fabric") => {
+            let name = args.get(1).ok_or("fabric needs a workload name")?;
+            let nodes = parse_or(args.get(2), 4)? as usize;
+            let gbps = args
+                .get(3)
+                .map(|s| s.parse::<f64>().map_err(|_| format!("`{s}` is not a number")))
+                .transpose()?
+                .unwrap_or(2.4);
+            fabric(name, nodes, gbps)
+        }
+        Some("stats") => {
+            let name = args.get(1).ok_or("stats needs a workload name")?;
+            let lines = parse_or(args.get(2), 50_000)?;
+            stats(name, lines)
+        }
+        Some("area") => {
+            area();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn some_str(s: &String) -> &String {
+    s
+}
+
+fn parse_or(arg: Option<&String>, default: u64) -> Result<u64, String> {
+    match arg {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("`{s}` is not a number")),
+    }
+}
+
+fn profile(name: &str) -> Result<&'static cable_trace::WorkloadProfile, String> {
+    cable_trace::by_name(name)
+        .ok_or_else(|| format!("unknown workload `{name}` (see `cable workloads`)"))
+}
+
+fn schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::Baseline(BaselineKind::Bdi),
+        Scheme::Baseline(BaselineKind::Cpack),
+        Scheme::Baseline(BaselineKind::Cpack128),
+        Scheme::Baseline(BaselineKind::Lbe256),
+        Scheme::Baseline(BaselineKind::Gzip),
+        Scheme::Cable(EngineKind::Lbe),
+    ]
+}
+
+fn build_link(scheme: Scheme) -> CompressedLink {
+    CompressedLink::build(
+        scheme,
+        CacheGeometry::new(4 << 20, 16),
+        CacheGeometry::new(1 << 20, 8),
+        16,
+    )
+}
+
+fn workloads() {
+    println!("{:12} {:>9} {:>8} {:>7}  traits", "name", "WS lines", "mem/ins", "writes");
+    for p in cable_trace::ALL_WORKLOADS {
+        let mut traits = Vec::new();
+        if p.zero_dominant {
+            traits.push("zero-dominant");
+        }
+        if p.hot_frac > 0.5 {
+            traits.push("compute-bound");
+        }
+        if p.byte_shift_frac > 0.0 {
+            traits.push("byte-shifted");
+        }
+        if p.content_diverges {
+            traits.push("instances-diverge");
+        }
+        println!(
+            "{:12} {:>9} {:>8.2} {:>7.2}  {}",
+            p.name,
+            p.working_set_lines,
+            p.mem_ratio,
+            p.write_frac,
+            traits.join(", ")
+        );
+    }
+}
+
+fn drive(link: &mut CompressedLink, gen: &mut WorkloadGen, n: u64) {
+    for _ in 0..n {
+        let a = gen.next_access();
+        let m = gen.content(a.addr);
+        if a.is_write {
+            link.request_exclusive(a.addr, m);
+            let d = gen.store_data(a.addr);
+            link.remote_store(a.addr, d);
+        } else {
+            link.request(a.addr, m);
+        }
+    }
+}
+
+fn bench(name: &str, accesses: u64) -> Result<(), String> {
+    let p = profile(name)?;
+    println!("{name}: {accesses} measured accesses (plus half that as warm-up)\n");
+    println!(
+        "{:12} {:>7} {:>8} {:>9} {:>7} {:>7}",
+        "scheme", "ratio", "diffs", "unseeded", "raw", "wb"
+    );
+    for scheme in schemes() {
+        let mut link = build_link(scheme);
+        let mut gen = WorkloadGen::new(p, 0);
+        drive(&mut link, &mut gen, accesses / 2);
+        link.reset_stats();
+        drive(&mut link, &mut gen, accesses);
+        let s = link.stats();
+        println!(
+            "{:12} {:>6.2}x {:>8} {:>9} {:>7} {:>7}",
+            scheme.label(),
+            s.compression_ratio(),
+            s.diff_transfers,
+            s.unseeded_transfers,
+            s.raw_transfers,
+            s.writebacks
+        );
+    }
+    Ok(())
+}
+
+fn record(name: &str, n: u64, path: &str) -> Result<(), String> {
+    let p = profile(name)?;
+    let mut gen = WorkloadGen::new(p, 0);
+    let trace = record_synthetic(&mut gen, n);
+    std::fs::write(path, &trace).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("recorded {n} accesses of {name} to {path} ({} KB)", trace.len() / 1024);
+    Ok(())
+}
+
+fn replay(path: &str) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    println!("{:12} {:>7} {:>8} {:>7}", "scheme", "ratio", "fills", "wb");
+    for scheme in schemes() {
+        let reader = TraceReader::new(cable_trace::bytes::Bytes::from(bytes.clone()))
+            .map_err(|e| e.to_string())?;
+        let mut link = build_link(scheme);
+        for r in reader {
+            let TraceRecord {
+                addr,
+                is_write,
+                data,
+            } = r.map_err(|e| e.to_string())?;
+            if is_write {
+                link.request_exclusive(addr, data);
+                link.remote_store(addr, data);
+            } else {
+                link.request(addr, data);
+            }
+        }
+        let s = link.stats();
+        println!(
+            "{:12} {:>6.2}x {:>8} {:>7}",
+            scheme.label(),
+            s.compression_ratio(),
+            s.fills,
+            s.writebacks
+        );
+    }
+    Ok(())
+}
+
+fn throughput(name: &str, threads: usize) -> Result<(), String> {
+    if threads < 8 || !threads.is_multiple_of(8) {
+        return Err("thread count must be a positive multiple of 8".into());
+    }
+    let p = profile(name)?;
+    let cfg = SystemConfig::paper_defaults();
+    let instrs = 25_000;
+    println!("{name} at {threads} threads (groups of 8 share bandwidth):\n");
+    let base = run_group(p, Scheme::Uncompressed, threads, instrs, &cfg);
+    println!("{:12} {:>12.3e} ins/s", "uncompressed", base.system_ips());
+    for scheme in [
+        Scheme::Baseline(BaselineKind::Cpack),
+        Scheme::Baseline(BaselineKind::Gzip),
+        Scheme::Cable(EngineKind::Lbe),
+    ] {
+        let r = run_group(p, scheme, threads, instrs, &cfg);
+        println!(
+            "{:12} {:>12.3e} ins/s  ({:.2}x)",
+            scheme.label(),
+            r.system_ips(),
+            r.system_ips() / base.system_ips()
+        );
+    }
+    Ok(())
+}
+
+fn fabric(name: &str, nodes: usize, gbps: f64) -> Result<(), String> {
+    if nodes < 2 {
+        return Err("a fabric needs at least two chips".into());
+    }
+    if gbps <= 0.0 {
+        return Err("PTP bandwidth must be positive".into());
+    }
+    let p = profile(name)?;
+    println!("{name}: {nodes}-chip fabric, {gbps} GB/s per PTP link
+");
+    let mut base = cable_sim::FabricSim::new(p, Scheme::Uncompressed, nodes, gbps * 1e9);
+    let rb = base.run(20_000);
+    println!("{:12} {:>12.3e} ins/s", "uncompressed", rb.ips());
+    for scheme in [
+        Scheme::Baseline(BaselineKind::Cpack),
+        Scheme::Cable(EngineKind::Lbe),
+    ] {
+        let mut f = cable_sim::FabricSim::new(p, scheme, nodes, gbps * 1e9);
+        let r = f.run(20_000);
+        let s = f.coherence_stats();
+        println!(
+            "{:12} {:>12.3e} ins/s  ({:.2}x, PTP ratio {:.2}x)",
+            scheme.label(),
+            r.ips(),
+            r.ips() / rb.ips(),
+            s.compression_ratio()
+        );
+    }
+    Ok(())
+}
+
+fn stats(name: &str, lines: u64) -> Result<(), String> {
+    let p = profile(name)?;
+    let gen = WorkloadGen::new(p, 0);
+    let mut analyzer = cable_compress::analysis::StreamAnalyzer::new();
+    for n in 0..lines {
+        analyzer.push(&gen.content(cable_common::Address::from_line_number(n)));
+    }
+    let s = analyzer.finish();
+    println!("{name}: {} lines analysed", s.lines);
+    println!("  zero lines      {:>6.1}%", s.zero_line_frac * 100.0);
+    println!("  zero words      {:>6.1}%", s.zero_word_frac * 100.0);
+    println!("  trivial words   {:>6.1}%", s.trivial_word_frac * 100.0);
+    println!("  duplicate lines {:>6.1}%", s.duplicate_line_frac * 100.0);
+    println!("  distinct words  {:>6.2} per line", s.mean_distinct_words);
+    println!("  word entropy    {:>6.2} bits", s.word_entropy_bits);
+    Ok(())
+}
+
+fn area() {
+    let cfg = paper_offchip_config();
+    let home = home_side_area(&cfg);
+    let remote = remote_side_area(&cfg);
+    println!("off-chip configuration (16 MB buffer / 8 MB LLC):");
+    println!(
+        "  buffer : hash table {:.2}%  WMT {:.2}%  RemoteLID {} bits",
+        home.hash_table_fraction * 100.0,
+        home.wmt_fraction * 100.0,
+        home.remote_lid_bits
+    );
+    println!(
+        "  on-chip: hash table {:.2}%  (no WMT)     RemoteLID {} bits",
+        remote.hash_table_fraction * 100.0,
+        remote.remote_lid_bits
+    );
+    println!("\nsearch-pipeline logic (paper's 32 nm OpenPiton synthesis):");
+    for (label, cells, per_l2, per_tile) in SEARCH_LOGIC_ROWS {
+        println!("  {label:18} {cells:>6} cells  {per_l2:>5.2}% /L2  {per_tile:>5.2}% /tile");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<(), String> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_string()).collect();
+        dispatch(&owned)
+    }
+
+    #[test]
+    fn help_and_empty_succeed() {
+        assert!(run(&[]).is_ok());
+        assert!(run(&["help"]).is_ok());
+        assert!(run(&["--help"]).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(run(&["frobnicate"]).unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn workloads_lists() {
+        assert!(run(&["workloads"]).is_ok());
+    }
+
+    #[test]
+    fn area_reports() {
+        assert!(run(&["area"]).is_ok());
+    }
+
+    #[test]
+    fn stats_reports() {
+        assert!(run(&["stats", "mcf", "3000"]).is_ok());
+        assert!(run(&["stats", "nope"]).is_err());
+    }
+
+    #[test]
+    fn bench_validates_workload() {
+        assert!(run(&["bench"]).is_err());
+        assert!(run(&["bench", "nonexistent"]).unwrap_err().contains("unknown workload"));
+        assert!(run(&["bench", "gcc", "abc"]).unwrap_err().contains("not a number"));
+    }
+
+    #[test]
+    fn bench_runs_small() {
+        assert!(run(&["bench", "povray", "2000"]).is_ok());
+    }
+
+    #[test]
+    fn record_and_replay_round_trip() {
+        let path = std::env::temp_dir().join("cable_cli_test.cbtr");
+        let path = path.to_str().unwrap();
+        assert!(run(&["record", "gcc", "2000", path]).is_ok());
+        assert!(run(&["replay", path]).is_ok());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn record_validates_arguments() {
+        assert!(run(&["record", "gcc"]).is_err());
+        assert!(run(&["record", "gcc", "100"]).unwrap_err().contains("output file"));
+    }
+
+    #[test]
+    fn replay_missing_file_fails() {
+        assert!(run(&["replay", "/nonexistent/file.cbtr"]).unwrap_err().contains("cannot read"));
+    }
+
+    #[test]
+    fn fabric_validates_arguments() {
+        assert!(run(&["fabric"]).is_err());
+        assert!(run(&["fabric", "gcc", "1"]).unwrap_err().contains("two chips"));
+        assert!(run(&["fabric", "gcc", "4", "-1"]).unwrap_err().contains("must be positive"));
+    }
+
+    #[test]
+    fn throughput_validates_thread_count() {
+        assert!(run(&["throughput", "gcc", "12"]).unwrap_err().contains("multiple of 8"));
+    }
+}

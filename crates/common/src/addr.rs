@@ -1,0 +1,138 @@
+//! Physical addresses and line/page arithmetic.
+
+use crate::line::LINE_BYTES;
+use std::fmt;
+
+/// Bytes in one OS page, used by the NUMA round-robin page interleaver.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A physical byte address.
+///
+/// The newtype keeps byte addresses, line numbers and set indices from being
+/// mixed up across the cache, simulator and trace crates.
+///
+/// # Examples
+///
+/// ```
+/// use cable_common::Address;
+///
+/// let a = Address::new(0x1234);
+/// assert_eq!(a.line_number(), 0x1234 / 64);
+/// assert_eq!(a.line_aligned().as_u64(), 0x1200);
+/// assert_eq!(a.line_offset(), 0x34);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(u64);
+
+impl Address {
+    /// Creates an address from a raw byte value.
+    #[must_use]
+    pub fn new(raw: u64) -> Self {
+        Address(raw)
+    }
+
+    /// Creates an address from a cache-line number.
+    #[must_use]
+    pub fn from_line_number(line: u64) -> Self {
+        Address(line * LINE_BYTES as u64)
+    }
+
+    /// Returns the raw byte address.
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache-line number (address / 64).
+    #[must_use]
+    pub fn line_number(self) -> u64 {
+        self.0 / LINE_BYTES as u64
+    }
+
+    /// Returns the address aligned down to its cache line.
+    #[must_use]
+    pub fn line_aligned(self) -> Self {
+        Address(self.0 & !(LINE_BYTES as u64 - 1))
+    }
+
+    /// Returns the byte offset within the cache line.
+    #[must_use]
+    pub fn line_offset(self) -> u64 {
+        self.0 % LINE_BYTES as u64
+    }
+
+    /// Returns the page number (address / 4096).
+    #[must_use]
+    pub fn page_number(self) -> u64 {
+        self.0 / PAGE_BYTES
+    }
+
+    /// Returns a new address offset by `bytes`.
+    #[must_use]
+    pub fn offset(self, bytes: u64) -> Self {
+        Address(self.0.wrapping_add(bytes))
+    }
+}
+
+impl From<u64> for Address {
+    fn from(raw: u64) -> Self {
+        Address(raw)
+    }
+}
+
+impl From<Address> for u64 {
+    fn from(a: Address) -> Self {
+        a.0
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Address({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_arithmetic() {
+        let a = Address::new(0x7f);
+        assert_eq!(a.line_number(), 1);
+        assert_eq!(a.line_aligned(), Address::new(0x40));
+        assert_eq!(a.line_offset(), 0x3f);
+    }
+
+    #[test]
+    fn from_line_number_round_trips() {
+        for n in [0u64, 1, 17, 1 << 40] {
+            assert_eq!(Address::from_line_number(n).line_number(), n);
+            assert_eq!(Address::from_line_number(n).line_offset(), 0);
+        }
+    }
+
+    #[test]
+    fn page_number() {
+        assert_eq!(Address::new(4095).page_number(), 0);
+        assert_eq!(Address::new(4096).page_number(), 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Bit-granular serialization for compressed payloads.
+//!
+//! CABLE payloads are not byte-aligned: a CPACK `zzzz` code is 2 bits, a
+//! RemoteLID is 17 bits, the compressed/uncompressed flag is a single bit
+//! (§III-E). [`BitWriter`] and [`BitReader`] provide an MSB-first bitstream
+//! so codecs can measure and round-trip payloads at bit precision.
+
+use std::fmt;
+
+/// An append-only, MSB-first bit sink.
+///
+/// # Examples
+///
+/// ```
+/// use cable_common::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0xdead_beef, 32);
+/// let len = w.len_bits();
+/// let mut r = BitReader::new(w.as_slice(), len);
+/// assert_eq!(r.read_bits(3), Some(0b101));
+/// assert_eq!(r.read_bits(32), Some(0xdead_beef));
+/// assert_eq!(r.read_bits(1), None);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the final byte (0 means the last byte is full
+    /// or the stream is empty).
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for i in (0..count).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        let offset = self.bit_len % 8;
+        if offset == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("just pushed");
+            *last |= 1 << (7 - offset);
+        }
+        self.bit_len += 1;
+    }
+
+    /// Appends whole bytes (8 bits each).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_bits(u64::from(b), 8);
+        }
+    }
+
+    /// Total number of bits written.
+    #[must_use]
+    pub fn len_bits(&self) -> usize {
+        self.bit_len
+    }
+
+    /// True if no bits have been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bit_len == 0
+    }
+
+    /// Backing bytes; the last byte is zero-padded in its low bits.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the writer, returning the backing bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+impl fmt::Debug for BitWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitWriter({} bits)", self.bit_len)
+    }
+}
+
+/// An MSB-first bit source over a byte slice.
+///
+/// See [`BitWriter`] for a round-trip example.
+#[derive(Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    len_bits: usize,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes` containing `len_bits` valid bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len_bits` exceeds the capacity of `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8], len_bits: usize) -> Self {
+        assert!(
+            len_bits <= bytes.len() * 8,
+            "len_bits {} exceeds byte capacity {}",
+            len_bits,
+            bytes.len() * 8
+        );
+        BitReader {
+            bytes,
+            len_bits,
+            pos: 0,
+        }
+    }
+
+    /// Reads `count` bits, MSB first. Returns `None` if fewer than `count`
+    /// bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn read_bits(&mut self, count: u32) -> Option<u64> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        if self.pos + count as usize > self.len_bits {
+            return None;
+        }
+        let mut value = 0u64;
+        for _ in 0..count {
+            let byte = self.bytes[self.pos / 8];
+            let bit = (byte >> (7 - self.pos % 8)) & 1;
+            value = (value << 1) | u64::from(bit);
+            self.pos += 1;
+        }
+        Some(value)
+    }
+
+    /// Reads a single bit.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        self.read_bits(1).map(|b| b == 1)
+    }
+
+    /// Number of unread bits.
+    #[must_use]
+    pub fn remaining_bits(&self) -> usize {
+        self.len_bits - self.pos
+    }
+
+    /// Current read position in bits from the start.
+    #[must_use]
+    pub fn position_bits(&self) -> usize {
+        self.pos
+    }
+}
+
+impl fmt::Debug for BitReader<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitReader({}/{} bits)", self.pos, self.len_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.len_bits(), 9);
+        let mut r = BitReader::new(w.as_slice(), w.len_bits());
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn multi_bit_fields_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x1ffff, 17); // a RemoteLID-sized field
+        w.write_bits(0, 2);
+        w.write_bits(u64::MAX, 64);
+        let mut r = BitReader::new(w.as_slice(), w.len_bits());
+        assert_eq!(r.read_bits(17), Some(0x1ffff));
+        assert_eq!(r.read_bits(2), Some(0));
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+        assert_eq!(r.remaining_bits(), 0);
+    }
+
+    #[test]
+    fn write_bytes_matches_write_bits() {
+        let mut a = BitWriter::new();
+        a.write_bytes(&[0xab, 0xcd]);
+        let mut b = BitWriter::new();
+        b.write_bits(0xabcd, 16);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn reader_rejects_overrun_reads() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        let mut r = BitReader::new(w.as_slice(), 2);
+        assert_eq!(r.read_bits(3), None);
+        assert_eq!(r.read_bits(2), Some(0b11));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds byte capacity")]
+    fn reader_len_validation() {
+        let _ = BitReader::new(&[0u8], 9);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Any sequence of (value, width) fields written MSB-first reads
+            /// back identically — the invariant every codec rests on.
+            #[test]
+            fn prop_field_sequences_round_trip(
+                fields in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..64)
+            ) {
+                let mut w = BitWriter::new();
+                for &(value, width) in &fields {
+                    w.write_bits(value, width);
+                }
+                let total: usize = fields.iter().map(|&(_, wd)| wd as usize).sum();
+                prop_assert_eq!(w.len_bits(), total);
+                let mut r = BitReader::new(w.as_slice(), w.len_bits());
+                for &(value, width) in &fields {
+                    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+                    prop_assert_eq!(r.read_bits(width), Some(value & mask));
+                }
+                prop_assert_eq!(r.remaining_bits(), 0);
+            }
+
+            /// The final byte's unused low bits are always zero (padding is
+            /// deterministic, so payload bytes are comparable).
+            #[test]
+            fn prop_padding_is_zero(bits in proptest::collection::vec(any::<bool>(), 1..64)) {
+                let mut w = BitWriter::new();
+                for &b in &bits {
+                    w.write_bit(b);
+                }
+                let last = *w.as_slice().last().unwrap();
+                let used = w.len_bits() % 8;
+                if used != 0 {
+                    prop_assert_eq!(last & ((1u8 << (8 - used)) - 1), 0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Line- and stream-level data-pattern analysis.
+//!
+//! The paper's design rests on measured properties of cache-line data:
+//! "while zeroes are abundant, non-zero words are distinct, and the
+//! sequence of these words tend to stay the same" (§III-A). This module
+//! quantifies those properties for any line stream, which is how the
+//! synthetic workloads were calibrated and how a downstream user can
+//! characterize their own traces before choosing an engine.
+
+use cable_common::{LineData, WORDS_PER_LINE};
+use std::collections::HashMap;
+
+/// Word-level statistics of a single line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LineStats {
+    /// All-zero 32-bit words.
+    pub zero_words: u32,
+    /// Words with 24+ leading zeros or ones (the paper's *trivial* class).
+    pub trivial_words: u32,
+    /// Distinct word values in the line.
+    pub distinct_words: u32,
+    /// Length of the longest run of equal consecutive words.
+    pub longest_run: u32,
+}
+
+/// Computes [`LineStats`] for one line.
+///
+/// # Examples
+///
+/// ```
+/// use cable_compress::analysis::line_stats;
+/// use cable_common::LineData;
+///
+/// let s = line_stats(&LineData::zeroed());
+/// assert_eq!(s.zero_words, 16);
+/// assert_eq!(s.distinct_words, 1);
+/// assert_eq!(s.longest_run, 16);
+/// ```
+#[must_use]
+pub fn line_stats(line: &LineData) -> LineStats {
+    let words = line.to_words();
+    let mut distinct: Vec<u32> = words.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let mut longest_run = 1u32;
+    let mut run = 1u32;
+    for i in 1..WORDS_PER_LINE {
+        if words[i] == words[i - 1] {
+            run += 1;
+            longest_run = longest_run.max(run);
+        } else {
+            run = 1;
+        }
+    }
+    LineStats {
+        zero_words: words.iter().filter(|&&w| w == 0).count() as u32,
+        trivial_words: words
+            .iter()
+            .filter(|&&w| w.leading_zeros() >= 24 || w.leading_ones() >= 24)
+            .count() as u32,
+        distinct_words: distinct.len() as u32,
+        longest_run,
+    }
+}
+
+/// Aggregate statistics of a stream of lines.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StreamStats {
+    /// Lines analyzed.
+    pub lines: u64,
+    /// Fraction of all-zero lines.
+    pub zero_line_frac: f64,
+    /// Fraction of zero words across the stream.
+    pub zero_word_frac: f64,
+    /// Fraction of trivial words across the stream.
+    pub trivial_word_frac: f64,
+    /// Fraction of lines that are exact duplicates of an earlier line.
+    pub duplicate_line_frac: f64,
+    /// Mean distinct words per line.
+    pub mean_distinct_words: f64,
+    /// Shannon entropy of the word distribution, in bits (0..=32); low
+    /// values mean a dictionary scheme has much to find.
+    pub word_entropy_bits: f64,
+}
+
+/// Streaming analyzer: feed lines, then read [`StreamStats`].
+///
+/// # Examples
+///
+/// ```
+/// use cable_compress::analysis::StreamAnalyzer;
+/// use cable_common::LineData;
+///
+/// let mut a = StreamAnalyzer::new();
+/// a.push(&LineData::zeroed());
+/// a.push(&LineData::zeroed());
+/// let s = a.finish();
+/// assert_eq!(s.lines, 2);
+/// assert_eq!(s.zero_line_frac, 1.0);
+/// assert_eq!(s.duplicate_line_frac, 0.5);
+/// ```
+#[derive(Debug, Default)]
+pub struct StreamAnalyzer {
+    lines: u64,
+    zero_lines: u64,
+    zero_words: u64,
+    trivial_words: u64,
+    distinct_sum: u64,
+    duplicates: u64,
+    seen: HashMap<[u32; WORDS_PER_LINE], u32>,
+    word_counts: HashMap<u32, u64>,
+    total_words: u64,
+}
+
+impl StreamAnalyzer {
+    /// Creates an empty analyzer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one line.
+    pub fn push(&mut self, line: &LineData) {
+        let stats = line_stats(line);
+        self.lines += 1;
+        if line.is_zero() {
+            self.zero_lines += 1;
+        }
+        self.zero_words += u64::from(stats.zero_words);
+        self.trivial_words += u64::from(stats.trivial_words);
+        self.distinct_sum += u64::from(stats.distinct_words);
+        let key = line.to_words();
+        let count = self.seen.entry(key).or_insert(0);
+        if *count > 0 {
+            self.duplicates += 1;
+        }
+        *count += 1;
+        for w in line.words() {
+            *self.word_counts.entry(w).or_insert(0) += 1;
+            self.total_words += 1;
+        }
+    }
+
+    /// Finalizes the aggregate statistics.
+    #[must_use]
+    pub fn finish(self) -> StreamStats {
+        if self.lines == 0 {
+            return StreamStats::default();
+        }
+        let lines = self.lines as f64;
+        let total_words = self.total_words as f64;
+        let entropy = self
+            .word_counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / total_words;
+                -p * p.log2()
+            })
+            .sum::<f64>();
+        StreamStats {
+            lines: self.lines,
+            zero_line_frac: self.zero_lines as f64 / lines,
+            zero_word_frac: self.zero_words as f64 / total_words,
+            trivial_word_frac: self.trivial_words as f64 / total_words,
+            duplicate_line_frac: self.duplicates as f64 / lines,
+            mean_distinct_words: self.distinct_sum as f64 / lines,
+            word_entropy_bits: entropy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_common::SplitMix64;
+
+    #[test]
+    fn line_stats_mixed() {
+        let line = LineData::from_words([
+            0, 0, 7, 7, 7, 0xdead_beef, 0, 1, 0xffff_fff0, 0x0100_0000, 0, 0, 0, 2, 2, 2,
+        ]);
+        let s = line_stats(&line);
+        assert_eq!(s.zero_words, 6);
+        // zeros(6) + 7,7,7(3) + 1 + ffff_fff0 + 2,2,2(3) = 14 trivial.
+        assert_eq!(s.trivial_words, 14);
+        assert_eq!(s.distinct_words, 7);
+        assert_eq!(s.longest_run, 3);
+    }
+
+    #[test]
+    fn duplicates_counted_after_first() {
+        let mut a = StreamAnalyzer::new();
+        let x = LineData::splat_word(0x1234_5678);
+        let y = LineData::splat_word(0x9abc_def0);
+        a.push(&x);
+        a.push(&y);
+        a.push(&x);
+        a.push(&x);
+        let s = a.finish();
+        assert_eq!(s.lines, 4);
+        assert!((s.duplicate_line_frac - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        // Single repeated word: zero entropy.
+        let mut a = StreamAnalyzer::new();
+        for _ in 0..10 {
+            a.push(&LineData::splat_word(7));
+        }
+        assert!(a.finish().word_entropy_bits < 1e-9);
+        // All-distinct words: entropy = log2(word count).
+        let mut b = StreamAnalyzer::new();
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..64 {
+            let mut words = [0u32; 16];
+            for w in &mut words {
+                *w = rng.next_u32();
+            }
+            b.push(&LineData::from_words(words));
+        }
+        let s = b.finish();
+        assert!(s.word_entropy_bits > 9.9, "{}", s.word_entropy_bits);
+    }
+
+    #[test]
+    fn empty_stream_is_defaulted() {
+        assert_eq!(StreamAnalyzer::new().finish(), StreamStats::default());
+    }
+
+    #[test]
+    fn synthetic_workload_matches_its_profile() {
+        // Cross-check: measured zero-line fraction of a synthetic stream
+        // tracks its profile parameter. (The trace crate is a dev-dep-free
+        // sibling; emulate a zero-heavy stream directly.)
+        let mut a = StreamAnalyzer::new();
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..5_000 {
+            if rng.next_bool(0.6) {
+                a.push(&LineData::zeroed());
+            } else {
+                let mut words = [0u32; 16];
+                for w in &mut words {
+                    *w = rng.next_u32();
+                }
+                a.push(&LineData::from_words(words));
+            }
+        }
+        let s = a.finish();
+        assert!((s.zero_line_frac - 0.6).abs() < 0.03);
+    }
+}

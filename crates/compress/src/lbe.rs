@@ -1,0 +1,519 @@
+//! LBE: word-aligned LZ with run-length copies.
+//!
+//! LBE comes from the authors' MORC compressed cache (MICRO 2015). The
+//! property this paper leans on is that "LBE can copy large aligned data
+//! blocks with lower overheads" than CPACK (§VI-E, Fig. 20 discussion): one
+//! copy command can cover a run of many 32-bit words, so a near-duplicate
+//! reference line compresses to a handful of bits. We implement it as a
+//! 32-bit-word-aligned LZ coder over a FIFO window:
+//!
+//! | code | meaning | payload |
+//! |---|---|---|
+//! | `00` | zero-word run | 4-bit run length − 1 |
+//! | `01` | window copy | offset (log2 window) + 4-bit run length − 1 |
+//! | `10` | literal word | flag + 8-bit small value or 32-bit word |
+//! | `11` | self-repeat run | 1-bit distance (1 or 2) + 4-bit run length − 1 |
+//!
+//! The small-literal flag covers narrow integers cheaply (11 bits), and the
+//! distance-2 repeat covers a repeated 64-bit value (the `ABAB…` word
+//! pattern of BDI's "repeat" class) without a window.
+//!
+//! Configurations: [`Lbe::streaming`] with 256 bytes is the paper's LBE256
+//! baseline; [`Lbe::seeded`] is CABLE+LBE, the paper's best engine, where
+//! the window holds the (up to three) reference lines.
+//!
+//! The window is frozen while a line is coded and the line's words are
+//! appended afterwards, keeping encoder and decoder in lockstep without
+//! intra-line offset shifts (intra-line redundancy is covered by the zero
+//! and repeat runs).
+
+use crate::{Compressor, DecodeError, Decompressor, Encoded, SeededCompressor};
+use cable_common::{bits_for, BitReader, BitWriter, LineData, WORDS_PER_LINE, WORD_BYTES};
+use std::collections::VecDeque;
+
+const CODE_ZERO_RUN: u64 = 0b00;
+const CODE_COPY: u64 = 0b01;
+const CODE_LITERAL: u64 = 0b10;
+const CODE_REPEAT: u64 = 0b11;
+const RUN_BITS: u32 = 4;
+
+/// The LBE compressor/decompressor.
+///
+/// # Examples
+///
+/// ```
+/// use cable_compress::{Lbe, SeededCompressor};
+/// use cable_common::LineData;
+///
+/// let engine = Lbe::seeded();
+/// let reference = LineData::from_words(core::array::from_fn(|i| 0x1000 + i as u32));
+/// let mut target = reference;
+/// target.set_word(9, 0xffff);
+/// let payload = engine.compress_seeded(&[reference], &target);
+/// // One copy + one literal + one copy: far below the 512-bit raw size.
+/// assert!(payload.len_bits() < 100);
+/// assert_eq!(engine.decompress_seeded(&[reference], &payload).unwrap(), target);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Lbe {
+    capacity_words: usize,
+    persist: bool,
+    window: VecDeque<u32>,
+}
+
+impl Lbe {
+    /// Streaming LBE with a `window_bytes` FIFO window persisting across
+    /// lines (`streaming(256)` is the paper's LBE256).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_bytes` is not a positive multiple of 4.
+    #[must_use]
+    pub fn streaming(window_bytes: usize) -> Self {
+        assert!(
+            window_bytes > 0 && window_bytes.is_multiple_of(WORD_BYTES),
+            "window must be a positive multiple of 4 bytes"
+        );
+        Lbe {
+            capacity_words: window_bytes / WORD_BYTES,
+            persist: true,
+            window: VecDeque::new(),
+        }
+    }
+
+    /// CABLE-seeded LBE: per-call window sized for three reference lines.
+    #[must_use]
+    pub fn seeded() -> Self {
+        Lbe {
+            capacity_words: 3 * WORDS_PER_LINE,
+            persist: false,
+            window: VecDeque::new(),
+        }
+    }
+
+    /// Window capacity in 32-bit words.
+    #[must_use]
+    pub fn capacity_words(&self) -> usize {
+        self.capacity_words
+    }
+
+    fn offset_bits(&self) -> u32 {
+        bits_for(self.capacity_words as u64).max(1)
+    }
+
+    fn push_line(&mut self, line: &LineData) {
+        for w in line.words() {
+            if self.window.len() == self.capacity_words {
+                self.window.pop_front();
+            }
+            self.window.push_back(w);
+        }
+    }
+
+    fn seed_window(&mut self, refs: &[LineData]) {
+        self.window.clear();
+        for r in refs {
+            self.push_line(r);
+        }
+    }
+
+    /// Longest window match for `line[i..]`: returns `(offset, len)`.
+    fn best_copy(&self, words: &[u32; WORDS_PER_LINE], i: usize) -> Option<(usize, usize)> {
+        let max_len = WORDS_PER_LINE - i;
+        let mut best: Option<(usize, usize)> = None;
+        for j in 0..self.window.len() {
+            if self.window[j] != words[i] {
+                continue;
+            }
+            let mut len = 1;
+            while len < max_len && j + len < self.window.len() && self.window[j + len] == words[i + len]
+            {
+                len += 1;
+            }
+            if best.is_none_or(|(_, l)| len > l) {
+                best = Some((j, len));
+            }
+        }
+        best
+    }
+
+    fn encode_line(&mut self, line: &LineData, out: &mut BitWriter) {
+        let words = line.to_words();
+        let ob = self.offset_bits();
+        let mut i = 0;
+        while i < WORDS_PER_LINE {
+            // Zero run: cheapest coverage.
+            if words[i] == 0 {
+                let mut len = 1;
+                while i + len < WORDS_PER_LINE && words[i + len] == 0 && len < (1 << RUN_BITS) {
+                    len += 1;
+                }
+                out.write_bits(CODE_ZERO_RUN, 2);
+                out.write_bits(len as u64 - 1, RUN_BITS);
+                i += len;
+                continue;
+            }
+            // Self-repeat run at distance 1 or 2 (periodic word patterns).
+            let mut rep_len = 0;
+            let mut rep_dist = 1;
+            for dist in [1usize, 2] {
+                if i >= dist {
+                    let mut len = 0;
+                    while i + len < WORDS_PER_LINE
+                        && words[i + len] == words[i + len - dist]
+                        && len < (1 << RUN_BITS)
+                    {
+                        len += 1;
+                    }
+                    if len > rep_len {
+                        rep_len = len;
+                        rep_dist = dist;
+                    }
+                }
+            }
+            // Window copy.
+            let copy = self.best_copy(&words, i);
+            let copy_len = copy.map_or(0, |(_, l)| l);
+            if rep_len >= copy_len && rep_len > 0 {
+                out.write_bits(CODE_REPEAT, 2);
+                out.write_bit(rep_dist == 2);
+                out.write_bits(rep_len as u64 - 1, RUN_BITS);
+                i += rep_len;
+            } else if let Some((offset, len)) = copy {
+                out.write_bits(CODE_COPY, 2);
+                out.write_bits(offset as u64, ob);
+                out.write_bits(len as u64 - 1, RUN_BITS);
+                i += len;
+            } else {
+                out.write_bits(CODE_LITERAL, 2);
+                if words[i] <= 0xff {
+                    out.write_bit(false);
+                    out.write_bits(u64::from(words[i]), 8);
+                } else {
+                    out.write_bit(true);
+                    out.write_bits(u64::from(words[i]), 32);
+                }
+                i += 1;
+            }
+        }
+        if self.persist {
+            self.push_line(line);
+        }
+    }
+
+    fn decode_line(&mut self, r: &mut BitReader<'_>) -> Result<LineData, DecodeError> {
+        let ob = self.offset_bits();
+        let mut words = [0u32; WORDS_PER_LINE];
+        let mut i = 0;
+        while i < WORDS_PER_LINE {
+            let code = r
+                .read_bits(2)
+                .ok_or_else(|| DecodeError::new("truncated code"))?;
+            match code {
+                CODE_ZERO_RUN => {
+                    let len = r
+                        .read_bits(RUN_BITS)
+                        .ok_or_else(|| DecodeError::new("truncated run length"))?
+                        as usize
+                        + 1;
+                    if i + len > WORDS_PER_LINE {
+                        return Err(DecodeError::new("zero run overflows line"));
+                    }
+                    i += len; // words are already zero
+                }
+                CODE_REPEAT => {
+                    let dist = if r
+                        .read_bit()
+                        .ok_or_else(|| DecodeError::new("truncated repeat distance"))?
+                    {
+                        2
+                    } else {
+                        1
+                    };
+                    if i < dist {
+                        return Err(DecodeError::new("repeat before line start"));
+                    }
+                    let len = r
+                        .read_bits(RUN_BITS)
+                        .ok_or_else(|| DecodeError::new("truncated run length"))?
+                        as usize
+                        + 1;
+                    if i + len > WORDS_PER_LINE {
+                        return Err(DecodeError::new("repeat run overflows line"));
+                    }
+                    for k in 0..len {
+                        words[i + k] = words[i + k - dist];
+                    }
+                    i += len;
+                }
+                CODE_COPY => {
+                    let offset = r
+                        .read_bits(ob)
+                        .ok_or_else(|| DecodeError::new("truncated offset"))?
+                        as usize;
+                    let len = r
+                        .read_bits(RUN_BITS)
+                        .ok_or_else(|| DecodeError::new("truncated run length"))?
+                        as usize
+                        + 1;
+                    if i + len > WORDS_PER_LINE || offset + len > self.window.len() {
+                        return Err(DecodeError::new("copy out of range"));
+                    }
+                    for k in 0..len {
+                        words[i + k] = self.window[offset + k];
+                    }
+                    i += len;
+                }
+                CODE_LITERAL => {
+                    let wide = r
+                        .read_bit()
+                        .ok_or_else(|| DecodeError::new("truncated literal flag"))?;
+                    let bits = if wide { 32 } else { 8 };
+                    words[i] = r
+                        .read_bits(bits)
+                        .ok_or_else(|| DecodeError::new("truncated literal"))?
+                        as u32;
+                    i += 1;
+                }
+                _ => unreachable!("2-bit code"),
+            }
+        }
+        let line = LineData::from_words(words);
+        if self.persist {
+            self.push_line(&line);
+        }
+        Ok(line)
+    }
+}
+
+impl Compressor for Lbe {
+    fn name(&self) -> &'static str {
+        "LBE256"
+    }
+
+    fn compress(&mut self, line: &LineData) -> Encoded {
+        let mut out = BitWriter::new();
+        self.encode_line(line, &mut out);
+        Encoded::new(out)
+    }
+}
+
+impl Decompressor for Lbe {
+    fn decompress(&mut self, payload: &Encoded) -> Result<LineData, DecodeError> {
+        let mut r = BitReader::new(payload.as_bytes(), payload.len_bits());
+        self.decode_line(&mut r)
+    }
+}
+
+impl SeededCompressor for Lbe {
+    fn name(&self) -> &'static str {
+        "LBE"
+    }
+
+    fn compress_seeded(&self, refs: &[LineData], line: &LineData) -> Encoded {
+        let mut scratch = self.clone();
+        scratch.seed_window(refs);
+        let mut out = BitWriter::new();
+        scratch.encode_line(line, &mut out);
+        Encoded::new(out)
+    }
+
+    fn decompress_seeded(
+        &self,
+        refs: &[LineData],
+        payload: &Encoded,
+    ) -> Result<LineData, DecodeError> {
+        let mut scratch = self.clone();
+        scratch.seed_window(refs);
+        let mut r = BitReader::new(payload.as_bytes(), payload.len_bits());
+        scratch.decode_line(&mut r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_line_is_one_run() {
+        let engine = Lbe::seeded();
+        let payload = engine.compress_seeded(&[], &LineData::zeroed());
+        assert_eq!(payload.len_bits(), 6); // one 00-code zero run of 16
+        assert_eq!(
+            engine.decompress_seeded(&[], &payload).unwrap(),
+            LineData::zeroed()
+        );
+    }
+
+    #[test]
+    fn splat_line_uses_repeat_run() {
+        let engine = Lbe::seeded();
+        let line = LineData::splat_word(0xdead_beef);
+        let payload = engine.compress_seeded(&[], &line);
+        // wide literal (35) + distance-1 repeat run of 15 (7).
+        assert_eq!(payload.len_bits(), 42);
+        assert_eq!(engine.decompress_seeded(&[], &payload).unwrap(), line);
+    }
+
+    #[test]
+    fn exact_duplicate_is_one_copy() {
+        let engine = Lbe::seeded();
+        let reference = LineData::from_words(core::array::from_fn(|i| 0x100 + i as u32));
+        let payload = engine.compress_seeded(&[reference], &reference);
+        // One copy command: 2 + 6 + 4 bits.
+        assert_eq!(payload.len_bits(), 12);
+        assert_eq!(
+            engine.decompress_seeded(&[reference], &payload).unwrap(),
+            reference
+        );
+    }
+
+    #[test]
+    fn single_word_edit_costs_one_literal() {
+        let engine = Lbe::seeded();
+        let reference = LineData::from_words(core::array::from_fn(|i| 0x100 + i as u32));
+        let mut target = reference;
+        target.set_word(7, 0x9999_9999);
+        let payload = engine.compress_seeded(&[reference], &target);
+        // copy(7) + wide literal + copy(8) = 12 + 35 + 12.
+        assert_eq!(payload.len_bits(), 59);
+        assert_eq!(
+            engine.decompress_seeded(&[reference], &payload).unwrap(),
+            target
+        );
+    }
+
+    #[test]
+    fn copies_span_multiple_references() {
+        let engine = Lbe::seeded();
+        let r0 = LineData::from_words(core::array::from_fn(|i| 0x100 + i as u32));
+        let r1 = LineData::from_words(core::array::from_fn(|i| 0x200 + i as u32));
+        let r2 = LineData::from_words(core::array::from_fn(|i| 0x300 + i as u32));
+        // Target stitched from halves of r1 and r2.
+        let mut words = [0u32; 16];
+        for i in 0..8 {
+            words[i] = 0x200 + i as u32;
+            words[8 + i] = 0x308 + i as u32;
+        }
+        let target = LineData::from_words(words);
+        let refs = [r0, r1, r2];
+        let payload = engine.compress_seeded(&refs, &target);
+        assert_eq!(payload.len_bits(), 24); // two copies
+        assert_eq!(engine.decompress_seeded(&refs, &payload).unwrap(), target);
+    }
+
+    #[test]
+    fn streaming_window_learns_across_lines() {
+        let mut enc = Lbe::streaming(256);
+        let mut dec = Lbe::streaming(256);
+        let line = LineData::from_words(core::array::from_fn(|i| 0xaaaa_0000 + i as u32));
+        let first = enc.compress(&line);
+        let second = enc.compress(&line);
+        assert!(second.len_bits() < first.len_bits());
+        assert_eq!(second.len_bits(), 12);
+        assert_eq!(dec.decompress(&first).unwrap(), line);
+        assert_eq!(dec.decompress(&second).unwrap(), line);
+    }
+
+    #[test]
+    fn streaming_window_evicts_old_lines() {
+        let mut enc = Lbe::streaming(256); // 4-line window
+        let mut dec = Lbe::streaming(256);
+        let mk = |tag: u32| LineData::from_words(core::array::from_fn(|i| (tag << 16) + i as u32));
+        let first = mk(1);
+        let p1 = enc.compress(&first);
+        assert_eq!(dec.decompress(&p1).unwrap(), first);
+        // Push 4 more distinct lines: `first` falls out of the 64-word FIFO.
+        for t in 2..=5 {
+            let l = mk(t);
+            let p = enc.compress(&l);
+            dec.decompress(&p).unwrap();
+        }
+        let again = enc.compress(&first);
+        assert!(again.len_bits() > 12, "window must have evicted the line");
+    }
+
+    #[test]
+    fn repeat_at_start_is_decode_error() {
+        let mut w = BitWriter::new();
+        w.write_bits(CODE_REPEAT, 2);
+        w.write_bit(false); // distance 1
+        w.write_bits(3, RUN_BITS);
+        let engine = Lbe::seeded();
+        assert!(engine.decompress_seeded(&[], &Encoded::new(w)).is_err());
+    }
+
+    #[test]
+    fn repeated_u64_uses_distance_two() {
+        // A repeated 64-bit value is the ABAB word pattern: two wide
+        // literals + one distance-2 run.
+        let mut words = [0u32; 16];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = if i % 2 == 0 { 0xaaaa_0001 } else { 0xbbbb_0002 };
+        }
+        let line = LineData::from_words(words);
+        let engine = Lbe::seeded();
+        let payload = engine.compress_seeded(&[], &line);
+        assert_eq!(payload.len_bits(), 35 + 35 + 7);
+        assert_eq!(engine.decompress_seeded(&[], &payload).unwrap(), line);
+    }
+
+    #[test]
+    fn small_integers_use_short_literals() {
+        let line = LineData::from_words(core::array::from_fn(|i| (i as u32 * 7 + 1) % 251));
+        let engine = Lbe::seeded();
+        let payload = engine.compress_seeded(&[], &line);
+        // All words < 256: 16 x 11-bit literals (no runs in this sequence).
+        assert!(payload.len_bits() <= 16 * 11);
+        assert_eq!(engine.decompress_seeded(&[], &payload).unwrap(), line);
+    }
+
+    #[test]
+    fn copy_out_of_range_is_decode_error() {
+        let mut w = BitWriter::new();
+        w.write_bits(CODE_COPY, 2);
+        w.write_bits(10, 6);
+        w.write_bits(0, RUN_BITS);
+        let engine = Lbe::seeded();
+        assert!(engine.decompress_seeded(&[], &Encoded::new(w)).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_seeded_round_trip(
+            target in proptest::array::uniform16(any::<u32>()),
+            r0 in proptest::array::uniform16(any::<u32>()),
+            r1 in proptest::array::uniform16(any::<u32>()),
+            r2 in proptest::array::uniform16(any::<u32>()),
+        ) {
+            let engine = Lbe::seeded();
+            let refs = [LineData::from_words(r0), LineData::from_words(r1), LineData::from_words(r2)];
+            let line = LineData::from_words(target);
+            let payload = engine.compress_seeded(&refs, &line);
+            prop_assert_eq!(engine.decompress_seeded(&refs, &payload).unwrap(), line);
+        }
+
+        #[test]
+        fn prop_streaming_round_trip(
+            lines in proptest::collection::vec(proptest::array::uniform16(0u32..8), 1..24)
+        ) {
+            // Small word alphabet maximizes window matches.
+            let mut enc = Lbe::streaming(256);
+            let mut dec = Lbe::streaming(256);
+            for words in lines {
+                let line = LineData::from_words(words);
+                let payload = enc.compress(&line);
+                prop_assert_eq!(dec.decompress(&payload).unwrap(), line);
+            }
+        }
+
+        #[test]
+        fn prop_never_worse_than_all_literals(target in proptest::array::uniform16(any::<u32>())) {
+            let engine = Lbe::seeded();
+            let line = LineData::from_words(target);
+            let payload = engine.compress_seeded(&[], &line);
+            prop_assert!(payload.len_bits() <= 16 * 35);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Analytic area model (§IV-D, Table III).
+//!
+//! We cannot synthesize the OpenPiton Verilog here, so SRAM overheads are
+//! derived from structure geometry — exactly how the paper states them:
+//! every overhead is "a percentage of the data cache size". The synthesized
+//! search-logic cell counts from the paper's 32 nm run are reproduced as
+//! constants for the Table III harness.
+
+use crate::config::CableConfig;
+use cable_cache::CacheGeometry;
+
+/// SRAM overheads of one CABLE deployment, as fractions of data-cache size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaBreakdown {
+    /// Hash-table bits at this cache.
+    pub hash_table_bits: u64,
+    /// Hash-table overhead relative to the cache's data bits.
+    pub hash_table_fraction: f64,
+    /// WMT bits (zero where no WMT exists — only home caches have WMTs).
+    pub wmt_bits: u64,
+    /// WMT overhead relative to the cache's data bits.
+    pub wmt_fraction: f64,
+    /// Width of the RemoteLID pointers transmitted on the wire.
+    pub remote_lid_bits: u32,
+}
+
+fn data_bits(geometry: &CacheGeometry) -> u64 {
+    geometry.size_bytes() * 8
+}
+
+fn table_bits(geometry: &CacheGeometry, scale: f64, lid_bits: u32) -> u64 {
+    // Full-sized = one LineID slot per cache line (§IV-D).
+    (geometry.lines() as f64 * scale * f64::from(lid_bits)).round() as u64
+}
+
+/// Area at the **home** cache: its hash table (HomeLIDs) plus the WMT.
+#[must_use]
+pub fn home_side_area(config: &CableConfig) -> AreaBreakdown {
+    let home = &config.home_geometry;
+    let remote = &config.remote_geometry;
+    let hash_table_bits = table_bits(home, config.home_table_scale, home.line_id_bits());
+    let alias_bits = home.index_bits() - remote.index_bits();
+    let wmt_bits =
+        remote.sets() * u64::from(remote.ways()) * u64::from(alias_bits + home.way_bits());
+    AreaBreakdown {
+        hash_table_bits,
+        hash_table_fraction: hash_table_bits as f64 / data_bits(home) as f64,
+        wmt_bits,
+        wmt_fraction: wmt_bits as f64 / data_bits(home) as f64,
+        remote_lid_bits: remote.line_id_bits(),
+    }
+}
+
+/// Area at the **remote** cache: its hash table only (no WMT — "the WMT
+/// only exists at the home caches", §II-B).
+#[must_use]
+pub fn remote_side_area(config: &CableConfig) -> AreaBreakdown {
+    let remote = &config.remote_geometry;
+    let hash_table_bits = table_bits(remote, config.remote_table_scale, remote.line_id_bits());
+    AreaBreakdown {
+        hash_table_bits,
+        hash_table_fraction: hash_table_bits as f64 / data_bits(remote) as f64,
+        wmt_bits: 0,
+        wmt_fraction: 0.0,
+        remote_lid_bits: remote.line_id_bits(),
+    }
+}
+
+/// The paper's synthesized search-logic breakdown (32 nm, OpenPiton L2):
+/// `(label, cell area, per-L2 %, per-tile %)` rows of Table III.
+pub const SEARCH_LOGIC_ROWS: [(&str, u32, f64, f64); 4] = [
+    ("Combinational", 3377, 0.71, 0.28),
+    ("Buffers", 1247, 0.26, 0.10),
+    ("Noncombinational", 2407, 0.51, 0.20),
+    ("Total", 7031, 1.48, 0.58),
+];
+
+/// The paper's off-chip Table III configuration: 8-way 8 MB LLC remote,
+/// 8-way 16 MB DRAM buffer home, half-sized buffer table, full-sized
+/// on-chip table.
+#[must_use]
+pub fn paper_offchip_config() -> CableConfig {
+    let mut cfg = CableConfig::memory_link_default().with_geometries(
+        CacheGeometry::new(16 << 20, 8),
+        CacheGeometry::new(8 << 20, 8),
+    );
+    cfg.home_table_scale = 0.5;
+    cfg.remote_table_scale = 1.0;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_offchip_buffer_column() {
+        // Buffer (home): hash table 1.76%, WMT 0.4%, RemoteLID 17b.
+        let area = home_side_area(&paper_offchip_config());
+        assert!(
+            (area.hash_table_fraction - 0.0176).abs() < 0.001,
+            "hash {}",
+            area.hash_table_fraction
+        );
+        assert!(
+            (area.wmt_fraction - 0.004).abs() < 0.0005,
+            "wmt {}",
+            area.wmt_fraction
+        );
+        assert_eq!(area.remote_lid_bits, 17);
+    }
+
+    #[test]
+    fn table_iii_onchip_cache_column() {
+        // On-chip cache (remote): hash table 3.32%, no WMT.
+        let area = remote_side_area(&paper_offchip_config());
+        assert!(
+            (area.hash_table_fraction - 0.0332).abs() < 0.002,
+            "hash {}",
+            area.hash_table_fraction
+        );
+        assert_eq!(area.wmt_bits, 0);
+    }
+
+    #[test]
+    fn full_sized_table_is_3_5_percent_at_16mb() {
+        // §IV-D: "each full-sized hash table is 3.5% the size of the data
+        // cache (16MB cache, 18-bit HomeLIDs)".
+        let geom = CacheGeometry::new(16 << 20, 8);
+        let bits = table_bits(&geom, 1.0, 18);
+        let frac = bits as f64 / data_bits(&geom) as f64;
+        assert!((frac - 0.035).abs() < 0.001, "frac {frac}");
+    }
+
+    #[test]
+    fn search_logic_rows_sum() {
+        let total: u32 = SEARCH_LOGIC_ROWS[..3].iter().map(|r| r.1).sum();
+        assert_eq!(total, SEARCH_LOGIC_ROWS[3].1);
+    }
+}

@@ -1,0 +1,310 @@
+//! Payload framing and wire accounting (§III-E).
+//!
+//! "Payload overheads are minimal: a 1-bit flag is needed to denote whether
+//! the data is compressed or uncompressed, 2 bits to specify the number of
+//! references, which are followed by the RemoteLIDs and the variable-length
+//! DIFF. The DIFF length is not needed because the decompressed data length
+//! is fixed."
+//!
+//! Wire accounting quantizes payloads to link flits: on the default 16-bit
+//! link a payload occupies `ceil(bits / 16)` beats, capping compression at
+//! 32× (§VI-B footnote). The alternative *packed transport* of Fig. 23 adds
+//! a 6-bit length field per transaction but shares flits between
+//! transactions, removing the padding loss on wide links.
+
+use crate::DecodeError;
+use cable_common::{div_ceil, BitReader, BitWriter, LineData, LINE_BYTES};
+use cable_compress::Encoded;
+
+/// A parsed incoming payload.
+#[derive(Clone, Debug)]
+pub enum ParsedPayload {
+    /// Uncompressed 64-byte line.
+    Raw(LineData),
+    /// Compressed: packed wire LineIDs of the references plus the DIFF.
+    Compressed {
+        /// Packed RemoteLIDs (empty for the unseeded fallback).
+        ref_lids: Vec<u64>,
+        /// The variable-length DIFF bitstream.
+        diff: Encoded,
+    },
+}
+
+/// Frames and parses CABLE payloads for a link of a given width.
+#[derive(Clone, Copy, Debug)]
+pub struct PayloadCodec {
+    lid_bits: u32,
+    link_width_bits: u32,
+}
+
+impl PayloadCodec {
+    /// Creates a codec transmitting `lid_bits`-wide reference pointers over
+    /// a `link_width_bits`-wide link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either width is zero or `lid_bits > 32`.
+    #[must_use]
+    pub fn new(lid_bits: u32, link_width_bits: u32) -> Self {
+        assert!(lid_bits > 0 && lid_bits <= 32, "lid_bits must be 1..=32");
+        assert!(link_width_bits > 0, "link width must be positive");
+        PayloadCodec {
+            lid_bits,
+            link_width_bits,
+        }
+    }
+
+    /// Reference-pointer width in bits.
+    #[must_use]
+    pub fn lid_bits(&self) -> u32 {
+        self.lid_bits
+    }
+
+    /// Link width in bits.
+    #[must_use]
+    pub fn link_width_bits(&self) -> u32 {
+        self.link_width_bits
+    }
+
+    /// Frames a compressed payload (`flag=1`, 2-bit count, RemoteLIDs,
+    /// DIFF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 3 references are supplied or a packed LineID
+    /// does not fit `lid_bits`.
+    #[must_use]
+    pub fn encode_compressed(&self, ref_lids: &[u64], diff: &Encoded) -> BitWriter {
+        assert!(ref_lids.len() <= 3, "at most 3 references (2-bit count)");
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.write_bits(ref_lids.len() as u64, 2);
+        for &lid in ref_lids {
+            assert!(
+                lid < 1u64 << self.lid_bits,
+                "packed LineID {lid} exceeds {} bits",
+                self.lid_bits
+            );
+            w.write_bits(lid, self.lid_bits);
+        }
+        let mut r = BitReader::new(diff.as_bytes(), diff.len_bits());
+        while let Some(bit) = r.read_bit() {
+            w.write_bit(bit);
+        }
+        w
+    }
+
+    /// Frames an uncompressed payload (`flag=0`, 512 raw bits).
+    #[must_use]
+    pub fn encode_raw(&self, line: &LineData) -> BitWriter {
+        let mut w = BitWriter::new();
+        w.write_bit(false);
+        w.write_bytes(line.as_bytes());
+        w
+    }
+
+    /// Parses a payload produced by the encode methods.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the payload is truncated.
+    pub fn parse(&self, bytes: &[u8], len_bits: usize) -> Result<ParsedPayload, DecodeError> {
+        let mut r = BitReader::new(bytes, len_bits);
+        let compressed = r
+            .read_bit()
+            .ok_or_else(|| DecodeError::new("empty payload"))?;
+        if !compressed {
+            let mut raw = [0u8; LINE_BYTES];
+            for b in &mut raw {
+                *b = r
+                    .read_bits(8)
+                    .ok_or_else(|| DecodeError::new("truncated raw line"))?
+                    as u8;
+            }
+            return Ok(ParsedPayload::Raw(LineData::from_bytes(raw)));
+        }
+        let count = r
+            .read_bits(2)
+            .ok_or_else(|| DecodeError::new("truncated reference count"))?;
+        let mut ref_lids = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            ref_lids.push(
+                r.read_bits(self.lid_bits)
+                    .ok_or_else(|| DecodeError::new("truncated RemoteLID"))?,
+            );
+        }
+        let mut diff = BitWriter::new();
+        while let Some(bit) = r.read_bit() {
+            diff.write_bit(bit);
+        }
+        Ok(ParsedPayload::Compressed {
+            ref_lids,
+            diff: Encoded::new(diff),
+        })
+    }
+
+    /// Wire cost in bits of a payload on this link: flit-quantized
+    /// (`ceil(bits / width) * width`).
+    #[must_use]
+    pub fn wire_bits(&self, payload_bits: usize) -> u64 {
+        div_ceil(payload_bits as u64, u64::from(self.link_width_bits))
+            * u64::from(self.link_width_bits)
+    }
+
+    /// Wire cost under the packed transport of Fig. 23: a 6-bit
+    /// length-in-bytes field is added and transactions share flits, so the
+    /// cost is exact (byte-padded) rather than flit-padded.
+    #[must_use]
+    pub fn wire_bits_packed(&self, payload_bits: usize) -> u64 {
+        6 + 8 * div_ceil(payload_bits as u64, 8)
+    }
+
+    /// Header bits of a compressed payload with `n_refs` references
+    /// (everything except the DIFF itself).
+    #[must_use]
+    pub fn compressed_header_bits(&self, n_refs: usize) -> usize {
+        1 + 2 + n_refs * self.lid_bits as usize
+    }
+
+    /// Payload bits of a raw (uncompressed) transfer.
+    #[must_use]
+    pub fn raw_payload_bits(&self) -> usize {
+        1 + LINE_BYTES * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn codec() -> PayloadCodec {
+        PayloadCodec::new(17, 16)
+    }
+
+    fn diff_of_bits(bits: &[bool]) -> Encoded {
+        let mut w = BitWriter::new();
+        for &b in bits {
+            w.write_bit(b);
+        }
+        Encoded::new(w)
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let c = codec();
+        let line = LineData::splat_word(0xabcd_ef01);
+        let w = c.encode_raw(&line);
+        assert_eq!(w.len_bits(), 513);
+        match c.parse(w.as_slice(), w.len_bits()).unwrap() {
+            ParsedPayload::Raw(back) => assert_eq!(back, line),
+            other => panic!("expected raw, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compressed_round_trip() {
+        let c = codec();
+        let diff = diff_of_bits(&[true, false, true, true, false]);
+        let lids = [3u64, 0x1ffff, 42];
+        let w = c.encode_compressed(&lids, &diff);
+        assert_eq!(w.len_bits(), 1 + 2 + 3 * 17 + 5);
+        match c.parse(w.as_slice(), w.len_bits()).unwrap() {
+            ParsedPayload::Compressed { ref_lids, diff: d } => {
+                assert_eq!(ref_lids, lids);
+                assert_eq!(d.len_bits(), 5);
+                assert_eq!(d, diff);
+            }
+            other => panic!("expected compressed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unseeded_payload_has_no_lids() {
+        let c = codec();
+        let diff = diff_of_bits(&[true; 30]);
+        let w = c.encode_compressed(&[], &diff);
+        assert_eq!(w.len_bits(), 33);
+        match c.parse(w.as_slice(), w.len_bits()).unwrap() {
+            ParsedPayload::Compressed { ref_lids, diff: d } => {
+                assert!(ref_lids.is_empty());
+                assert_eq!(d.len_bits(), 30);
+            }
+            other => panic!("expected compressed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_quantization_caps_compression_at_32x() {
+        let c = codec();
+        // Even a 1-bit payload costs one 16-bit flit: 512/16 = 32x max.
+        assert_eq!(c.wire_bits(1), 16);
+        assert_eq!(c.wire_bits(16), 16);
+        assert_eq!(c.wire_bits(17), 32);
+        assert_eq!(c.wire_bits(513), 528);
+        assert_eq!((LINE_BYTES * 8) as u64 / c.wire_bits(1), 32);
+    }
+
+    #[test]
+    fn packed_transport_avoids_flit_padding() {
+        let wide = PayloadCodec::new(17, 64);
+        // A 33-bit payload wastes 31 bits on a 64-bit link...
+        assert_eq!(wide.wire_bits(33), 64);
+        // ...but only the 6-bit header + byte padding when packed.
+        assert_eq!(wide.wire_bits_packed(33), 6 + 40);
+    }
+
+    #[test]
+    fn empty_payload_is_error() {
+        assert!(codec().parse(&[], 0).is_err());
+    }
+
+    #[test]
+    fn truncated_lid_is_error() {
+        let c = codec();
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.write_bits(2, 2); // claims 2 refs, provides none
+        assert!(c.parse(w.as_slice(), w.len_bits()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 3 references")]
+    fn too_many_refs_panics() {
+        let c = codec();
+        let diff = diff_of_bits(&[]);
+        let _ = c.encode_compressed(&[0, 1, 2, 3], &diff);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_compressed_round_trip(
+            lids in proptest::collection::vec(0u64..(1 << 17), 0..4),
+            bits in proptest::collection::vec(any::<bool>(), 0..600),
+        ) {
+            let c = codec();
+            let diff = diff_of_bits(&bits);
+            let w = c.encode_compressed(&lids, &diff);
+            prop_assert_eq!(
+                w.len_bits(),
+                c.compressed_header_bits(lids.len()) + bits.len()
+            );
+            match c.parse(w.as_slice(), w.len_bits()).unwrap() {
+                ParsedPayload::Compressed { ref_lids, diff: d } => {
+                    prop_assert_eq!(ref_lids, lids);
+                    prop_assert_eq!(d.len_bits(), bits.len());
+                }
+                _ => prop_assert!(false, "expected compressed"),
+            }
+        }
+
+        #[test]
+        fn prop_wire_bits_monotone(a in 0usize..2000, b in 0usize..2000, width in 1u32..129) {
+            let c = PayloadCodec::new(17, width);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(c.wire_bits(lo) <= c.wire_bits(hi));
+            prop_assert!(c.wire_bits(hi) >= hi as u64);
+            prop_assert!(c.wire_bits(hi) < hi as u64 + u64::from(width));
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The eviction buffer and EvictSeq protocol (§IV-A).
+//!
+//! Race: the home cache selects a reference at the same moment the remote
+//! cache evicts it — the arriving DIFF would point at a missing line. The
+//! paper's fix: the remote cache holds a copy of every *unacknowledged*
+//! eviction in a small buffer. Each eviction gets a sequence number
+//! (*EvictSeq*) that is piggy-backed on the next memory request; the home
+//! cache echoes the last EvictSeq it has processed in its responses, which
+//! tells the remote cache which buffer entries are safe to drop. This works
+//! "even with an out-of-order link transport such as Intel's QPI".
+
+use cable_cache::LineId;
+use cable_common::{Address, LineData};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One buffered eviction awaiting home-side acknowledgement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BufferedEviction {
+    /// Sequence number assigned at eviction time.
+    pub seq: u64,
+    /// Line-aligned address of the evicted line.
+    pub addr: Address,
+    /// The slot it occupied (references arriving in flight name this slot).
+    pub line_id: LineId,
+    /// The evicted payload.
+    pub data: LineData,
+}
+
+/// The remote cache's eviction buffer.
+///
+/// # Examples
+///
+/// ```
+/// use cable_core::evict_buffer::EvictionBuffer;
+/// use cable_cache::LineId;
+/// use cable_common::{Address, LineData};
+///
+/// let mut buf = EvictionBuffer::new(8);
+/// let seq = buf.insert(Address::new(0x40), LineId::new(1, 0), LineData::splat_word(7));
+/// // A stale reference to the evicted slot still resolves...
+/// assert!(buf.lookup_by_line_id(LineId::new(1, 0)).is_some());
+/// // ...until the home cache acknowledges the eviction.
+/// buf.acknowledge(seq);
+/// assert!(buf.lookup_by_line_id(LineId::new(1, 0)).is_none());
+/// ```
+#[derive(Clone)]
+pub struct EvictionBuffer {
+    entries: VecDeque<BufferedEviction>,
+    capacity: usize,
+    next_seq: u64,
+    overflows: u64,
+}
+
+impl EvictionBuffer {
+    /// Creates a buffer holding at most `capacity` unacknowledged evictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer must hold at least one eviction");
+        EvictionBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            // Sequence numbers start at 1 so that an echoed EvictSeq of 0
+            // unambiguously means "nothing acknowledged yet".
+            next_seq: 1,
+            overflows: 0,
+        }
+    }
+
+    /// Records an eviction, returning its EvictSeq (to be embedded in the
+    /// next memory request).
+    ///
+    /// If the buffer is full the oldest entry is dropped and counted as an
+    /// overflow — in hardware this case is prevented by back-pressuring
+    /// evictions until an acknowledgement arrives.
+    pub fn insert(&mut self, addr: Address, line_id: LineId, data: LineData) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.overflows += 1;
+        }
+        self.entries.push_back(BufferedEviction {
+            seq,
+            addr: addr.line_aligned(),
+            line_id,
+            data,
+        });
+        seq
+    }
+
+    /// Processes the home cache's echoed EvictSeq: every eviction with
+    /// `seq <= acked` is safe to drop (the home cache will no longer emit
+    /// references to those lines).
+    pub fn acknowledge(&mut self, acked: u64) {
+        while self.entries.front().is_some_and(|e| e.seq <= acked) {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Resolves a stale reference by slot: an in-flight DIFF may name a
+    /// remote slot whose line was just evicted; the buffered copy is used
+    /// for decompression instead.
+    #[must_use]
+    pub fn lookup_by_line_id(&self, line_id: LineId) -> Option<&BufferedEviction> {
+        // Newest entry wins if the slot was recycled multiple times.
+        self.entries.iter().rev().find(|e| e.line_id == line_id)
+    }
+
+    /// Iterates the buffered evictions, oldest first.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &BufferedEviction> {
+        self.entries.iter()
+    }
+
+    /// Resolves a buffered eviction by address.
+    #[must_use]
+    pub fn lookup_by_addr(&self, addr: Address) -> Option<&BufferedEviction> {
+        let addr = addr.line_aligned();
+        self.entries.iter().rev().find(|e| e.addr == addr)
+    }
+
+    /// The EvictSeq that will be assigned to the next eviction.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Unacknowledged evictions currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no evictions are pending acknowledgement.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Evictions dropped because the buffer was full.
+    #[must_use]
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+}
+
+impl fmt::Debug for EvictionBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EvictionBuffer({}/{} pending, next seq {})",
+            self.entries.len(),
+            self.capacity,
+            self.next_seq
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn line(v: u32) -> LineData {
+        LineData::splat_word(v)
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotone() {
+        let mut buf = EvictionBuffer::new(4);
+        let s0 = buf.insert(Address::new(0), LineId::new(0, 0), line(1));
+        let s1 = buf.insert(Address::new(64), LineId::new(1, 0), line(2));
+        assert_eq!(s0, 1, "sequences start at 1 (0 = nothing acked)");
+        assert_eq!(s1, s0 + 1);
+        assert_eq!(buf.next_seq(), 3);
+    }
+
+    #[test]
+    fn acknowledge_drops_prefix() {
+        let mut buf = EvictionBuffer::new(8);
+        let seqs: Vec<u64> = (0..4)
+            .map(|i| buf.insert(Address::new(i * 64), LineId::new(i as u32, 0), line(i as u32)))
+            .collect();
+        buf.acknowledge(seqs[1]);
+        assert_eq!(buf.len(), 2);
+        assert!(buf.lookup_by_addr(Address::new(0)).is_none());
+        assert!(buf.lookup_by_addr(Address::new(128)).is_some());
+    }
+
+    #[test]
+    fn race_scenario_resolves_from_buffer() {
+        // 1. Remote evicts line X from slot (3, 1) — buffered, not yet acked.
+        // 2. An in-flight response references slot (3, 1).
+        // 3. The remote resolves the reference from the buffer.
+        let mut buf = EvictionBuffer::new(8);
+        let slot = LineId::new(3, 1);
+        let payload = line(0xdead);
+        buf.insert(Address::new(0x1000), slot, payload);
+        let hit = buf.lookup_by_line_id(slot).expect("buffered");
+        assert_eq!(hit.data, payload);
+        // 4. Home acknowledges; the entry can go.
+        buf.acknowledge(hit.seq);
+        assert!(buf.lookup_by_line_id(slot).is_none());
+    }
+
+    #[test]
+    fn recycled_slot_returns_newest() {
+        let mut buf = EvictionBuffer::new(8);
+        let slot = LineId::new(0, 0);
+        buf.insert(Address::new(0), slot, line(1));
+        buf.insert(Address::new(64), slot, line(2));
+        assert_eq!(buf.lookup_by_line_id(slot).unwrap().data, line(2));
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut buf = EvictionBuffer::new(2);
+        buf.insert(Address::new(0), LineId::new(0, 0), line(1));
+        buf.insert(Address::new(64), LineId::new(1, 0), line(2));
+        buf.insert(Address::new(128), LineId::new(2, 0), line(3));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.overflows(), 1);
+        assert!(buf.lookup_by_addr(Address::new(0)).is_none());
+    }
+
+    #[test]
+    fn out_of_order_ack_is_safe() {
+        // Acknowledging a seq below the front is a no-op (duplicate ack on
+        // an out-of-order link).
+        let mut buf = EvictionBuffer::new(4);
+        let s0 = buf.insert(Address::new(0), LineId::new(0, 0), line(1));
+        buf.acknowledge(s0);
+        buf.acknowledge(s0); // duplicate
+        let s1 = buf.insert(Address::new(64), LineId::new(1, 0), line(2));
+        buf.acknowledge(s0); // stale ack must not drop s1
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.lookup_by_addr(Address::new(64)).unwrap().seq, s1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_len_never_exceeds_capacity(
+            inserts in 1usize..100,
+            capacity in 1usize..16,
+        ) {
+            let mut buf = EvictionBuffer::new(capacity);
+            for i in 0..inserts {
+                buf.insert(Address::new(i as u64 * 64), LineId::new(i as u32, 0), line(i as u32));
+                prop_assert!(buf.len() <= capacity);
+            }
+        }
+
+        #[test]
+        fn prop_ack_all_empties(inserts in 1usize..50) {
+            let mut buf = EvictionBuffer::new(64);
+            let mut last = 0;
+            for i in 0..inserts {
+                last = buf.insert(Address::new(i as u64 * 64), LineId::new(0, 0), line(0));
+            }
+            buf.acknowledge(last);
+            prop_assert!(buf.is_empty());
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! The reference search pipeline (§III-C, Fig. 8).
+//!
+//! Given a requested line, the pipeline:
+//!
+//! 1. extracts all non-trivial signatures (up to 16);
+//! 2. looks each up in the hash table, yielding up to `16 × depth` LineIDs;
+//! 3. **pre-ranks** candidates by duplication count — "when references are
+//!    very similar to the requested data, different signatures often map to
+//!    the same LineIDs", so duplicated LineIDs "are prioritized as they are
+//!    more likely to contain more similarities" — and keeps the top
+//!    `data_access_count` (6 by default);
+//! 4. reads those candidates from the data array (no tag check), dropping
+//!    any that are not reference-safe (non-Shared) or — when a Way-Map
+//!    Table is provided — not provably resident in the remote cache;
+//! 5. computes a 16-bit coverage bit vector (CBV) per candidate and greedily
+//!    selects up to three references that maximize combined coverage,
+//!    dropping references made redundant by later picks (the paper's
+//!    `1100/0110/0011` example).
+
+use crate::hash_table::SignatureTable;
+use crate::signature::SignatureExtractor;
+use crate::wmt::WayMapTable;
+use cable_cache::{LineId, SetAssocCache};
+use cable_common::LineData;
+
+/// A selected compression reference.
+#[derive(Clone, Debug)]
+pub struct Reference {
+    /// Location in the searching cache (HomeLIDs on the request path,
+    /// RemoteLIDs on the write-back path).
+    pub local_lid: LineId,
+    /// Pointer transmitted on the wire: the RemoteLID from the WMT on the
+    /// request path, or the searching cache's own LineID on write-back
+    /// (§III-G: "it simply sends its own LineIDs").
+    pub wire_lid: LineId,
+    /// Reference payload (identical in both caches for Shared lines).
+    pub data: LineData,
+    /// Coverage bit vector against the requested line.
+    pub cbv: u16,
+}
+
+/// Instrumentation of one search (drives the energy model and Fig. 22).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Signatures extracted from the requested line.
+    pub signatures: usize,
+    /// LineIDs returned by the hash table (before pre-ranking).
+    pub candidates: usize,
+    /// Data-array reads performed (post-pre-rank candidates).
+    pub data_reads: usize,
+    /// References selected.
+    pub selected: usize,
+}
+
+/// Runs the search pipeline against `cache` (the searching side's own
+/// cache). `wmt` translates to wire pointers on the request path; pass
+/// `None` on the write-back path, where the searcher's own LineIDs go on
+/// the wire.
+#[must_use]
+pub fn search_references(
+    line: &LineData,
+    extractor: &SignatureExtractor,
+    table: &SignatureTable,
+    cache: &SetAssocCache,
+    wmt: Option<&WayMapTable>,
+    data_access_count: usize,
+    max_refs: usize,
+) -> (Vec<Reference>, SearchStats) {
+    let mut stats = SearchStats::default();
+
+    // 1-2. Signatures -> candidate LineIDs.
+    let sigs = extractor.search_signatures(line);
+    stats.signatures = sigs.len();
+    let mut counts: Vec<(u32, usize, usize)> = Vec::new(); // (packed, count, first_seen)
+    for sig in &sigs {
+        for &packed in table.lookup(*sig) {
+            stats.candidates += 1;
+            match counts.iter_mut().find(|(p, _, _)| *p == packed) {
+                Some((_, n, _)) => *n += 1,
+                None => counts.push((packed, 1, counts.len())),
+            }
+        }
+    }
+
+    // 3. Pre-rank by duplication count (stable on first-seen order).
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)));
+    counts.truncate(data_access_count);
+
+    // 4. Data-array reads + CBV construction.
+    let geometry = *cache.geometry();
+    let mut candidates: Vec<Reference> = Vec::with_capacity(counts.len());
+    for (packed, _, _) in counts {
+        let lid = LineId::unpack(u64::from(packed), &geometry);
+        stats.data_reads += 1;
+        let Some(data) = cache.read_by_id(lid) else {
+            continue; // stale table entry
+        };
+        if !cache.state_by_id(lid).is_reference_safe() {
+            continue; // dirty/exclusive lines are never references (§II-C)
+        }
+        let wire_lid = match wmt {
+            Some(wmt) => match wmt.remote_lid_of(lid) {
+                Some(rlid) => rlid,
+                None => continue, // not guaranteed present remotely (§III-D)
+            },
+            None => lid,
+        };
+        let cbv = line.coverage_vector(&data);
+        if cbv == 0 {
+            continue; // pure hash collision (Fig. 7)
+        }
+        candidates.push(Reference {
+            local_lid: lid,
+            wire_lid,
+            data,
+            cbv,
+        });
+    }
+
+    // 5. Greedy max-coverage selection with redundancy pruning.
+    let selected = select_by_coverage(&candidates, max_refs);
+    stats.selected = selected.len();
+    (selected, stats)
+}
+
+/// Greedy CBV set-cover: repeatedly take the candidate adding the most new
+/// coverage, then drop any selected reference whose bits are fully covered
+/// by the others (the paper drops `0110` once `1100` and `0011` are in).
+fn select_by_coverage(candidates: &[Reference], max_refs: usize) -> Vec<Reference> {
+    let mut selected: Vec<&Reference> = Vec::new();
+    let mut covered: u16 = 0;
+    for _ in 0..max_refs {
+        // First maximum wins ties: candidates arrive in pre-rank order.
+        let mut best: Option<&Reference> = None;
+        let mut best_gain = 0;
+        for c in candidates
+            .iter()
+            .filter(|c| !selected.iter().any(|s| std::ptr::eq(*s, *c)))
+        {
+            let gain = (c.cbv & !covered).count_ones();
+            if gain > best_gain {
+                best_gain = gain;
+                best = Some(c);
+            }
+        }
+        match best {
+            Some(c) => {
+                covered |= c.cbv;
+                selected.push(c);
+            }
+            None => break,
+        }
+    }
+    // Redundancy pruning: remove references whose coverage is subsumed.
+    let mut keep: Vec<bool> = vec![true; selected.len()];
+    for i in 0..selected.len() {
+        let others: u16 = selected
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i && keep[j])
+            .fold(0, |acc, (_, r)| acc | r.cbv);
+        if selected[i].cbv & !others == 0 {
+            keep[i] = false;
+        }
+    }
+    selected
+        .into_iter()
+        .zip(keep)
+        .filter(|&(_r, k)| k).map(|(r, _k)| r.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_cache::{CacheGeometry, CoherenceState};
+    use cable_common::Address;
+
+    fn make_ref(cbv: u16) -> Reference {
+        Reference {
+            local_lid: LineId::new(0, 0),
+            wire_lid: LineId::new(0, 0),
+            data: LineData::zeroed(),
+            cbv,
+        }
+    }
+
+    #[test]
+    fn paper_cbv_example() {
+        // CBVs 1100 and 0110 combine to 1110 (coverage 3); adding 0011
+        // should drop 0110 and keep {1100, 0011} with coverage 4 (§III-C).
+        let candidates = vec![make_ref(0b1100), make_ref(0b0110), make_ref(0b0011)];
+        let selected = select_by_coverage(&candidates, 3);
+        let cbvs: Vec<u16> = selected.iter().map(|r| r.cbv).collect();
+        assert_eq!(cbvs, vec![0b1100, 0b0011]);
+    }
+
+    #[test]
+    fn coverage_capped_at_max_refs() {
+        let candidates = vec![
+            make_ref(0b0001),
+            make_ref(0b0010),
+            make_ref(0b0100),
+            make_ref(0b1000),
+        ];
+        let selected = select_by_coverage(&candidates, 3);
+        assert_eq!(selected.len(), 3);
+    }
+
+    #[test]
+    fn zero_contribution_candidates_skipped() {
+        let candidates = vec![make_ref(0b1111), make_ref(0b0011)];
+        let selected = select_by_coverage(&candidates, 3);
+        assert_eq!(selected.len(), 1);
+        assert_eq!(selected[0].cbv, 0b1111);
+    }
+
+    fn setup() -> (SignatureExtractor, SignatureTable, SetAssocCache) {
+        let geometry = CacheGeometry::new(64 << 10, 4);
+        (
+            SignatureExtractor::new(1),
+            SignatureTable::new(geometry.lines(), 2),
+            SetAssocCache::new(geometry),
+        )
+    }
+
+    fn install(
+        cache: &mut SetAssocCache,
+        table: &mut SignatureTable,
+        ex: &SignatureExtractor,
+        addr: u64,
+        line: LineData,
+        state: CoherenceState,
+    ) -> LineId {
+        let outcome = cache.insert(Address::new(addr), line, state);
+        let packed = outcome.line_id.pack(cache.geometry()) as u32;
+        for sig in ex.insert_signatures(&line) {
+            table.insert(sig, packed);
+        }
+        outcome.line_id
+    }
+
+    #[test]
+    fn end_to_end_finds_similar_line() {
+        let (ex, mut table, mut cache) = setup();
+        let reference =
+            LineData::from_words(core::array::from_fn(|i| 0x0400_0000 + (i as u32) * 0x1111));
+        let lid = install(&mut cache, &mut table, &ex, 0x1000, reference, CoherenceState::Shared);
+
+        let mut target = reference;
+        target.set_word(3, 0x0999_9999);
+        let (refs, stats) = search_references(&target, &ex, &table, &cache, None, 6, 3);
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].local_lid, lid);
+        assert_eq!(refs[0].cbv.count_ones(), 15);
+        assert!(stats.signatures >= 14);
+        assert!(stats.data_reads >= 1);
+    }
+
+    #[test]
+    fn dirty_lines_never_selected() {
+        let (ex, mut table, mut cache) = setup();
+        let line = LineData::from_words(core::array::from_fn(|i| 0x0500_0000 + i as u32));
+        install(&mut cache, &mut table, &ex, 0x2000, line, CoherenceState::Modified);
+        let (refs, _) = search_references(&line, &ex, &table, &cache, None, 6, 3);
+        assert!(refs.is_empty());
+    }
+
+    #[test]
+    fn wmt_filters_lines_absent_remotely() {
+        let (ex, mut table, mut cache) = setup();
+        let home_geom = *cache.geometry();
+        let remote_geom = CacheGeometry::new(16 << 10, 4);
+        let mut wmt = WayMapTable::new(home_geom, remote_geom);
+
+        let line = LineData::from_words(core::array::from_fn(|i| 0x0600_0000 + i as u32));
+        let lid = install(&mut cache, &mut table, &ex, 0x3000, line, CoherenceState::Shared);
+
+        // Absent from the WMT: no references.
+        let (refs, _) = search_references(&line, &ex, &table, &cache, Some(&wmt), 6, 3);
+        assert!(refs.is_empty());
+
+        // Map it and search again.
+        let rlid = LineId::new(lid.index() % remote_geom.sets() as u32, 0);
+        wmt.update(rlid, lid);
+        let (refs, _) = search_references(&line, &ex, &table, &cache, Some(&wmt), 6, 3);
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].wire_lid, rlid);
+        assert_eq!(refs[0].local_lid, lid);
+    }
+
+    #[test]
+    fn pre_rank_prefers_duplicated_lineids() {
+        let (ex, mut table, mut cache) = setup();
+        // `near` shares many words with the target (many signatures -> same
+        // LineID); `far` shares exactly one word.
+        let target =
+            LineData::from_words(core::array::from_fn(|i| 0x0700_0000 + (i as u32) * 0x101));
+        let mut near = target;
+        near.set_word(0, 0x0123_4567);
+        let mut far = LineData::from_words(core::array::from_fn(|i| 0x0800_0000 + i as u32));
+        far.set_word(5, target.word(5));
+
+        // Insert `far` first so only pre-ranking (not order) can explain the
+        // outcome; index all search signatures to simulate a long-lived
+        // table.
+        for (addr, line) in [(0x9000u64, far), (0x4000, near)] {
+            let outcome = cache.insert(Address::new(addr), line, CoherenceState::Shared);
+            let packed = outcome.line_id.pack(cache.geometry()) as u32;
+            for sig in ex.search_signatures(&line) {
+                table.insert(sig, packed);
+            }
+        }
+        // Only one data access allowed: pre-rank must pick `near`.
+        let (refs, _) = search_references(&target, &ex, &table, &cache, None, 1, 3);
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].data, near);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn cover(refs: &[Reference]) -> u16 {
+            refs.iter().fold(0, |acc, r| acc | r.cbv)
+        }
+
+        proptest! {
+            /// Greedy selection never does worse than the single best
+            /// candidate, never exceeds max_refs, and never keeps a
+            /// reference whose coverage is subsumed by the others.
+            #[test]
+            fn prop_selection_quality(
+                cbvs in proptest::collection::vec(1u16.., 1..12),
+                max_refs in 1usize..=3,
+            ) {
+                let candidates: Vec<Reference> = cbvs.iter().map(|&c| make_ref(c)).collect();
+                let selected = select_by_coverage(&candidates, max_refs);
+                prop_assert!(selected.len() <= max_refs);
+                let combined = cover(&selected);
+                let best_single = cbvs.iter().map(|c| c.count_ones()).max().unwrap_or(0);
+                prop_assert!(combined.count_ones() >= best_single.min(
+                    // With max_refs >= 1 the best single candidate is
+                    // always achievable.
+                    16
+                ));
+                for (i, r) in selected.iter().enumerate() {
+                    let others: u16 = selected
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .fold(0, |acc, (_, o)| acc | o.cbv);
+                    prop_assert!(r.cbv & !others != 0, "kept a subsumed reference");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_table_entries_ignored() {
+        let (ex, mut table, mut cache) = setup();
+        let line = LineData::from_words(core::array::from_fn(|i| 0x0a00_0000 + i as u32));
+        let lid = install(&mut cache, &mut table, &ex, 0x5000, line, CoherenceState::Shared);
+        // Invalidate the cache line but leave the table entry dangling.
+        cache.invalidate(Address::new(0x5000));
+        let (refs, stats) = search_references(&line, &ex, &table, &cache, None, 6, 3);
+        assert!(refs.is_empty());
+        assert!(stats.data_reads >= 1, "the stale read still costs energy");
+        let _ = lid;
+    }
+}

@@ -1,0 +1,251 @@
+//! Signature extraction (§III-A).
+//!
+//! A signature is a "succinct and unique representation of a cache line"
+//! (Table I): a 32-bit H3 hash of a sampled 32-bit word. Two mechanisms make
+//! the sampling cache-aware:
+//!
+//! - **Trivial-word skipping**: a word with 24 or more leading zeros *or
+//!   ones* carries little identity (zeros are abundant, small constants are
+//!   common), so the sampling offset moves forward past it (Fig. 6).
+//! - **Word-granularity shifting**: offsets advance by four bytes, not one,
+//!   because "data objects in many programming languages such as C++ are
+//!   aligned to 32-bit or 64-bit boundaries" (§III-A).
+//!
+//! Two signatures per line are *inserted* into the hash table when caches
+//! synchronize (keeping collisions low); **all** non-trivial signatures are
+//! used when *searching* (§III-B).
+
+use crate::h3::H3;
+use cable_common::{LineData, WORDS_PER_LINE};
+use std::fmt;
+
+/// Number of signatures inserted into the hash table per synchronized line.
+pub const INSERT_SIGNATURES: usize = 2;
+
+/// Default insertion sampling offsets (word indices), before trivial-word
+/// forwarding. Spreading them across the line (Fig. 5) makes the two
+/// inserted signatures likely to survive localized edits.
+pub const DEFAULT_INSERT_OFFSETS: [usize; INSERT_SIGNATURES] = [0, 8];
+
+/// A 32-bit line signature.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signature(u32);
+
+impl Signature {
+    /// The raw 32-bit signature value.
+    #[must_use]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature({:#010x})", self.0)
+    }
+}
+
+/// Returns true for *trivial* words: 24 or more leading zeros or leading
+/// ones (Fig. 6). Trivial words are skipped during signature sampling.
+///
+/// # Examples
+///
+/// ```
+/// use cable_core::signature::is_trivial_word;
+///
+/// assert!(is_trivial_word(0));          // zero
+/// assert!(is_trivial_word(0xff));       // small constant
+/// assert!(is_trivial_word(0xffff_ffff)); // -1
+/// assert!(is_trivial_word(0xffff_ff80)); // small negative
+/// assert!(!is_trivial_word(0x0000_0100)); // 23 leading zeros
+/// assert!(!is_trivial_word(0xdead_beef));
+/// ```
+#[must_use]
+pub fn is_trivial_word(word: u32) -> bool {
+    word.leading_zeros() >= 24 || word.leading_ones() >= 24
+}
+
+/// The signature extractor: an H3 function plus the sampling policy.
+///
+/// Both ends of a link construct extractors from the same seed so their
+/// hash tables agree on what a line's signatures are.
+#[derive(Clone, Debug)]
+pub struct SignatureExtractor {
+    h3: H3,
+}
+
+impl SignatureExtractor {
+    /// Creates an extractor; equal seeds yield identical extractors.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SignatureExtractor {
+            h3: H3::new(seed, 32),
+        }
+    }
+
+    fn sign(&self, word: u32) -> Signature {
+        Signature(self.h3.hash(word) as u32)
+    }
+
+    /// Extracts the signatures *inserted* at synchronization time: for each
+    /// default offset, the first non-trivial word at or after it (wrapping
+    /// not needed — the scan stops at the line end). Duplicate signatures
+    /// are dropped. Returns an empty vector for lines of only trivial words
+    /// (such lines are never useful references).
+    #[must_use]
+    pub fn insert_signatures(&self, line: &LineData) -> Vec<Signature> {
+        self.insert_signatures_n(line, INSERT_SIGNATURES)
+    }
+
+    /// [`SignatureExtractor::insert_signatures`] with a configurable
+    /// signature count (the §III-B "two signatures per cache line" design
+    /// choice, exposed for ablation). Offsets are spread evenly across the
+    /// line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is 0 or greater than 16.
+    #[must_use]
+    pub fn insert_signatures_n(&self, line: &LineData, count: usize) -> Vec<Signature> {
+        assert!(
+            (1..=WORDS_PER_LINE).contains(&count),
+            "insert-signature count must be 1..=16"
+        );
+        let mut out = Vec::with_capacity(count);
+        for k in 0..count {
+            let offset = k * WORDS_PER_LINE / count;
+            let found = (offset..WORDS_PER_LINE)
+                .map(|i| line.word(i))
+                .find(|&w| !is_trivial_word(w));
+            if let Some(word) = found {
+                let sig = self.sign(word);
+                if !out.contains(&sig) {
+                    out.push(sig);
+                }
+            }
+        }
+        out
+    }
+
+    /// Extracts **all** distinct non-trivial signatures for searching: "all
+    /// potential signatures are extracted and checked" (Fig. 5), up to 16
+    /// per line, "often much less due to zeroes, and potentially non-unique
+    /// signatures" (§III-C).
+    #[must_use]
+    pub fn search_signatures(&self, line: &LineData) -> Vec<Signature> {
+        let mut out = Vec::new();
+        for word in line.words() {
+            if is_trivial_word(word) {
+                continue;
+            }
+            let sig = self.sign(word);
+            if !out.contains(&sig) {
+                out.push(sig);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn extractor() -> SignatureExtractor {
+        SignatureExtractor::new(0xcab1e)
+    }
+
+    #[test]
+    fn trivial_word_boundaries() {
+        assert!(is_trivial_word(0x0000_00ff)); // exactly 24 leading zeros
+        assert!(!is_trivial_word(0x0000_0100)); // 23 leading zeros
+        assert!(is_trivial_word(0xffff_ff00)); // exactly 24 leading ones
+        assert!(!is_trivial_word(0xfffe_ffff)); // 15 leading ones
+    }
+
+    #[test]
+    fn zero_line_has_no_signatures() {
+        let line = LineData::zeroed();
+        assert!(extractor().insert_signatures(&line).is_empty());
+        assert!(extractor().search_signatures(&line).is_empty());
+    }
+
+    #[test]
+    fn offsets_skip_trivial_words() {
+        // Words 0..3 trivial, word 3 is the first interesting one.
+        let mut line = LineData::zeroed();
+        line.set_word(0, 1);
+        line.set_word(1, 0xffff_ffff);
+        line.set_word(3, 0xdead_beef);
+        line.set_word(8, 0xcafe_f00d);
+        let sigs = extractor().insert_signatures(&line);
+        let all = extractor().search_signatures(&line);
+        assert_eq!(sigs.len(), 2);
+        // First insert offset forwarded from 0 to word 3.
+        assert_eq!(sigs[0], all[0]);
+        assert_eq!(all.len(), 2); // only two non-trivial words exist
+    }
+
+    #[test]
+    fn duplicate_words_deduplicate_signatures() {
+        let line = LineData::splat_word(0x1234_5678);
+        let all = extractor().search_signatures(&line);
+        assert_eq!(all.len(), 1);
+        let ins = extractor().insert_signatures(&line);
+        assert_eq!(ins.len(), 1);
+    }
+
+    #[test]
+    fn similar_lines_share_signatures() {
+        // Two lines that differ in a couple of words still share most
+        // signatures — the property the whole search rests on.
+        let a = LineData::from_words(core::array::from_fn(|i| 0x4000_0000 + (i as u32) * 0x111));
+        let mut b = a;
+        b.set_word(5, 0x7777_7777);
+        let sa = extractor().search_signatures(&a);
+        let sb = extractor().search_signatures(&b);
+        let shared = sa.iter().filter(|s| sb.contains(s)).count();
+        assert!(shared >= 14, "shared {shared}");
+    }
+
+    #[test]
+    fn insert_signatures_are_subset_of_search() {
+        let line = LineData::from_words([
+            0, 0x1111_2222, 0, 0x3333_4444, 5, 0xffff_fff0, 0x5555_6666, 0, 0x7777_8888, 0, 0, 1,
+            0x9999_aaaa, 2, 0xbbbb_cccc, 0,
+        ]);
+        let ins = extractor().insert_signatures(&line);
+        let all = extractor().search_signatures(&line);
+        assert!(ins.iter().all(|s| all.contains(s)));
+        assert_eq!(ins.len(), 2);
+    }
+
+    #[test]
+    fn same_seed_extractors_agree() {
+        let a = SignatureExtractor::new(5);
+        let b = SignatureExtractor::new(5);
+        let line = LineData::splat_word(0x8765_4321);
+        assert_eq!(a.search_signatures(&line), b.search_signatures(&line));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_at_most_16_search_signatures(words in proptest::array::uniform16(any::<u32>())) {
+            let line = LineData::from_words(words);
+            let sigs = extractor().search_signatures(&line);
+            prop_assert!(sigs.len() <= WORDS_PER_LINE);
+            // Dedup holds.
+            let mut sorted: Vec<_> = sigs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), sigs.len());
+        }
+
+        #[test]
+        fn prop_insert_at_most_two(words in proptest::array::uniform16(any::<u32>())) {
+            let line = LineData::from_words(words);
+            prop_assert!(extractor().insert_signatures(&line).len() <= INSERT_SIGNATURES);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The pooled "super-WMT" for large multi-chip systems (§IV-D).
+//!
+//! "For coherence compression among multiple processors, we elected to have
+//! one WMT per link-pair for small configurations. For large systems, WMT
+//! information can be pooled into a single, competitively shared
+//! super-WMT/hash-table managed like a cache to decrease storage overheads
+//! and improve scalability."
+//!
+//! Per-link [`crate::WayMapTable`]s are *exact*: every resident remote line
+//! has an entry. The super-WMT trades exactness for capacity: it is a
+//! set-associative, LRU-managed tag store over `(link, RemoteLID)` keys.
+//! A miss is always safe — it only means "not guaranteed present remotely",
+//! so the line is skipped as a reference (exactly the semantics of a WMT
+//! miss in §III-D) — and evictions under competition gracefully shrink the
+//! reference pool instead of breaking correctness.
+
+use cable_cache::{CacheGeometry, LineId};
+use std::fmt;
+
+/// Identifies one point-to-point link sharing the pool (e.g. the three
+/// links of a 4-chip processor).
+pub type LinkId = u8;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Entry {
+    link: LinkId,
+    /// Packed RemoteLID (the key, together with `link`).
+    remote: u32,
+    /// Packed HomeLID (the value).
+    home: u32,
+    last_use: u64,
+}
+
+/// A competitively shared Way-Map Table pool.
+///
+/// # Examples
+///
+/// ```
+/// use cable_cache::{CacheGeometry, LineId};
+/// use cable_core::super_wmt::SuperWmt;
+///
+/// let geom = CacheGeometry::new(1 << 20, 8);
+/// let mut pool = SuperWmt::new(1024, 4, geom, geom);
+/// pool.update(0, LineId::new(7, 1), LineId::new(7, 3));
+/// assert_eq!(pool.remote_lid_of(0, LineId::new(7, 3)), Some(LineId::new(7, 1)));
+/// assert_eq!(pool.remote_lid_of(1, LineId::new(7, 3)), None); // other link
+/// ```
+pub struct SuperWmt {
+    sets: usize,
+    ways: usize,
+    slots: Vec<Option<Entry>>,
+    home_geometry: CacheGeometry,
+    remote_geometry: CacheGeometry,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl SuperWmt {
+    /// Creates a pool with `capacity` entries organized as an LRU
+    /// set-associative structure of `ways` ways, translating between the
+    /// given home/remote geometries (all links are assumed symmetric, as in
+    /// a multi-chip CMP of identical processors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a positive multiple of `ways`.
+    #[must_use]
+    pub fn new(
+        capacity: usize,
+        ways: usize,
+        home_geometry: CacheGeometry,
+        remote_geometry: CacheGeometry,
+    ) -> Self {
+        assert!(
+            ways > 0 && capacity > 0 && capacity.is_multiple_of(ways),
+            "capacity must be a positive multiple of ways"
+        );
+        SuperWmt {
+            sets: capacity / ways,
+            ways,
+            slots: vec![None; capacity],
+            home_geometry,
+            remote_geometry,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn set_of(&self, link: LinkId, remote: u32) -> usize {
+        // Simple mixed index over (link, remote key).
+        let key = (u64::from(link) << 32) | u64::from(remote);
+        (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 13) as usize % self.sets
+    }
+
+    fn set_slots(&mut self, set: usize) -> &mut [Option<Entry>] {
+        let start = set * self.ways;
+        &mut self.slots[start..start + self.ways]
+    }
+
+    /// Records that `remote_lid` on `link` now holds the line homed at
+    /// `home_lid`, possibly evicting a colder entry (competitive sharing).
+    pub fn update(&mut self, link: LinkId, remote_lid: LineId, home_lid: LineId) {
+        self.clock += 1;
+        let clock = self.clock;
+        let remote = remote_lid.pack(&self.remote_geometry) as u32;
+        let home = home_lid.pack(&self.home_geometry) as u32;
+        let set = self.set_of(link, remote);
+        let slots = self.set_slots(set);
+        // Update in place on a key match.
+        if let Some(e) = slots
+            .iter_mut()
+            .flatten()
+            .find(|e| e.link == link && e.remote == remote)
+        {
+            e.home = home;
+            e.last_use = clock;
+            return;
+        }
+        // Fill an empty way or evict the LRU entry.
+        let victim = slots
+            .iter_mut()
+            .min_by_key(|s| s.map_or(0, |e| e.last_use))
+            .expect("ways > 0");
+        let evicted = victim.is_some();
+        *victim = Some(Entry {
+            link,
+            remote,
+            home,
+            last_use: clock,
+        });
+        if evicted {
+            self.evictions += 1;
+        }
+    }
+
+    /// Removes the entry for `remote_lid` on `link` (invalidation).
+    pub fn invalidate(&mut self, link: LinkId, remote_lid: LineId) {
+        let remote = remote_lid.pack(&self.remote_geometry) as u32;
+        let set = self.set_of(link, remote);
+        for slot in self.set_slots(set) {
+            if slot.is_some_and(|e| e.link == link && e.remote == remote) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// The §III-D lookup against the pool: is the home line known to be
+    /// resident on `link`, and at which RemoteLID? A `None` may be a true
+    /// absence *or* a pooled-capacity miss; both are safe.
+    pub fn remote_lid_of(&mut self, link: LinkId, home_lid: LineId) -> Option<LineId> {
+        self.clock += 1;
+        let clock = self.clock;
+        let home = home_lid.pack(&self.home_geometry) as u32;
+        // The pool is indexed by remote key; the home→remote direction
+        // scans the ways of the set each candidate remote slot would map
+        // to. As in the per-link WMT, the home and remote indices of an
+        // address agree in their low bits, so the candidate RemoteLIDs are
+        // the remote ways at `home_index % remote_sets`.
+        let remote_index = u64::from(home_lid.index()) % self.remote_geometry.sets();
+        for way in 0..self.remote_geometry.ways() as u8 {
+            let rlid = LineId::new(remote_index as u32, way);
+            let remote = rlid.pack(&self.remote_geometry) as u32;
+            let set = self.set_of(link, remote);
+            for e in self.set_slots(set).iter_mut().flatten() {
+                if e.link == link && e.remote == remote && e.home == home {
+                    e.last_use = clock;
+                    self.hits += 1;
+                    return Some(rlid);
+                }
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Reverse translation for write-back compression.
+    pub fn home_lid_of(&mut self, link: LinkId, remote_lid: LineId) -> Option<LineId> {
+        let remote = remote_lid.pack(&self.remote_geometry) as u32;
+        let set = self.set_of(link, remote);
+        let home_geometry = self.home_geometry;
+        for e in self.set_slots(set).iter_mut().flatten() {
+            if e.link == link && e.remote == remote {
+                return Some(LineId::unpack(u64::from(e.home), &home_geometry));
+            }
+        }
+        None
+    }
+
+    /// `(hits, misses, evictions)` since construction.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Storage in bits: each entry holds a link id, remote key and home
+    /// value (compare with `links × full WMT` for the per-link design).
+    #[must_use]
+    pub fn storage_bits(&self, links: u32) -> u64 {
+        let entry_bits = u64::from(cable_common::bits_for(u64::from(links)))
+            + u64::from(self.remote_geometry.line_id_bits())
+            + u64::from(self.home_geometry.line_id_bits());
+        self.slots.len() as u64 * entry_bits
+    }
+}
+
+impl fmt::Debug for SuperWmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SuperWmt({} sets x {} ways, {} hits / {} misses)",
+            self.sets, self.ways, self.hits, self.misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_common::SplitMix64;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(1 << 20, 8)
+    }
+
+    fn pool(capacity: usize) -> SuperWmt {
+        SuperWmt::new(capacity, 4, geom(), geom())
+    }
+
+    #[test]
+    fn update_lookup_round_trip_per_link() {
+        let mut p = pool(256);
+        let home = LineId::new(100, 2);
+        let remote = LineId::new(100, 5);
+        p.update(0, remote, home);
+        p.update(1, LineId::new(100, 1), home);
+        assert_eq!(p.remote_lid_of(0, home), Some(remote));
+        assert_eq!(p.remote_lid_of(1, home), Some(LineId::new(100, 1)));
+        assert_eq!(p.remote_lid_of(2, home), None);
+        assert_eq!(p.home_lid_of(0, remote), Some(home));
+    }
+
+    #[test]
+    fn invalidate_clears_one_link_only() {
+        let mut p = pool(256);
+        let home = LineId::new(7, 0);
+        let remote = LineId::new(7, 3);
+        p.update(0, remote, home);
+        p.update(1, remote, home);
+        p.invalidate(0, remote);
+        assert_eq!(p.remote_lid_of(0, home), None);
+        assert_eq!(p.remote_lid_of(1, home), Some(remote));
+    }
+
+    #[test]
+    fn competitive_eviction_is_graceful() {
+        // Overcommit a tiny pool from three links: lookups may miss but
+        // never return a wrong mapping.
+        let mut p = pool(64);
+        let mut rng = SplitMix64::new(5);
+        let mut inserted = Vec::new();
+        for _ in 0..1_000 {
+            let link = rng.next_bounded(3) as LinkId;
+            let index = rng.next_bounded(2048) as u32;
+            let home = LineId::new(index, rng.next_bounded(8) as u8);
+            let remote = LineId::new(index, rng.next_bounded(8) as u8);
+            p.update(link, remote, home);
+            inserted.push((link, remote, home));
+        }
+        let (_, _, evictions) = p.stats();
+        assert!(evictions > 800, "pool must be overcommitted");
+        for (link, _remote, home) in inserted {
+            if let Some(rlid) = p.remote_lid_of(link, home) {
+                // A hit must be the *newest* mapping for that slot; verify
+                // through the reverse direction.
+                assert_eq!(p.home_lid_of(link, rlid), Some(home));
+            }
+        }
+    }
+
+    #[test]
+    fn update_in_place_refreshes() {
+        let mut p = pool(64);
+        let remote = LineId::new(3, 1);
+        p.update(0, remote, LineId::new(3, 0));
+        p.update(0, remote, LineId::new(3, 7)); // slot re-used by new line
+        assert_eq!(p.home_lid_of(0, remote), Some(LineId::new(3, 7)));
+        assert_eq!(p.remote_lid_of(0, LineId::new(3, 0)), None);
+    }
+
+    #[test]
+    fn pooled_storage_beats_per_link_wmts() {
+        // §IV-D's motivation: a shared pool sized at half the aggregate
+        // per-link capacity costs less than N full WMTs.
+        let remote = geom();
+        let per_link_bits = {
+            let wmt = crate::wmt::WayMapTable::new(remote, remote);
+            3 * wmt.storage_bits()
+        };
+        let pooled = SuperWmt::new((remote.lines() / 2) as usize, 4, remote, remote);
+        assert!(pooled.storage_bits(3) < per_link_bits * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive multiple")]
+    fn capacity_validation() {
+        let _ = SuperWmt::new(10, 4, geom(), geom());
+    }
+}

@@ -1,0 +1,48 @@
+//! Energy model for the CABLE reproduction (§VI-A, §VI-D).
+//!
+//! Reproduces the paper's power methodology: CACTI-derived static/dynamic
+//! cache energy (Table V), Micron-calculator DRAM energy, I/O link energy
+//! at 25 nJ per 64-byte transfer, and compression-engine energy (Table II
+//! scaled to 32 nm). [`EnergyModel::breakdown`] turns activity counts from
+//! a simulation into the Fig. 18 stacked components.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod params;
+
+pub use model::{ActivityCounts, EnergyBreakdown, EnergyModel};
+pub use params::{EnergyParams, TABLE_II_ROWS};
+
+/// Relative bit-toggle reduction of `scheme` versus `baseline`
+/// (the §VI-D "Bit Toggle Reduction" metric): positive numbers mean fewer
+/// transitions per transmitted campaign.
+///
+/// # Examples
+///
+/// ```
+/// // 30% fewer toggles:
+/// let r = cable_energy::toggle_reduction(1000, 700);
+/// assert!((r - 0.3).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn toggle_reduction(baseline_toggles: u64, scheme_toggles: u64) -> f64 {
+    if baseline_toggles == 0 {
+        0.0
+    } else {
+        1.0 - scheme_toggles as f64 / baseline_toggles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggle_reduction_edges() {
+        assert_eq!(toggle_reduction(0, 5), 0.0);
+        assert_eq!(toggle_reduction(100, 100), 0.0);
+        assert!(toggle_reduction(100, 150) < 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Activity-to-energy accounting (Fig. 18).
+
+use crate::params::EnergyParams;
+use std::fmt;
+
+/// Activity counts collected from a simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ActivityCounts {
+    /// L1 accesses.
+    pub l1_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// LLC accesses (including CABLE's search/decode data-array reads —
+    /// pass those separately in `search_reads` to split the bars).
+    pub llc_accesses: u64,
+    /// DRAM-buffer (L4) accesses.
+    pub buffer_accesses: u64,
+    /// DRAM accesses (64-byte granules).
+    pub dram_accesses: u64,
+    /// Bytes actually moved across the off-chip link (post-compression).
+    pub link_bytes: u64,
+    /// Compression engine invocations.
+    pub compressions: u64,
+    /// Decompression engine invocations.
+    pub decompressions: u64,
+    /// Extra data-array reads performed by the CABLE search/decode path
+    /// (the Fig. 18 "COMPRESSION SRAM" component).
+    pub search_reads: u64,
+    /// Simulated wall-clock seconds (for static energy).
+    pub runtime_s: f64,
+}
+
+/// The Fig. 18 energy components, in joules.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// SRAM static (leakage) energy of L1/L2/LLC/buffer.
+    pub sram_static: f64,
+    /// SRAM dynamic energy of the ordinary cache traffic.
+    pub sram_dynamic: f64,
+    /// DRAM access energy.
+    pub dram: f64,
+    /// Off-chip link transfer energy.
+    pub link: f64,
+    /// Compression/decompression engine energy.
+    pub engine: f64,
+    /// Extra cache reads for search/decode ("COMPRESSION SRAM").
+    pub compression_sram: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total memory-subsystem energy.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.sram_static
+            + self.sram_dynamic
+            + self.dram
+            + self.link
+            + self.engine
+            + self.compression_sram
+    }
+
+    /// This breakdown's total normalized to `baseline`'s total.
+    #[must_use]
+    pub fn normalized_to(&self, baseline: &EnergyBreakdown) -> f64 {
+        let b = baseline.total();
+        if b == 0.0 {
+            1.0
+        } else {
+            self.total() / b
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "static {:.2e} J, dynamic {:.2e} J, dram {:.2e} J, link {:.2e} J, engine {:.2e} J, comp-sram {:.2e} J",
+            self.sram_static, self.sram_dynamic, self.dram, self.link, self.engine, self.compression_sram
+        )
+    }
+}
+
+/// Maps activity counts to energy with a parameter set.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EnergyModel {
+    params: EnergyParams,
+}
+
+impl EnergyModel {
+    /// Creates a model with the paper's defaults.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a model with explicit parameters.
+    #[must_use]
+    pub fn with_params(params: EnergyParams) -> Self {
+        EnergyModel { params }
+    }
+
+    /// The parameter set in use.
+    #[must_use]
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Computes the Fig. 18 breakdown for one run.
+    #[must_use]
+    pub fn breakdown(&self, counts: &ActivityCounts) -> EnergyBreakdown {
+        let p = &self.params;
+        let sram_static = counts.runtime_s
+            * (p.l1_static_w + p.l2_static_w + p.llc_static_w + p.buffer_static_w);
+        let sram_dynamic = counts.l1_accesses as f64 * p.l1_dynamic_j
+            + counts.l2_accesses as f64 * p.l2_dynamic_j
+            + counts.llc_accesses as f64 * p.llc_dynamic_j
+            + counts.buffer_accesses as f64 * p.buffer_dynamic_j;
+        EnergyBreakdown {
+            sram_static,
+            sram_dynamic,
+            dram: counts.dram_accesses as f64 * p.dram_access_j,
+            link: counts.link_bytes as f64 * p.link_j_per_64b / 64.0,
+            engine: counts.compressions as f64 * p.compress_j
+                + counts.decompressions as f64 * p.decompress_j,
+            compression_sram: counts.search_reads as f64 * p.llc_dynamic_j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memory_bound_counts(link_bytes: u64) -> ActivityCounts {
+        ActivityCounts {
+            l1_accesses: 1_000_000,
+            l2_accesses: 300_000,
+            llc_accesses: 150_000,
+            buffer_accesses: 100_000,
+            dram_accesses: 40_000,
+            link_bytes,
+            compressions: 0,
+            decompressions: 0,
+            search_reads: 0,
+            runtime_s: 1e-3,
+        }
+    }
+
+    #[test]
+    fn link_share_is_significant_uncompressed() {
+        // §VI-D: "link energy accounts for roughly 20% of memory subsystem
+        // energy" for memory-bound workloads.
+        let model = EnergyModel::new();
+        let counts = memory_bound_counts(100_000 * 64);
+        let e = model.breakdown(&counts);
+        let share = e.link / e.total();
+        assert!((0.1..0.6).contains(&share), "link share {share}");
+    }
+
+    #[test]
+    fn compression_saves_net_energy() {
+        // 8x link compression with CABLE's engine/search overhead must come
+        // out ahead: link energy dwarfs compression energy (Table II).
+        let model = EnergyModel::new();
+        let baseline = model.breakdown(&memory_bound_counts(100_000 * 64));
+        let mut compressed = memory_bound_counts(100_000 * 8);
+        compressed.compressions = 200_000;
+        compressed.decompressions = 100_000;
+        compressed.search_reads = 900_000;
+        let cable = model.breakdown(&compressed);
+        let norm = cable.normalized_to(&baseline);
+        assert!(norm < 1.0, "normalized {norm}");
+        assert!(norm > 0.5, "savings implausibly large: {norm}");
+    }
+
+    #[test]
+    fn static_energy_scales_with_runtime() {
+        let model = EnergyModel::new();
+        let mut counts = memory_bound_counts(0);
+        let e1 = model.breakdown(&counts);
+        counts.runtime_s *= 2.0;
+        let e2 = model.breakdown(&counts);
+        assert!((e2.sram_static / e1.sram_static - 2.0).abs() < 1e-9);
+        assert_eq!(e1.sram_dynamic, e2.sram_dynamic);
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let model = EnergyModel::new();
+        let e = model.breakdown(&memory_bound_counts(1024));
+        let sum = e.sram_static + e.sram_dynamic + e.dram + e.link + e.engine + e.compression_sram;
+        assert!((e.total() - sum).abs() < 1e-18);
+    }
+}

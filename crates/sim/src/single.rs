@@ -1,0 +1,133 @@
+//! Single-threaded studies (Fig. 17, Fig. 18 inputs).
+//!
+//! One thread on a dedicated single-channel link (Table IV:
+//! "Single-threaded studies: single-channel"), used for the
+//! compression-latency degradation study and the energy breakdown.
+
+use crate::config::SystemConfig;
+use crate::resources::{DramModel, SharedLink};
+use crate::thread::{Scheme, ThreadSim};
+use cable_core::LinkStats;
+use cable_energy::ActivityCounts;
+use cable_trace::WorkloadProfile;
+
+/// Result of one single-threaded run.
+#[derive(Clone, Debug)]
+pub struct SingleResult {
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Simulated time in picoseconds.
+    pub elapsed_ps: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Link statistics.
+    pub link: LinkStats,
+    /// Activity counts for the energy model.
+    pub activity: ActivityCounts,
+}
+
+impl SingleResult {
+    /// Instructions per core cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / (self.elapsed_ps as f64 / 500.0)
+    }
+
+    /// Runtime slowdown versus a baseline run (>1 means slower).
+    #[must_use]
+    pub fn slowdown_vs(&self, baseline: &SingleResult) -> f64 {
+        self.elapsed_ps as f64 / baseline.elapsed_ps as f64
+    }
+}
+
+/// Runs `instructions` of one benchmark under `scheme` with a dedicated
+/// full-bandwidth channel (no warm-up).
+#[must_use]
+pub fn run_single(
+    profile: &'static WorkloadProfile,
+    scheme: Scheme,
+    instructions: u64,
+    config: &SystemConfig,
+) -> SingleResult {
+    run_single_warmed(profile, scheme, 0, instructions, config)
+}
+
+/// Runs `warmup` instructions to warm the hierarchy (uncounted, as the
+/// paper's 100M-instruction warm-up phases), then measures `instructions`.
+#[must_use]
+pub fn run_single_warmed(
+    profile: &'static WorkloadProfile,
+    scheme: Scheme,
+    warmup: u64,
+    instructions: u64,
+    config: &SystemConfig,
+) -> SingleResult {
+    let mut thread = ThreadSim::new(profile, 0, scheme, *config);
+    let mut wire = SharedLink::from_config(config);
+    let mut dram = DramModel::from_config(config);
+    while thread.retired() < warmup {
+        thread.step(&mut wire, &mut dram);
+    }
+    let t0 = thread.now_ps();
+    let i0 = thread.retired();
+    thread.link_mut().reset_stats();
+    while thread.retired() < warmup + instructions {
+        thread.step(&mut wire, &mut dram);
+    }
+    SingleResult {
+        scheme,
+        elapsed_ps: thread.now_ps() - t0,
+        instructions: thread.retired() - i0,
+        link: *thread.link().stats(),
+        activity: thread.activity(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_compress::EngineKind;
+    use cable_core::BaselineKind;
+    use cable_trace::by_name;
+
+    #[test]
+    fn latency_overhead_is_modest() {
+        // Fig. 17: the compression-latency penalty is a single-digit to low
+        // double-digit percentage. Our miss path is shallower than the
+        // paper's (no queueing-heavy DRAM), so the 48-cycle adder weighs
+        // somewhat more per miss; compute-bound povray stays under 10%,
+        // memory-hungrier gcc under ~35%.
+        let cfg = SystemConfig::paper_defaults();
+        for (name, bound) in [("povray", 1.10), ("gcc", 1.35)] {
+            let p = by_name(name).unwrap();
+            let base = run_single_warmed(p, Scheme::Uncompressed, 300_000, 150_000, &cfg);
+            let cable =
+                run_single_warmed(p, Scheme::Cable(EngineKind::Lbe), 300_000, 150_000, &cfg);
+            let slow = cable.slowdown_vs(&base);
+            assert!(slow < bound, "{name} slowdown {slow}");
+            assert!(slow >= 0.95, "{name} slowdown {slow} implausibly fast");
+        }
+    }
+
+    #[test]
+    fn gzip_latency_hurts_more_than_cpack() {
+        let cfg = SystemConfig::paper_defaults();
+        let p = by_name("omnetpp").unwrap();
+        let base = run_single(p, Scheme::Uncompressed, 120_000, &cfg);
+        let cpack = run_single(p, Scheme::Baseline(BaselineKind::Cpack), 120_000, &cfg);
+        let gzip = run_single(p, Scheme::Baseline(BaselineKind::Gzip), 120_000, &cfg);
+        // 96 cycles of gzip latency vs 16 of CPACK (Table IV); bandwidth is
+        // plentiful single-threaded, so latency dominates the delta.
+        assert!(gzip.slowdown_vs(&base) >= cpack.slowdown_vs(&base) * 0.99);
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let cfg = SystemConfig::paper_defaults();
+        let p = by_name("bzip2").unwrap();
+        let a = run_single(p, Scheme::Cable(EngineKind::Lbe), 50_000, &cfg);
+        let b = run_single(p, Scheme::Cable(EngineKind::Lbe), 50_000, &cfg);
+        assert_eq!(a.elapsed_ps, b.elapsed_ps);
+        assert_eq!(a.link.wire_bits, b.link.wire_bits);
+    }
+}

@@ -1,0 +1,577 @@
+//! One hardware thread: core + private L1/L2 + compressed LLC↔L4 link.
+//!
+//! [`ThreadSim`] advances an in-order thread (1 CPI for non-memory
+//! instructions, Table IV) through its private L1 and L2, the per-thread
+//! LLC share, and the compressed off-chip link to the L4 buffer and DRAM.
+//! Shared resources ([`crate::resources::SharedLink`],
+//! [`crate::resources::DramModel`]) are passed into [`ThreadSim::step`] so
+//! groups of threads contend for bandwidth (§VI-A's throughput
+//! methodology).
+
+use crate::config::{CompressionLatency, SystemConfig};
+use crate::resources::{DramModel, SharedLink};
+use cable_cache::{CacheGeometry, CoherenceState, SetAssocCache};
+use cable_common::{Address, LineData};
+use cable_compress::EngineKind;
+use cable_core::{BaselineKind, BaselineLink, CableConfig, CableLink, LinkStats, Transfer, TransferKind};
+use cable_energy::ActivityCounts;
+use cable_trace::{WorkloadGen, WorkloadProfile};
+use std::fmt;
+
+/// A link-compression scheme under evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scheme {
+    /// No compression.
+    Uncompressed,
+    /// One of the baseline algorithms.
+    Baseline(BaselineKind),
+    /// CABLE with the given delegated engine.
+    Cable(EngineKind),
+}
+
+impl Scheme {
+    /// Figure label.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::Uncompressed => "Uncompressed".into(),
+            Scheme::Baseline(k) => k.label().into(),
+            Scheme::Cable(e) => format!("CABLE+{e}"),
+        }
+    }
+
+    /// Table IV compression latency class for this scheme.
+    #[must_use]
+    pub fn latency(&self) -> CompressionLatency {
+        match self {
+            Scheme::Uncompressed => CompressionLatency::None,
+            Scheme::Baseline(BaselineKind::Gzip) => CompressionLatency::Gzip,
+            Scheme::Baseline(BaselineKind::Uncompressed) => CompressionLatency::None,
+            Scheme::Baseline(_) => CompressionLatency::Cpack,
+            Scheme::Cable(_) => CompressionLatency::Cable,
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A compressed (or uncompressed) LLC↔L4 link of either family.
+pub enum CompressedLink {
+    /// CABLE endpoints.
+    Cable(Box<CableLink>),
+    /// A baseline streaming compressor.
+    Baseline(Box<BaselineLink>),
+}
+
+impl CompressedLink {
+    /// Builds the link for `scheme` over the given geometries.
+    #[must_use]
+    pub fn build(
+        scheme: Scheme,
+        home: CacheGeometry,
+        remote: CacheGeometry,
+        link_width_bits: u32,
+    ) -> Self {
+        match scheme {
+            Scheme::Uncompressed => CompressedLink::Baseline(Box::new(BaselineLink::new(
+                BaselineKind::Uncompressed,
+                home,
+                remote,
+                link_width_bits,
+            ))),
+            Scheme::Baseline(kind) => CompressedLink::Baseline(Box::new(BaselineLink::new(
+                kind,
+                home,
+                remote,
+                link_width_bits,
+            ))),
+            Scheme::Cable(engine) => {
+                let mut cfg = CableConfig::memory_link_default()
+                    .with_geometries(home, remote)
+                    .with_engine(engine)
+                    .with_link_width(link_width_bits);
+                cfg.data_access_count = 16; // §VI-A: sixteen outside §VI-B
+                CompressedLink::Cable(Box::new(CableLink::new(cfg)))
+            }
+        }
+    }
+
+    /// See [`CableLink::request`].
+    pub fn request(&mut self, addr: Address, memory: LineData) -> Transfer {
+        match self {
+            CompressedLink::Cable(l) => l.request(addr, memory),
+            CompressedLink::Baseline(l) => l.request(addr, memory),
+        }
+    }
+
+    /// See [`CableLink::request_exclusive`].
+    pub fn request_exclusive(&mut self, addr: Address, memory: LineData) -> Transfer {
+        match self {
+            CompressedLink::Cable(l) => l.request_exclusive(addr, memory),
+            CompressedLink::Baseline(l) => l.request_exclusive(addr, memory),
+        }
+    }
+
+    /// See [`CableLink::remote_store`].
+    pub fn remote_store(&mut self, addr: Address, data: LineData) -> bool {
+        match self {
+            CompressedLink::Cable(l) => l.remote_store(addr, data),
+            CompressedLink::Baseline(l) => l.remote_store(addr, data),
+        }
+    }
+
+    /// Cumulative link statistics.
+    #[must_use]
+    pub fn stats(&self) -> &LinkStats {
+        match self {
+            CompressedLink::Cable(l) => l.stats(),
+            CompressedLink::Baseline(l) => l.stats(),
+        }
+    }
+
+    /// Clears link statistics.
+    pub fn reset_stats(&mut self) {
+        match self {
+            CompressedLink::Cable(l) => l.reset_stats(),
+            CompressedLink::Baseline(l) => l.reset_stats(),
+        }
+    }
+
+    /// Toggles compression (only meaningful for CABLE, §VI-D's control).
+    pub fn set_compression_enabled(&mut self, enabled: bool) {
+        if let CompressedLink::Cable(l) = self {
+            l.set_compression_enabled(enabled);
+        }
+    }
+
+    /// Whether compression is currently enabled (baselines are always on).
+    #[must_use]
+    pub fn compression_enabled(&self) -> bool {
+        match self {
+            CompressedLink::Cable(l) => l.compression_enabled(),
+            CompressedLink::Baseline(_) => true,
+        }
+    }
+}
+
+/// Per-thread activity counters feeding the energy model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadCounts {
+    /// L1 accesses.
+    pub l1: u64,
+    /// L2 accesses.
+    pub l2: u64,
+    /// LLC accesses.
+    pub llc: u64,
+    /// L4 accesses.
+    pub l4: u64,
+    /// DRAM accesses.
+    pub dram: u64,
+}
+
+/// One simulated in-order hardware thread.
+pub struct ThreadSim {
+    gen: WorkloadGen,
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    link: CompressedLink,
+    config: SystemConfig,
+    latency: CompressionLatency,
+    now_ps: u64,
+    retired: u64,
+    counts: ThreadCounts,
+}
+
+impl ThreadSim {
+    /// Creates thread `instance` of `profile` under `scheme`, with the
+    /// Table IV hierarchy (per-thread LLC/L4 shares).
+    #[must_use]
+    pub fn new(
+        profile: &'static WorkloadProfile,
+        instance: u64,
+        scheme: Scheme,
+        config: SystemConfig,
+    ) -> Self {
+        let home = CacheGeometry::new(config.l4_bytes, config.l4_ways);
+        let remote = CacheGeometry::new(config.llc_bytes, config.llc_ways);
+        ThreadSim {
+            gen: WorkloadGen::new(profile, instance),
+            l1: SetAssocCache::new(CacheGeometry::new(config.l1_bytes, config.l1_ways)),
+            l2: SetAssocCache::new(CacheGeometry::new(config.l2_bytes, config.l2_ways)),
+            link: CompressedLink::build(scheme, home, remote, config.link_width_bits),
+            latency: scheme.latency(),
+            config,
+            now_ps: 0,
+            retired: 0,
+            counts: ThreadCounts::default(),
+        }
+    }
+
+    /// Current local time in picoseconds.
+    #[must_use]
+    pub fn now_ps(&self) -> u64 {
+        self.now_ps
+    }
+
+    /// Instructions retired so far.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// The thread's link (for stats inspection).
+    #[must_use]
+    pub fn link(&self) -> &CompressedLink {
+        &self.link
+    }
+
+    /// Mutable link access (adaptive compression control).
+    pub fn link_mut(&mut self) -> &mut CompressedLink {
+        &mut self.link
+    }
+
+    /// Per-level access counters.
+    #[must_use]
+    pub fn counts(&self) -> &ThreadCounts {
+        &self.counts
+    }
+
+    /// Warms the caches and compression dictionaries by running `accesses`
+    /// memory accesses with timing discarded afterwards — the simulation
+    /// equivalent of the paper's uncounted 100M-instruction warm-up phases.
+    pub fn warm(&mut self, accesses: u64) {
+        let mut wire = SharedLink::new(1e15, 0); // effectively unconstrained
+        let mut dram = DramModel::from_config(&self.config);
+        for _ in 0..accesses {
+            self.step(&mut wire, &mut dram);
+        }
+        self.now_ps = 0;
+        self.retired = 0;
+        self.counts = ThreadCounts::default();
+        self.link.reset_stats();
+    }
+
+    /// Advances the thread by one memory access (plus its preceding
+    /// compute instructions), contending on the shared link and DRAM.
+    pub fn step(&mut self, wire: &mut SharedLink, dram: &mut DramModel) {
+        let access = self.gen.next_access();
+        let c = &self.config;
+        self.retired += u64::from(access.compute_gap) + 1;
+        self.now_ps += c.cycles_to_ps(u64::from(access.compute_gap));
+
+        // L1.
+        self.counts.l1 += 1;
+        self.now_ps += c.cycles_to_ps(c.l1_latency_cy);
+        if self.l1.access(access.addr).is_some() {
+            if access.is_write {
+                let data = self.gen.store_data(access.addr);
+                self.l1.write(access.addr, data);
+            }
+            return;
+        }
+
+        // L2.
+        self.counts.l2 += 1;
+        self.now_ps += c.cycles_to_ps(c.l2_latency_cy);
+        let line = if self.l2.access(access.addr).is_some() {
+            let lid = self.l2.lookup(access.addr).expect("hit");
+            self.l2.read_by_id(lid).expect("valid")
+        } else {
+            // LLC / off-chip level, through the compressed link.
+            self.fetch_from_llc(access.addr, access.is_write, wire, dram)
+        };
+
+        // Fill L2 then L1; dirty victims flow downward.
+        let outcome = self.l2.insert(access.addr, line, CoherenceState::Shared);
+        if let Some(victim) = outcome.evicted {
+            if victim.state == CoherenceState::Modified {
+                self.spill_dirty_to_llc(victim.addr, victim.data, wire, dram);
+            }
+        }
+        let outcome = self.l1.insert(access.addr, line, CoherenceState::Shared);
+        if let Some(victim) = outcome.evicted {
+            if victim.state == CoherenceState::Modified {
+                // L1 dirty victim lands in L2.
+                if !self.l2.write(victim.addr, victim.data) {
+                    self.l2.insert(victim.addr, victim.data, CoherenceState::Modified);
+                }
+            }
+        }
+        if access.is_write {
+            let data = self.gen.store_data(access.addr);
+            self.l1.write(access.addr, data);
+        }
+    }
+
+    fn fetch_from_llc(
+        &mut self,
+        addr: Address,
+        is_write: bool,
+        wire: &mut SharedLink,
+        dram: &mut DramModel,
+    ) -> LineData {
+        self.counts.llc += 1;
+        self.now_ps += self.config.cycles_to_ps(self.config.llc_latency_cy);
+        let memory = self.gen.content(addr);
+        let bits_before = self.link.stats().wire_bits;
+        let transfer = if is_write {
+            self.link.request_exclusive(addr, memory)
+        } else {
+            self.link.request(addr, memory)
+        };
+        if transfer.kind() == TransferKind::RemoteHit {
+            return memory;
+        }
+        // Off-chip: L4 lookup, optional DRAM, compression, wire transfer.
+        self.counts.l4 += 1;
+        let mut ready = self.now_ps + self.config.cycles_to_ps(self.config.l4_latency_cy);
+        if !transfer.home_hit() {
+            self.counts.dram += 1;
+            ready = dram.access(ready, addr);
+        }
+        ready += self.config.cycles_to_ps(self.compression_cycles(transfer.kind()));
+        // Charge the wire for everything this request put on the link,
+        // including any internal dirty-victim write-backs.
+        let delta_bits = self.link.stats().wire_bits - bits_before;
+        ready = wire.transfer(ready, delta_bits);
+        self.now_ps = ready;
+        memory
+    }
+
+    fn spill_dirty_to_llc(
+        &mut self,
+        addr: Address,
+        data: LineData,
+        wire: &mut SharedLink,
+        dram: &mut DramModel,
+    ) {
+        self.counts.llc += 1;
+        // Store hit in the LLC: silent upgrade, no link traffic now (the
+        // link compresses the eventual write-back when the LLC evicts it).
+        if self.link.remote_store(addr, data) {
+            return;
+        }
+        // LLC write miss: read-for-ownership through the link, then store.
+        let bits_before = self.link.stats().wire_bits;
+        let transfer = self.link.request_exclusive(addr, data);
+        if transfer.kind() != TransferKind::RemoteHit {
+            self.counts.l4 += 1;
+            let mut ready = self.now_ps + self.config.cycles_to_ps(self.config.l4_latency_cy);
+            if !transfer.home_hit() {
+                self.counts.dram += 1;
+                ready = dram.access(ready, addr);
+            }
+            ready += self.config.cycles_to_ps(self.compression_cycles(transfer.kind()));
+            let delta_bits = self.link.stats().wire_bits - bits_before;
+            ready = wire.transfer(ready, delta_bits);
+            // Write-backs overlap execution: the store buffer hides them,
+            // so the thread does not stall on `ready` — but the wire time
+            // is consumed (bandwidth effect only).
+            let _ = ready;
+        }
+        self.link.remote_store(addr, data);
+    }
+
+    /// Compression cycles charged for one transfer: nothing while the
+    /// §VI-D controller has compression off; only the compression side for
+    /// a raw fallback (the attempt happens before the outcome is known,
+    /// but the receiver skips decompression); both sides otherwise.
+    fn compression_cycles(&self, kind: TransferKind) -> u64 {
+        if !self.link.compression_enabled() {
+            return 0;
+        }
+        let (comp, decomp) = self.latency.cycles();
+        match kind {
+            TransferKind::Raw => comp,
+            TransferKind::RemoteHit => 0,
+            _ => comp + decomp,
+        }
+    }
+
+    /// Activity counts for the energy model.
+    #[must_use]
+    pub fn activity(&self) -> ActivityCounts {
+        let ls = self.link.stats();
+        ActivityCounts {
+            l1_accesses: self.counts.l1,
+            l2_accesses: self.counts.l2,
+            llc_accesses: self.counts.llc,
+            buffer_accesses: self.counts.l4,
+            dram_accesses: self.counts.dram,
+            link_bytes: ls.wire_bits / 8,
+            compressions: ls.compression_ops,
+            decompressions: ls.diff_transfers + ls.unseeded_transfers,
+            search_reads: ls.data_array_reads,
+            runtime_s: self.now_ps as f64 * 1e-12,
+        }
+    }
+}
+
+impl fmt::Debug for ThreadSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ThreadSim({} @ {} ps, {} retired)",
+            self.gen.profile().name,
+            self.now_ps,
+            self.retired
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::{DramModel, SharedLink};
+    use cable_trace::by_name;
+
+    fn run(scheme: Scheme, name: &str, steps: usize) -> ThreadSim {
+        let cfg = SystemConfig::paper_defaults();
+        let mut t = ThreadSim::new(by_name(name).unwrap(), 0, scheme, cfg);
+        let mut wire = SharedLink::from_config(&cfg);
+        let mut dram = DramModel::from_config(&cfg);
+        for _ in 0..steps {
+            t.step(&mut wire, &mut dram);
+        }
+        t
+    }
+
+    #[test]
+    fn time_and_instructions_advance() {
+        let t = run(Scheme::Uncompressed, "gcc", 2000);
+        assert!(t.now_ps() > 0);
+        assert!(t.retired() >= 2000);
+        assert!(t.counts().l1 == 2000);
+        assert!(t.counts().l2 > 0, "some L1 misses must occur");
+        assert!(t.counts().llc > 0);
+    }
+
+    #[test]
+    fn compression_reduces_wire_traffic() {
+        let base = run(Scheme::Uncompressed, "mcf", 3000);
+        let cable = run(Scheme::Cable(EngineKind::Lbe), "mcf", 3000);
+        let b = base.link().stats();
+        let c = cable.link().stats();
+        assert!(b.fills > 100);
+        assert!(
+            c.wire_bits * 2 < b.wire_bits,
+            "CABLE {} vs uncompressed {}",
+            c.wire_bits,
+            b.wire_bits
+        );
+    }
+
+    #[test]
+    fn memory_bound_thread_spends_time_off_chip() {
+        let lbm = run(Scheme::Uncompressed, "lbm", 2000);
+        let povray = run(Scheme::Uncompressed, "povray", 2000);
+        // lbm (memory-bound) has far lower IPC than povray (compute-bound).
+        let ipc_lbm = lbm.retired() as f64 / (lbm.now_ps() as f64 / 500.0);
+        let ipc_povray = povray.retired() as f64 / (povray.now_ps() as f64 / 500.0);
+        assert!(
+            ipc_povray > 2.0 * ipc_lbm,
+            "povray {ipc_povray} vs lbm {ipc_lbm}"
+        );
+    }
+
+    #[test]
+    fn dram_touched_only_on_home_misses() {
+        let t = run(Scheme::Uncompressed, "gcc", 2000);
+        assert!(t.counts().dram <= t.counts().l4);
+    }
+
+    #[test]
+    fn activity_counts_are_consistent() {
+        let t = run(Scheme::Cable(EngineKind::Lbe), "gcc", 1500);
+        let a = t.activity();
+        assert_eq!(a.l1_accesses, 1500);
+        assert!(a.runtime_s > 0.0);
+        assert!(a.link_bytes > 0);
+        assert!(a.compressions > 0);
+    }
+
+    #[test]
+    fn writes_produce_writeback_traffic() {
+        // mcf touches enough distinct lines in 40k accesses to overflow the
+        // 16K-line LLC, evicting dirty lines that must write back.
+        let t = run(Scheme::Cable(EngineKind::Lbe), "mcf", 40_000);
+        assert!(t.link().stats().writebacks > 0);
+    }
+
+    #[test]
+    fn warm_resets_measurement_but_keeps_state() {
+        let cfg = SystemConfig::paper_defaults();
+        // povray revisits its hot set, so warmth is observable in fills.
+        let mut t = ThreadSim::new(
+            by_name("povray").unwrap(),
+            0,
+            Scheme::Cable(EngineKind::Lbe),
+            cfg,
+        );
+        t.warm(5_000);
+        assert_eq!(t.now_ps(), 0);
+        assert_eq!(t.retired(), 0);
+        assert_eq!(t.link().stats().fills, 0);
+        // The caches stayed warm: the first measured steps hit far more
+        // often than a cold thread's.
+        let mut wire = SharedLink::from_config(&cfg);
+        let mut dram = DramModel::from_config(&cfg);
+        for _ in 0..500 {
+            t.step(&mut wire, &mut dram);
+        }
+        let warm_fills = t.link().stats().fills;
+        let mut cold = ThreadSim::new(
+            by_name("povray").unwrap(),
+            0,
+            Scheme::Cable(EngineKind::Lbe),
+            cfg,
+        );
+        let mut wire2 = SharedLink::from_config(&cfg);
+        let mut dram2 = DramModel::from_config(&cfg);
+        for _ in 0..500 {
+            cold.step(&mut wire2, &mut dram2);
+        }
+        let cold_fills = cold.link().stats().fills;
+        assert!(
+            warm_fills < cold_fills,
+            "warm {warm_fills} vs cold {cold_fills}"
+        );
+    }
+
+    #[test]
+    fn compression_latency_shows_in_fill_time() {
+        // Two identical threads, one with CABLE's 48-cycle latency, one
+        // uncompressed: on a bandwidth-rich link the uncompressed thread
+        // must not be slower.
+        let cfg = SystemConfig::paper_defaults();
+        let mut a = ThreadSim::new(by_name("povray").unwrap(), 0, Scheme::Uncompressed, cfg);
+        let mut b = ThreadSim::new(
+            by_name("povray").unwrap(),
+            0,
+            Scheme::Cable(EngineKind::Lbe),
+            cfg,
+        );
+        let mut wa = SharedLink::from_config(&cfg);
+        let mut da = DramModel::from_config(&cfg);
+        let mut wb = SharedLink::from_config(&cfg);
+        let mut db = DramModel::from_config(&cfg);
+        while a.retired() < 50_000 {
+            a.step(&mut wa, &mut da);
+        }
+        while b.retired() < 50_000 {
+            b.step(&mut wb, &mut db);
+        }
+        assert!(a.now_ps() <= b.now_ps());
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(Scheme::Uncompressed.label(), "Uncompressed");
+        assert_eq!(Scheme::Baseline(BaselineKind::Gzip).label(), "gzip");
+        assert_eq!(Scheme::Cable(EngineKind::Lbe).label(), "CABLE+LBE");
+    }
+}

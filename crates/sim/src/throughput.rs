@@ -1,0 +1,202 @@
+//! Throughput studies (Fig. 14).
+//!
+//! §VI-A methodology: "to account for statistical multiplexing of bandwidth
+//! that a purely static bandwidth partitioning model does not capture, we
+//! split the threads into groups of eight and allow them to share bandwidth
+//! competitively within a group. The evaluated memory system is
+//! quad-channel (76.8GB/s total)."
+//!
+//! We simulate one representative group of eight threads sharing
+//! `total / (threads / 8)` of the link (and the proportional DRAM share),
+//! then scale: system throughput = group throughput × group count.
+
+use crate::config::SystemConfig;
+use crate::resources::{DramModel, SharedLink};
+use crate::thread::{Scheme, ThreadSim};
+use cable_trace::WorkloadProfile;
+
+/// Threads that share bandwidth competitively (§VI-A).
+pub const GROUP_SIZE: usize = 8;
+
+/// Quad-channel link bandwidth in bytes per second (4 × 19.2 GB/s).
+pub const TOTAL_LINK_BYTES_PER_SEC: f64 = 4.0 * 19.2e9;
+
+/// Result of one group simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputResult {
+    /// Total threads the system is modelled at.
+    pub threads: usize,
+    /// Instructions retired by the simulated group.
+    pub group_instructions: u64,
+    /// Simulated time (the slowest thread's completion).
+    pub elapsed_ps: u64,
+}
+
+impl ThroughputResult {
+    /// Group instructions per second.
+    #[must_use]
+    pub fn group_ips(&self) -> f64 {
+        self.group_instructions as f64 / (self.elapsed_ps as f64 * 1e-12)
+    }
+
+    /// System throughput: group IPS × number of groups.
+    #[must_use]
+    pub fn system_ips(&self) -> f64 {
+        self.group_ips() * (self.threads / GROUP_SIZE) as f64
+    }
+}
+
+/// Simulates one group of eight `profile` threads under `scheme` in a
+/// `threads`-thread system, each retiring at least
+/// `instructions_per_thread` ("each program is run for at least \[N\]
+/// instructions but is kept running until all have finished", §VI-A).
+///
+/// # Panics
+///
+/// Panics if `threads` is not a positive multiple of [`GROUP_SIZE`].
+#[must_use]
+pub fn run_group(
+    profile: &'static WorkloadProfile,
+    scheme: Scheme,
+    threads: usize,
+    instructions_per_thread: u64,
+    config: &SystemConfig,
+) -> ThroughputResult {
+    run_group_warmed(profile, scheme, threads, 20_000, instructions_per_thread, config)
+}
+
+/// [`run_group`] with an explicit per-thread warm-up access count (caches
+/// and dictionaries fill without affecting measured time).
+#[must_use]
+pub fn run_group_warmed(
+    profile: &'static WorkloadProfile,
+    scheme: Scheme,
+    threads: usize,
+    warm_accesses: u64,
+    instructions_per_thread: u64,
+    config: &SystemConfig,
+) -> ThroughputResult {
+    assert!(
+        threads >= GROUP_SIZE && threads.is_multiple_of(GROUP_SIZE),
+        "thread count must be a positive multiple of {GROUP_SIZE}"
+    );
+    let groups = (threads / GROUP_SIZE) as f64;
+    let mut wire = SharedLink::new(TOTAL_LINK_BYTES_PER_SEC / groups, config.link_setup_ps);
+    // DRAM behind the buffers: "4 MCs per chip/buffer" across 4 channels
+    // (Table IV) gives DRAM 204.8 GB/s aggregate — 2.7x the link, so the
+    // off-chip link is the system bottleneck, as in the paper.
+    let mut dram_cfg = *config;
+    dram_cfg.dram_bus_bytes_per_sec = 16.0 * config.dram_bus_bytes_per_sec / groups;
+    let mut dram = DramModel::from_config(&dram_cfg);
+
+    let mut group: Vec<ThreadSim> = (0..GROUP_SIZE)
+        .map(|i| {
+            let mut t = ThreadSim::new(profile, i as u64, scheme, *config);
+            t.warm(warm_accesses);
+            t
+        })
+        .collect();
+
+    // Advance the earliest thread until every thread reaches its target
+    // ("kept running until all have finished ... to sustain loads").
+    loop {
+        let all_done = group
+            .iter()
+            .all(|t| t.retired() >= instructions_per_thread);
+        if all_done {
+            break;
+        }
+        let next = group
+            .iter_mut()
+            .min_by_key(|t| t.now_ps())
+            .expect("group is non-empty");
+        next.step(&mut wire, &mut dram);
+    }
+
+    let group_instructions: u64 = group.iter().map(ThreadSim::retired).sum();
+    let elapsed_ps = group.iter().map(ThreadSim::now_ps).max().expect("non-empty");
+    ThroughputResult {
+        threads,
+        group_instructions,
+        elapsed_ps,
+    }
+}
+
+/// Throughput speedup of `scheme` over the uncompressed system at the same
+/// thread count (one Fig. 14 bar).
+#[must_use]
+pub fn speedup(
+    profile: &'static WorkloadProfile,
+    scheme: Scheme,
+    threads: usize,
+    instructions_per_thread: u64,
+    config: &SystemConfig,
+) -> f64 {
+    let base = run_group(
+        profile,
+        Scheme::Uncompressed,
+        threads,
+        instructions_per_thread,
+        config,
+    );
+    let comp = run_group(profile, scheme, threads, instructions_per_thread, config);
+    comp.system_ips() / base.system_ips()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_compress::EngineKind;
+    use cable_trace::by_name;
+
+    #[test]
+    fn memory_bound_speedup_at_high_thread_count() {
+        // Fig. 14a: memory-intensive workloads gain large speedups at 2048
+        // threads (bandwidth per group is tiny, compression multiplies it).
+        let cfg = SystemConfig::paper_defaults();
+        let p = by_name("mcf").unwrap();
+        let s = speedup(p, Scheme::Cable(EngineKind::Lbe), 2048, 20_000, &cfg);
+        assert!(s > 1.5, "mcf speedup {s}");
+    }
+
+    #[test]
+    fn compute_bound_gains_little() {
+        // Fig. 14a: povray/gobmk "generally do not benefit despite achieving
+        // high compression ratios".
+        let cfg = SystemConfig::paper_defaults();
+        let p = by_name("povray").unwrap();
+        let s = speedup(p, Scheme::Cable(EngineKind::Lbe), 2048, 20_000, &cfg);
+        assert!(s < 1.5, "povray speedup {s}");
+    }
+
+    #[test]
+    fn speedup_grows_with_thread_count() {
+        // Fig. 14b: at 256 threads bandwidth is not oversubscribed; the
+        // benefit appears at high counts.
+        let cfg = SystemConfig::paper_defaults();
+        let p = by_name("lbm").unwrap();
+        let low = speedup(p, Scheme::Cable(EngineKind::Lbe), 256, 15_000, &cfg);
+        let high = speedup(p, Scheme::Cable(EngineKind::Lbe), 2048, 15_000, &cfg);
+        assert!(
+            high > low * 1.1,
+            "speedup should grow: 256t {low}, 2048t {high}"
+        );
+    }
+
+    #[test]
+    fn group_accounting() {
+        let cfg = SystemConfig::paper_defaults();
+        let p = by_name("gcc").unwrap();
+        let r = run_group(p, Scheme::Uncompressed, 256, 5_000, &cfg);
+        assert!(r.group_instructions >= 8 * 5_000);
+        assert!(r.system_ips() > r.group_ips());
+        assert_eq!(r.threads, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn bad_thread_count_rejected() {
+        let cfg = SystemConfig::paper_defaults();
+        let _ = run_group(by_name("gcc").unwrap(), Scheme::Uncompressed, 12, 100, &cfg);
+    }
+}

@@ -1,0 +1,72 @@
+//! The multiprogram mixes of Table VI.
+
+/// One destructive multiprogram mix ("randomly chosen", Table VI).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MixSpec {
+    /// Mix label (`MIX0`..`MIX7`).
+    pub name: &'static str,
+    /// The four co-scheduled benchmarks.
+    pub members: [&'static str; 4],
+}
+
+/// Table VI verbatim.
+#[must_use]
+pub fn mix_table() -> [MixSpec; 8] {
+    [
+        MixSpec {
+            name: "MIX0",
+            members: ["h264ref", "soplex", "hmmer", "bzip2"],
+        },
+        MixSpec {
+            name: "MIX1",
+            members: ["gcc", "gobmk", "gcc", "soplex"],
+        },
+        MixSpec {
+            name: "MIX2",
+            members: ["bzip2", "lbm", "gobmk", "perlbench"],
+        },
+        MixSpec {
+            name: "MIX3",
+            members: ["gcc", "bzip2", "tonto", "cactusADM"],
+        },
+        MixSpec {
+            name: "MIX4",
+            members: ["perlbench", "wrf", "gobmk", "gcc"],
+        },
+        MixSpec {
+            name: "MIX5",
+            members: ["omnetpp", "bzip2", "bzip2", "gobmk"],
+        },
+        MixSpec {
+            name: "MIX6",
+            members: ["gcc", "tonto", "gamess", "cactusADM"],
+        },
+        MixSpec {
+            name: "MIX7",
+            members: ["gcc", "wrf", "gcc", "bzip2"],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_mixes_of_four() {
+        let mixes = mix_table();
+        assert_eq!(mixes.len(), 8);
+        for (i, m) in mixes.iter().enumerate() {
+            assert_eq!(m.name, format!("MIX{i}"));
+            assert_eq!(m.members.len(), 4);
+        }
+    }
+
+    #[test]
+    fn duplicates_allowed_within_a_mix() {
+        // MIX1 runs gcc twice, MIX5 runs bzip2 twice — Table VI verbatim.
+        let mixes = mix_table();
+        assert_eq!(mixes[1].members.iter().filter(|m| **m == "gcc").count(), 2);
+        assert_eq!(mixes[5].members.iter().filter(|m| **m == "bzip2").count(), 2);
+    }
+}

@@ -1,0 +1,737 @@
+//! Per-benchmark workload profiles.
+//!
+//! Each profile captures, in a handful of parameters, the traits of one
+//! SPEC2006 benchmark that the paper's results depend on: how compressible
+//! its off-chip traffic is (and *why* — zeros vs. near-duplicate objects
+//! vs. entropy), how far apart similar lines recur, and how memory-bound
+//! the program is. The DESIGN.md substitution note explains the
+//! calibration targets.
+
+/// Data-content class fractions and access behaviour of one synthetic
+/// benchmark. Fractions need not sum to 1; the remainder is high-entropy
+/// random data.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadProfile {
+    /// Benchmark name as it appears in the paper's figures.
+    pub name: &'static str,
+    /// Fraction of lines that are entirely zero.
+    pub zero_line_frac: f64,
+    /// Fraction of lines that are one 64-bit value repeated.
+    pub repeat_line_frac: f64,
+    /// Fraction of lines that are near-duplicates of a template object.
+    pub template_frac: f64,
+    /// Number of distinct template objects (smaller = more similarity).
+    pub template_count: u32,
+    /// Template-pool size per 256 KB region: object similarity is
+    /// allocation-site-local, so each region draws from a window of the
+    /// global template set. The pool size sets the reuse distance of
+    /// near-duplicates in the miss stream: small pools recur inside gzip's
+    /// 32 KB window; large pools only a cache-sized dictionary can reach.
+    pub templates_per_region: u32,
+    /// Words mutated per template instance (draws from `1..=max`).
+    pub max_mutations: u32,
+    /// Probability a template instance is additionally byte-shifted
+    /// (word-aligned schemes cannot exploit shifted copies; gzip and
+    /// ORACLE can).
+    pub byte_shift_frac: f64,
+    /// Fraction of lines that are pointer arrays (shared high bits).
+    pub pointer_frac: f64,
+    /// Fraction of lines of small integers (trivial words).
+    pub small_value_frac: f64,
+    /// Fraction of zero words *inside* otherwise interesting lines.
+    pub zero_word_frac: f64,
+    /// Working-set size in cache lines.
+    pub working_set_lines: u64,
+    /// Memory operations per instruction (drives bandwidth demand).
+    pub mem_ratio: f64,
+    /// Fraction of memory operations that are stores.
+    pub write_frac: f64,
+    /// Probability the next access continues the current sequential run.
+    pub locality: f64,
+    /// Fraction of line visits that target the small cache-resident hot
+    /// set (compute-bound programs hit their caches almost always).
+    pub hot_frac: f64,
+    /// Hot-set size in lines (placed at the start of the working set).
+    pub hot_lines: u64,
+    /// True for the zero-dominant class the paper groups separately
+    /// (footnote 5; right side of Fig. 12).
+    pub zero_dominant: bool,
+    /// If true, each program instance synthesizes *different* content
+    /// (defeats cross-program sharing in SPECrate mode, like namd in
+    /// Fig. 15).
+    pub content_diverges: bool,
+}
+
+
+/// All synthetic benchmarks, in Fig. 12's left-to-right order
+/// (non-trivial first, zero-dominant grouped at the end).
+pub const ALL_WORKLOADS: &[WorkloadProfile] = &[
+    WorkloadProfile {
+        // Perl interpreter: pointer-dense structures, mid-size objects.
+        name: "perlbench",
+        zero_line_frac: 0.12,
+        repeat_line_frac: 0.03,
+        template_frac: 0.45,
+        template_count: 224,
+        templates_per_region: 320,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.25,
+        small_value_frac: 0.1,
+        zero_word_frac: 0.3,
+        working_set_lines: 1 << 17,
+        mem_ratio: 0.28,
+        write_frac: 0.3,
+        locality: 0.6,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Suffix/byte-rotation data: byte-shifted copies favour gzip.
+        name: "bzip2",
+        zero_line_frac: 0.05,
+        repeat_line_frac: 0.05,
+        template_frac: 0.4,
+        template_count: 96,
+        templates_per_region: 64,
+        max_mutations: 4,
+        byte_shift_frac: 0.3,
+        pointer_frac: 0.05,
+        small_value_frac: 0.3,
+        zero_word_frac: 0.15,
+        working_set_lines: 1 << 17,
+        mem_ratio: 0.3,
+        write_frac: 0.3,
+        locality: 0.8,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // RTL/IR objects recur across a footprint beyond gzip's window.
+        name: "gcc",
+        zero_line_frac: 0.18,
+        repeat_line_frac: 0.04,
+        template_frac: 0.42,
+        template_count: 768,
+        templates_per_region: 640,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.24,
+        small_value_frac: 0.08,
+        zero_word_frac: 0.3,
+        working_set_lines: 1 << 18,
+        mem_ratio: 0.3,
+        write_frac: 0.3,
+        locality: 0.55,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Board/pattern structs: wide-footprint near-duplicates (CABLE > gzip).
+        name: "gobmk",
+        zero_line_frac: 0.08,
+        repeat_line_frac: 0.02,
+        template_frac: 0.58,
+        template_count: 1024,
+        templates_per_region: 640,
+        max_mutations: 1,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.1,
+        small_value_frac: 0.14,
+        zero_word_frac: 0.3,
+        working_set_lines: 1 << 16,
+        mem_ratio: 0.18,
+        write_frac: 0.3,
+        locality: 0.5,
+        hot_frac: 0.85,
+        hot_lines: 1024,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Profile-HMM score arrays.
+        name: "hmmer",
+        zero_line_frac: 0.05,
+        repeat_line_frac: 0.05,
+        template_frac: 0.5,
+        template_count: 192,
+        templates_per_region: 96,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.05,
+        small_value_frac: 0.25,
+        zero_word_frac: 0.2,
+        working_set_lines: 1 << 15,
+        mem_ratio: 0.33,
+        write_frac: 0.3,
+        locality: 0.85,
+        hot_frac: 0.7,
+        hot_lines: 2048,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Search-tree nodes and hash entries.
+        name: "sjeng",
+        zero_line_frac: 0.1,
+        repeat_line_frac: 0.03,
+        template_frac: 0.45,
+        template_count: 160,
+        templates_per_region: 320,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.18,
+        small_value_frac: 0.16,
+        zero_word_frac: 0.3,
+        working_set_lines: 1 << 16,
+        mem_ratio: 0.2,
+        write_frac: 0.3,
+        locality: 0.5,
+        hot_frac: 0.6,
+        hot_lines: 2048,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Motion-compensated frames: byte-shifted macroblocks favour gzip.
+        name: "h264ref",
+        zero_line_frac: 0.1,
+        repeat_line_frac: 0.05,
+        template_frac: 0.35,
+        template_count: 128,
+        templates_per_region: 64,
+        max_mutations: 4,
+        byte_shift_frac: 0.35,
+        pointer_frac: 0.05,
+        small_value_frac: 0.3,
+        zero_word_frac: 0.25,
+        working_set_lines: 1 << 16,
+        mem_ratio: 0.32,
+        write_frac: 0.3,
+        locality: 0.85,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Event objects: many near-duplicates across a large heap.
+        name: "omnetpp",
+        zero_line_frac: 0.12,
+        repeat_line_frac: 0.03,
+        template_frac: 0.5,
+        template_count: 1024,
+        templates_per_region: 704,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.25,
+        small_value_frac: 0.06,
+        zero_word_frac: 0.3,
+        working_set_lines: 1 << 18,
+        mem_ratio: 0.35,
+        write_frac: 0.3,
+        locality: 0.45,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Graph nodes with pointer-heavy adjacency.
+        name: "astar",
+        zero_line_frac: 0.08,
+        repeat_line_frac: 0.02,
+        template_frac: 0.45,
+        template_count: 192,
+        templates_per_region: 512,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.28,
+        small_value_frac: 0.12,
+        zero_word_frac: 0.3,
+        working_set_lines: 1 << 17,
+        mem_ratio: 0.32,
+        write_frac: 0.3,
+        locality: 0.5,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // DOM trees: pointer-rich, widely-spread duplicates.
+        name: "xalancbmk",
+        zero_line_frac: 0.15,
+        repeat_line_frac: 0.03,
+        template_frac: 0.47,
+        template_count: 896,
+        templates_per_region: 704,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.25,
+        small_value_frac: 0.06,
+        zero_word_frac: 0.3,
+        working_set_lines: 1 << 18,
+        mem_ratio: 0.34,
+        write_frac: 0.3,
+        locality: 0.5,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Compute-bound quantum chemistry: cache-resident.
+        name: "gamess",
+        zero_line_frac: 0.1,
+        repeat_line_frac: 0.05,
+        template_frac: 0.55,
+        template_count: 160,
+        templates_per_region: 96,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.05,
+        small_value_frac: 0.18,
+        zero_word_frac: 0.2,
+        working_set_lines: 1 << 14,
+        mem_ratio: 0.08,
+        write_frac: 0.3,
+        locality: 0.9,
+        hot_frac: 0.95,
+        hot_lines: 1024,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // FP grids with recurring layouts beyond gzip's window (CABLE > gzip).
+        name: "zeusmp",
+        zero_line_frac: 0.1,
+        repeat_line_frac: 0.06,
+        template_frac: 0.6,
+        template_count: 1024,
+        templates_per_region: 640,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.0,
+        small_value_frac: 0.16,
+        zero_word_frac: 0.35,
+        working_set_lines: 1 << 18,
+        mem_ratio: 0.35,
+        write_frac: 0.3,
+        locality: 0.75,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Molecular dynamics arrays.
+        name: "gromacs",
+        zero_line_frac: 0.08,
+        repeat_line_frac: 0.05,
+        template_frac: 0.5,
+        template_count: 128,
+        templates_per_region: 96,
+        max_mutations: 3,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.05,
+        small_value_frac: 0.22,
+        zero_word_frac: 0.25,
+        working_set_lines: 1 << 15,
+        mem_ratio: 0.2,
+        write_frac: 0.3,
+        locality: 0.8,
+        hot_frac: 0.85,
+        hot_lines: 2048,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Stencil grids with many zero words.
+        name: "cactusADM",
+        zero_line_frac: 0.2,
+        repeat_line_frac: 0.08,
+        template_frac: 0.5,
+        template_count: 192,
+        templates_per_region: 384,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.0,
+        small_value_frac: 0.14,
+        zero_word_frac: 0.4,
+        working_set_lines: 1 << 18,
+        mem_ratio: 0.4,
+        write_frac: 0.3,
+        locality: 0.85,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // High-entropy FP forces; instances diverge (Fig. 15's loser).
+        name: "namd",
+        zero_line_frac: 0.03,
+        repeat_line_frac: 0.02,
+        template_frac: 0.25,
+        template_count: 2048,
+        templates_per_region: 512,
+        max_mutations: 6,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.05,
+        small_value_frac: 0.25,
+        zero_word_frac: 0.1,
+        working_set_lines: 1 << 15,
+        mem_ratio: 0.15,
+        write_frac: 0.3,
+        locality: 0.85,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: false,
+        content_diverges: true,
+    },
+    WorkloadProfile {
+        // FEM objects: the flagship CABLE-over-gzip case — near-duplicates spread far beyond a 32 KB window.
+        name: "dealII",
+        zero_line_frac: 0.08,
+        repeat_line_frac: 0.03,
+        template_frac: 0.62,
+        template_count: 1536,
+        templates_per_region: 768,
+        max_mutations: 1,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.12,
+        small_value_frac: 0.1,
+        zero_word_frac: 0.3,
+        working_set_lines: 1 << 18,
+        mem_ratio: 0.33,
+        write_frac: 0.3,
+        locality: 0.55,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Sparse LP matrices.
+        name: "soplex",
+        zero_line_frac: 0.15,
+        repeat_line_frac: 0.05,
+        template_frac: 0.45,
+        template_count: 448,
+        templates_per_region: 512,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.05,
+        small_value_frac: 0.22,
+        zero_word_frac: 0.35,
+        working_set_lines: 1 << 18,
+        mem_ratio: 0.38,
+        write_frac: 0.3,
+        locality: 0.6,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Compute-bound ray tracer with a cache-resident working set.
+        name: "povray",
+        zero_line_frac: 0.1,
+        repeat_line_frac: 0.04,
+        template_frac: 0.55,
+        template_count: 96,
+        templates_per_region: 64,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.1,
+        small_value_frac: 0.16,
+        zero_word_frac: 0.3,
+        working_set_lines: 1 << 13,
+        mem_ratio: 0.06,
+        write_frac: 0.3,
+        locality: 0.9,
+        hot_frac: 0.97,
+        hot_lines: 512,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // FE solver arrays.
+        name: "calculix",
+        zero_line_frac: 0.1,
+        repeat_line_frac: 0.05,
+        template_frac: 0.45,
+        template_count: 128,
+        templates_per_region: 96,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.05,
+        small_value_frac: 0.25,
+        zero_word_frac: 0.3,
+        working_set_lines: 1 << 16,
+        mem_ratio: 0.18,
+        write_frac: 0.3,
+        locality: 0.8,
+        hot_frac: 0.85,
+        hot_lines: 2048,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Quantum-chemistry objects recurring across a wide footprint (CABLE > gzip).
+        name: "tonto",
+        zero_line_frac: 0.1,
+        repeat_line_frac: 0.05,
+        template_frac: 0.6,
+        template_count: 1280,
+        templates_per_region: 704,
+        max_mutations: 1,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.0,
+        small_value_frac: 0.18,
+        zero_word_frac: 0.25,
+        working_set_lines: 1 << 17,
+        mem_ratio: 0.22,
+        write_frac: 0.3,
+        locality: 0.6,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Weather grids with zero-heavy halos.
+        name: "wrf",
+        zero_line_frac: 0.18,
+        repeat_line_frac: 0.06,
+        template_frac: 0.46,
+        template_count: 448,
+        templates_per_region: 512,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.0,
+        small_value_frac: 0.2,
+        zero_word_frac: 0.35,
+        working_set_lines: 1 << 18,
+        mem_ratio: 0.3,
+        write_frac: 0.3,
+        locality: 0.8,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Acoustic model scores.
+        name: "sphinx3",
+        zero_line_frac: 0.1,
+        repeat_line_frac: 0.04,
+        template_frac: 0.46,
+        template_count: 128,
+        templates_per_region: 96,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.05,
+        small_value_frac: 0.25,
+        zero_word_frac: 0.3,
+        working_set_lines: 1 << 16,
+        mem_ratio: 0.3,
+        write_frac: 0.3,
+        locality: 0.75,
+        hot_frac: 0.6,
+        hot_lines: 2048,
+        zero_dominant: false,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Sparse network flow: zero-dominant, memory-bound.
+        name: "mcf",
+        zero_line_frac: 0.6,
+        repeat_line_frac: 0.12,
+        template_frac: 0.2,
+        template_count: 128,
+        templates_per_region: 96,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.08,
+        small_value_frac: 0.0,
+        zero_word_frac: 0.5,
+        working_set_lines: 1 << 17,
+        mem_ratio: 0.45,
+        write_frac: 0.3,
+        locality: 0.35,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: true,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Lattice-Boltzmann: streaming, zero/repeat-dominant.
+        name: "lbm",
+        zero_line_frac: 0.55,
+        repeat_line_frac: 0.2,
+        template_frac: 0.24,
+        template_count: 32,
+        templates_per_region: 24,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.0,
+        small_value_frac: 0.0,
+        zero_word_frac: 0.5,
+        working_set_lines: 1 << 17,
+        mem_ratio: 0.5,
+        write_frac: 0.45,
+        locality: 0.9,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: true,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Quantum register sweep: almost all zeros/repeats.
+        name: "libquantum",
+        zero_line_frac: 0.75,
+        repeat_line_frac: 0.12,
+        template_frac: 0.11,
+        template_count: 8,
+        templates_per_region: 8,
+        max_mutations: 1,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.0,
+        small_value_frac: 0.0,
+        zero_word_frac: 0.3,
+        working_set_lines: 1 << 17,
+        mem_ratio: 0.4,
+        write_frac: 0.3,
+        locality: 0.95,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: true,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Lattice QCD: zero-dominant.
+        name: "milc",
+        zero_line_frac: 0.58,
+        repeat_line_frac: 0.18,
+        template_frac: 0.22,
+        template_count: 48,
+        templates_per_region: 32,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.0,
+        small_value_frac: 0.0,
+        zero_word_frac: 0.5,
+        working_set_lines: 1 << 17,
+        mem_ratio: 0.42,
+        write_frac: 0.3,
+        locality: 0.85,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: true,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // Blast-wave grids: streaming zeros/repeats.
+        name: "bwaves",
+        zero_line_frac: 0.62,
+        repeat_line_frac: 0.22,
+        template_frac: 0.16,
+        template_count: 16,
+        templates_per_region: 12,
+        max_mutations: 1,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.0,
+        small_value_frac: 0.0,
+        zero_word_frac: 0.3,
+        working_set_lines: 1 << 17,
+        mem_ratio: 0.48,
+        write_frac: 0.3,
+        locality: 0.95,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: true,
+        content_diverges: false,
+    },
+    WorkloadProfile {
+        // FDTD grids: zero-dominant.
+        name: "GemsFDTD",
+        zero_line_frac: 0.52,
+        repeat_line_frac: 0.2,
+        template_frac: 0.27,
+        template_count: 64,
+        templates_per_region: 48,
+        max_mutations: 2,
+        byte_shift_frac: 0.0,
+        pointer_frac: 0.0,
+        small_value_frac: 0.0,
+        zero_word_frac: 0.45,
+        working_set_lines: 1 << 17,
+        mem_ratio: 0.45,
+        write_frac: 0.3,
+        locality: 0.85,
+        hot_frac: 0.0,
+        hot_lines: 256,
+        zero_dominant: true,
+        content_diverges: false,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = ALL_WORKLOADS.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn fractions_are_sane() {
+        for p in ALL_WORKLOADS {
+            let sum = p.zero_line_frac
+                + p.repeat_line_frac
+                + p.template_frac
+                + p.pointer_frac
+                + p.small_value_frac;
+            assert!(sum <= 1.0 + 1e-9, "{}: class fractions sum to {sum}", p.name);
+            assert!(p.mem_ratio > 0.0 && p.mem_ratio < 1.0, "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.write_frac), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.locality), "{}", p.name);
+            assert!(p.template_count > 0, "{}", p.name);
+            assert!(p.working_set_lines > 0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn zero_dominant_workloads_are_zero_heavy() {
+        for p in ALL_WORKLOADS.iter().filter(|p| p.zero_dominant) {
+            assert!(
+                p.zero_line_frac + p.repeat_line_frac >= 0.6,
+                "{} marked zero-dominant but only {:.2} trivial",
+                p.name,
+                p.zero_line_frac + p.repeat_line_frac
+            );
+        }
+    }
+
+    #[test]
+    fn memory_bound_and_compute_bound_extremes_exist() {
+        let povray = ALL_WORKLOADS.iter().find(|p| p.name == "povray").unwrap();
+        let lbm = ALL_WORKLOADS.iter().find(|p| p.name == "lbm").unwrap();
+        assert!(povray.mem_ratio < 0.1);
+        assert!(lbm.mem_ratio >= 0.45);
+        assert!(lbm.working_set_lines > povray.working_set_lines);
+    }
+}

@@ -1,0 +1,47 @@
+//! Manycore throughput with link compression (a slice of Fig. 14).
+//!
+//! ```sh
+//! cargo run --release --example manycore_throughput [benchmark] [threads]
+//! ```
+//!
+//! Simulates one group of eight threads sharing its slice of the
+//! quad-channel off-chip bandwidth (§VI-A's methodology) and reports the
+//! system-level speedup of each compression scheme over the uncompressed
+//! link.
+
+use cable::compress::EngineKind;
+use cable::core::BaselineKind;
+use cable::sim::{run_group, Scheme, SystemConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "mcf".into());
+    let threads: usize = args.next().and_then(|n| n.parse().ok()).unwrap_or(2048);
+    let Some(profile) = cable::trace::by_name(&name) else {
+        eprintln!("unknown benchmark {name}");
+        std::process::exit(1);
+    };
+    let cfg = SystemConfig::paper_defaults();
+    let instrs = 25_000;
+
+    println!("benchmark {name}, {threads} threads (groups of 8 share bandwidth)\n");
+    let base = run_group(profile, Scheme::Uncompressed, threads, instrs, &cfg);
+    println!(
+        "{:12} {:>12.3e} instructions/s",
+        "uncompressed",
+        base.system_ips()
+    );
+    for scheme in [
+        Scheme::Baseline(BaselineKind::Cpack),
+        Scheme::Baseline(BaselineKind::Gzip),
+        Scheme::Cable(EngineKind::Lbe),
+    ] {
+        let r = run_group(profile, scheme, threads, instrs, &cfg);
+        println!(
+            "{:12} {:>12.3e} instructions/s  ({:.2}x speedup)",
+            scheme.label(),
+            r.system_ips(),
+            r.system_ips() / base.system_ips()
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Memory-link compression shoot-out for one benchmark (a one-row slice of
+//! Fig. 12).
+//!
+//! ```sh
+//! cargo run --release --example memory_link [benchmark]
+//! ```
+//!
+//! Replays a synthetic SPEC2006-like trace through the LLC↔L4 link under
+//! every scheme the paper evaluates and prints the resulting compression
+//! ratios and transfer mix.
+
+use cable::compress::EngineKind;
+use cable::core::BaselineKind;
+use cable::sim::{CompressedLink, Scheme};
+use cable::trace::WorkloadGen;
+use cable_cache::CacheGeometry;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "dealII".into());
+    let Some(profile) = cable::trace::by_name(&name) else {
+        eprintln!("unknown benchmark {name}; try one of:");
+        for p in cable::trace::ALL_WORKLOADS {
+            eprintln!("  {}", p.name);
+        }
+        std::process::exit(1);
+    };
+
+    let schemes = [
+        Scheme::Baseline(BaselineKind::Bdi),
+        Scheme::Baseline(BaselineKind::Cpack),
+        Scheme::Baseline(BaselineKind::Cpack128),
+        Scheme::Baseline(BaselineKind::Lbe256),
+        Scheme::Baseline(BaselineKind::Gzip),
+        Scheme::Cable(EngineKind::Lbe),
+        Scheme::Cable(EngineKind::Oracle),
+    ];
+
+    println!("benchmark: {name} ({} accesses measured)\n", 60_000);
+    println!(
+        "{:12} {:>7} {:>8} {:>8} {:>8} {:>8}",
+        "scheme", "ratio", "diff", "unseeded", "raw", "wb"
+    );
+    for scheme in schemes {
+        let mut link = CompressedLink::build(
+            scheme,
+            CacheGeometry::new(4 << 20, 16),
+            CacheGeometry::new(1 << 20, 8),
+            16,
+        );
+        let mut gen = WorkloadGen::new(profile, 0);
+        let run = |n: u64, link: &mut CompressedLink, gen: &mut WorkloadGen| {
+            for _ in 0..n {
+                let a = gen.next_access();
+                let m = gen.content(a.addr);
+                if a.is_write {
+                    link.request_exclusive(a.addr, m);
+                    let d = gen.store_data(a.addr);
+                    link.remote_store(a.addr, d);
+                } else {
+                    link.request(a.addr, m);
+                }
+            }
+        };
+        run(30_000, &mut link, &mut gen); // warm-up
+        link.reset_stats();
+        run(60_000, &mut link, &mut gen);
+        let s = link.stats();
+        println!(
+            "{:12} {:>6.2}x {:>8} {:>8} {:>8} {:>8}",
+            scheme.label(),
+            s.compression_ratio(),
+            s.diff_transfers,
+            s.unseeded_transfers,
+            s.raw_transfers,
+            s.writebacks
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Record a trace, then replay it through compressed links.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay [benchmark] [accesses]
+//! ```
+//!
+//! Demonstrates the capture/replay workflow a downstream user would follow
+//! with traces from their own simulator or pin tool: record line-granular
+//! accesses (with observed content) into the portable `CBTR` format, write
+//! it to disk, read it back, and evaluate compression schemes on it.
+
+use cable::compress::EngineKind;
+use cable::core::BaselineKind;
+use cable::sim::{CompressedLink, Scheme};
+use cable::trace::record::{TraceReader, TraceRecord};
+use cable::trace::WorkloadGen;
+use cable_cache::CacheGeometry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "omnetpp".into());
+    let accesses: u64 = args.next().and_then(|n| n.parse().ok()).unwrap_or(60_000);
+    let Some(profile) = cable::trace::by_name(&name) else {
+        eprintln!("unknown benchmark {name}");
+        std::process::exit(1);
+    };
+
+    // 1. Record.
+    let mut gen = WorkloadGen::new(profile, 0);
+    let trace = cable::trace::record::record_synthetic(&mut gen, accesses);
+    let path = std::env::temp_dir().join(format!("cable_{name}.cbtr"));
+    std::fs::write(&path, &trace)?;
+    println!(
+        "recorded {accesses} accesses of {name} to {} ({} KB)",
+        path.display(),
+        trace.len() / 1024
+    );
+
+    // 2. Read back and replay under several schemes.
+    for scheme in [
+        Scheme::Baseline(BaselineKind::Cpack),
+        Scheme::Baseline(BaselineKind::Gzip),
+        Scheme::Cable(EngineKind::Lbe),
+    ] {
+        let bytes = cable::trace::bytes::Bytes::from(std::fs::read(&path)?);
+        let reader = TraceReader::new(bytes)?;
+        let mut link = CompressedLink::build(
+            scheme,
+            CacheGeometry::new(4 << 20, 16),
+            CacheGeometry::new(1 << 20, 8),
+            16,
+        );
+        for record in reader {
+            let TraceRecord {
+                addr,
+                is_write,
+                data,
+            } = record?;
+            if is_write {
+                link.request_exclusive(addr, data);
+                link.remote_store(addr, data);
+            } else {
+                link.request(addr, data);
+            }
+        }
+        let s = link.stats();
+        println!(
+            "{:10} replayed ratio {:>5.2}x (fills {}, write-backs {})",
+            scheme.label(),
+            s.compression_ratio(),
+            s.fills,
+            s.writebacks
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,182 @@
+//! Integration tests across the whole workspace through the facade crate:
+//! trace generation → cache hierarchy → CABLE framework → engines → wire
+//! accounting.
+
+use cable::common::{Address, LineData};
+use cable::compress::EngineKind;
+use cable::core::{BaselineKind, CableConfig, CableLink, TransferKind};
+use cable::sim::{CompressedLink, Scheme};
+use cable::trace::WorkloadGen;
+use cable_cache::CacheGeometry;
+
+fn study(profile: &'static cable::trace::WorkloadProfile, scheme: Scheme) -> cable::core::LinkStats {
+    let mut link = CompressedLink::build(
+        scheme,
+        CacheGeometry::new(4 << 20, 16),
+        CacheGeometry::new(1 << 20, 8),
+        16,
+    );
+    let mut gen = WorkloadGen::new(profile, 0);
+    let run = |n: u64, link: &mut CompressedLink, gen: &mut WorkloadGen| {
+        for _ in 0..n {
+            let a = gen.next_access();
+            let m = gen.content(a.addr);
+            if a.is_write {
+                link.request_exclusive(a.addr, m);
+                let d = gen.store_data(a.addr);
+                link.remote_store(a.addr, d);
+            } else {
+                link.request(a.addr, m);
+            }
+        }
+    };
+    run(20_000, &mut link, &mut gen);
+    link.reset_stats();
+    run(30_000, &mut link, &mut gen);
+    *link.stats()
+}
+
+#[test]
+fn every_scheme_survives_every_workload_class() {
+    // One representative per content mix; verification is on, so this is a
+    // full lossless round-trip check of ~90k transfers.
+    for name in ["dealII", "mcf", "bzip2", "povray", "namd"] {
+        let p = cable::trace::by_name(name).unwrap();
+        for scheme in [
+            Scheme::Uncompressed,
+            Scheme::Baseline(BaselineKind::Bdi),
+            Scheme::Baseline(BaselineKind::Cpack),
+            Scheme::Baseline(BaselineKind::Cpack128),
+            Scheme::Baseline(BaselineKind::Lbe256),
+            Scheme::Baseline(BaselineKind::Gzip),
+            Scheme::Cable(EngineKind::Lbe),
+        ] {
+            let s = study(p, scheme);
+            assert!(s.fills > 0, "{name}/{}: no fills", scheme.label());
+            assert!(
+                s.wire_bits >= s.payload_bits,
+                "{name}/{}: quantization broken",
+                scheme.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn cable_beats_cpack_broadly() {
+    // The paper's core claim at small scale: CABLE+LBE compresses markedly
+    // better than CPACK on template-heavy workloads.
+    for name in ["dealII", "xalancbmk", "tonto", "omnetpp"] {
+        let p = cable::trace::by_name(name).unwrap();
+        let cable = study(p, Scheme::Cable(EngineKind::Lbe)).compression_ratio();
+        let cpack = study(p, Scheme::Baseline(BaselineKind::Cpack)).compression_ratio();
+        // Margins grow with study length (the full Fig. 12 run shows the
+        // paper-scale gap); at this test's size require a clear 20% win.
+        assert!(
+            cable > cpack * 1.2,
+            "{name}: CABLE {cable:.2} vs CPACK {cpack:.2}"
+        );
+    }
+}
+
+#[test]
+fn cable_beats_gzip_on_wide_footprint_similarity() {
+    // dealII/tonto-class workloads carry similarity across distances beyond
+    // gzip's 32 KB window but within the cache dictionary (§VI-B).
+    let mut wins = 0;
+    for name in ["dealII", "tonto", "zeusmp", "xalancbmk"] {
+        let p = cable::trace::by_name(name).unwrap();
+        let cable = study(p, Scheme::Cable(EngineKind::Lbe)).compression_ratio();
+        let gzip = study(p, Scheme::Baseline(BaselineKind::Gzip)).compression_ratio();
+        if cable > gzip {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 3, "CABLE won only {wins}/4 wide-footprint workloads");
+}
+
+#[test]
+fn gzip_beats_word_aligned_cable_on_byte_shifts() {
+    // bzip2/h264ref byte-shift their object copies: gzip's byte-granular
+    // window exploits that; word-aligned CABLE+LBE cannot (§III-A).
+    let p = cable::trace::by_name("h264ref").unwrap();
+    let gzip = study(p, Scheme::Baseline(BaselineKind::Gzip)).compression_ratio();
+    let cable = study(p, Scheme::Cable(EngineKind::Lbe)).compression_ratio();
+    assert!(
+        gzip > cable * 0.8,
+        "gzip should be competitive here: gzip {gzip:.2} vs CABLE {cable:.2}"
+    );
+}
+
+#[test]
+fn zero_dominant_group_saturates_for_everyone() {
+    // Fig. 12's right side: on the easy group both CABLE and the baselines
+    // do very well.
+    for name in ["libquantum", "bwaves"] {
+        let p = cable::trace::by_name(name).unwrap();
+        let cable = study(p, Scheme::Cable(EngineKind::Lbe)).compression_ratio();
+        let cpack = study(p, Scheme::Baseline(BaselineKind::Cpack)).compression_ratio();
+        assert!(cable > 8.0, "{name}: CABLE only {cable:.2}");
+        assert!(cpack > 4.0, "{name}: CPACK only {cpack:.2}");
+    }
+}
+
+#[test]
+fn oracle_is_the_upper_bound_on_average() {
+    let names = ["dealII", "bzip2", "gcc", "h264ref"];
+    let mut lbe_total = 0.0;
+    let mut oracle_total = 0.0;
+    for name in names {
+        let p = cable::trace::by_name(name).unwrap();
+        lbe_total += study(p, Scheme::Cable(EngineKind::Lbe)).compression_ratio();
+        oracle_total += study(p, Scheme::Cable(EngineKind::Oracle)).compression_ratio();
+    }
+    assert!(
+        oracle_total > lbe_total,
+        "ORACLE {oracle_total:.2} must beat LBE {lbe_total:.2} in aggregate"
+    );
+}
+
+#[test]
+fn facade_quickstart_flow() {
+    // The README quickstart, as a test.
+    let mut link = CableLink::new(CableConfig::memory_link_default());
+    let a = LineData::from_words(core::array::from_fn(|i| 0x0400_0000 + 17 * i as u32));
+    link.request(Address::new(0x0000), a);
+    let mut b = a;
+    b.set_word(3, 0x0777_7777);
+    let t = link.request(Address::new(0x9000), b);
+    assert_eq!(t.kind(), TransferKind::Diff);
+    assert!(t.wire_bits() < 128);
+}
+
+#[test]
+fn invariants_hold_after_real_workload_traffic() {
+    // Drive a full workload through a CableLink and verify the §III-F
+    // synchronization invariants across WMT, hash tables and both caches.
+    let p = cable::trace::by_name("omnetpp").unwrap();
+    let mut link = CableLink::new(CableConfig::memory_link_default());
+    let mut gen = WorkloadGen::new(p, 0);
+    for _ in 0..20_000 {
+        let a = gen.next_access();
+        let m = gen.content(a.addr);
+        if a.is_write {
+            link.request_exclusive(a.addr, m);
+            let d = gen.store_data(a.addr);
+            link.remote_store(a.addr, d);
+        } else {
+            link.request(a.addr, m);
+        }
+    }
+    link.check_invariants().expect("synchronization invariants");
+}
+
+#[test]
+fn studies_are_deterministic() {
+    let p = cable::trace::by_name("gcc").unwrap();
+    let a = study(p, Scheme::Cable(EngineKind::Lbe));
+    let b = study(p, Scheme::Cable(EngineKind::Lbe));
+    assert_eq!(a.wire_bits, b.wire_bits);
+    assert_eq!(a.diff_transfers, b.diff_transfers);
+    assert_eq!(a.bit_toggles, b.bit_toggles);
+}
