@@ -4,13 +4,11 @@
 //! These measure the *host* cost of the model (lines/second of simulation),
 //! not the modelled hardware latency — Table IV cycle counts cover that.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use cable_common::{Address, LineData, SplitMix64};
-use cable_compress::{
-    Bdi, Compressor, Cpack, EngineKind, Lbe, Lzss, Oracle, SeededCompressor,
-};
+use cable_compress::{Bdi, Compressor, Cpack, EngineKind, Lbe, Lzss, Oracle, SeededCompressor};
 use cable_core::{CableConfig, CableLink};
 use cable_trace::WorkloadGen;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 fn test_lines(n: usize, seed: u64) -> Vec<LineData> {
     let p = cable_trace::by_name("gcc").expect("gcc profile");
@@ -125,10 +123,10 @@ fn bench_link(c: &mut Criterion) {
 }
 
 fn bench_search(c: &mut Criterion) {
+    use cable_cache::{CacheGeometry, CoherenceState, SetAssocCache};
     use cable_core::hash_table::SignatureTable;
     use cable_core::search::search_references;
     use cable_core::SignatureExtractor;
-    use cable_cache::{CacheGeometry, CoherenceState, SetAssocCache};
 
     // A populated cache + table, then time the search pipeline alone.
     let geometry = CacheGeometry::new(1 << 20, 8);
@@ -164,5 +162,11 @@ fn bench_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines, bench_seeded, bench_link, bench_search);
+criterion_group!(
+    benches,
+    bench_engines,
+    bench_seeded,
+    bench_link,
+    bench_search
+);
 criterion_main!(benches);

@@ -10,8 +10,8 @@
 //! `CABLE_QUICK=1` shrinks the study.
 
 use cable_bench::figs::is_quick;
-use cable_bench::{geomean, print_table, save_json, FigureResult};
 use cable_bench::runner::parallel_map;
+use cable_bench::{geomean, print_table, save_json, FigureResult};
 use cable_core::{CableConfig, CableLink};
 use cable_trace::{WorkloadGen, WorkloadProfile};
 
@@ -69,7 +69,10 @@ fn main() {
     let depths: Vec<(String, Knob)> = [1usize, 2, 4]
         .into_iter()
         .map(|d| -> (String, Knob) {
-            (format!("depth {d}"), Box::new(move |c: &mut CableConfig| c.bucket_depth = d))
+            (
+                format!("depth {d}"),
+                Box::new(move |c: &mut CableConfig| c.bucket_depth = d),
+            )
         })
         .collect();
     let mut rows = sweep(&depths);
@@ -90,7 +93,10 @@ fn main() {
     let refs: Vec<(String, Knob)> = [1usize, 2, 3]
         .into_iter()
         .map(|n| -> (String, Knob) {
-            (format!("max {n} refs"), Box::new(move |c: &mut CableConfig| c.max_refs = n))
+            (
+                format!("max {n} refs"),
+                Box::new(move |c: &mut CableConfig| c.max_refs = n),
+            )
         })
         .collect();
     rows.extend(sweep(&refs));

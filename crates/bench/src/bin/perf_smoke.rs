@@ -1,0 +1,25 @@
+//! Encode hot-path throughput smoke benchmark.
+//!
+//! ```sh
+//! cargo run --release -p cable-bench --bin perf_smoke
+//! ```
+//!
+//! Replays the template-heavy encode workload through every scheme,
+//! prints accesses/sec, and writes `BENCH_encode.json` in the current
+//! directory. `CABLE_QUICK=1` shrinks the run for CI.
+
+use cable_bench::perf::{run_encode_bench, BENCH_ID};
+use cable_bench::print_table;
+
+fn main() {
+    let result = run_encode_bench();
+    print_table(result.title, &result.columns, &result.rows);
+    let path = format!("{BENCH_ID}.json");
+    match std::fs::write(&path, result.to_json()) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -413,14 +413,10 @@ pub fn fig21() -> FigureResult<'static> {
         .iter()
         .map(|&(_, scale)| {
             let per: Vec<f64> = parallel_map(workloads.clone(), |p| {
-                run_cable_with(
-                    p,
-                    &cfg,
-                    |c| {
-                        c.home_table_scale = scale;
-                        c.remote_table_scale = scale;
-                    },
-                )
+                run_cable_with(p, &cfg, |c| {
+                    c.home_table_scale = scale;
+                    c.remote_table_scale = scale;
+                })
             });
             geomean(&per)
         })
@@ -561,12 +557,10 @@ pub fn toggles() -> FigureResult<'static> {
         let cable = compression_study(p, Scheme::Cable(EngineKind::Lbe), &cfg);
         // Toggles per *logical line transferred* — compression reduces both
         // flits and transitions.
-        let per_line = |s: &LinkStats| s.bit_toggles as f64 / (s.fills + s.writebacks).max(1) as f64;
+        let per_line =
+            |s: &LinkStats| s.bit_toggles as f64 / (s.fills + s.writebacks).max(1) as f64;
         let b = per_line(&base);
-        vec![
-            1.0 - per_line(&cable) / b,
-            1.0 - per_line(&cpack) / b,
-        ]
+        vec![1.0 - per_line(&cable) / b, 1.0 - per_line(&cpack) / b]
     });
     let mut rows: Vec<(String, Vec<f64>)> = workloads
         .iter()

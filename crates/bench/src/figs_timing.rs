@@ -73,7 +73,16 @@ pub fn fig14b() -> FigureResult<'static> {
         ("CABLE+LBE".to_string(), Scheme::Cable(EngineKind::Lbe)),
     ];
     // A representative cross-section keeps the sweep tractable.
-    let subset = ["mcf", "lbm", "libquantum", "gcc", "omnetpp", "dealII", "povray", "gamess"];
+    let subset = [
+        "mcf",
+        "lbm",
+        "libquantum",
+        "gcc",
+        "omnetpp",
+        "dealII",
+        "povray",
+        "gamess",
+    ];
     let workloads: Vec<&'static WorkloadProfile> = subset
         .iter()
         .map(|n| cable_trace::by_name(n).expect("known benchmark"))
@@ -304,7 +313,11 @@ fn run_group_ctl(
         }
     }
     let total: u64 = group.iter().map(|(t, _)| t.retired()).sum();
-    let elapsed = group.iter().map(|(t, _)| t.now_ps()).max().expect("non-empty");
+    let elapsed = group
+        .iter()
+        .map(|(t, _)| t.now_ps())
+        .max()
+        .expect("non-empty");
     (total as f64 / (elapsed as f64 * 1e-12)) * groups
 }
 
@@ -341,9 +354,7 @@ fn run_single_adaptive(
 pub fn table02() -> FigureResult<'static> {
     let rows = TABLE_II_ROWS
         .iter()
-        .map(|&(name, joules, scale)| {
-            (name.to_string(), vec![joules * 1e12, f64::from(scale)])
-        })
+        .map(|&(name, joules, scale)| (name.to_string(), vec![joules * 1e12, f64::from(scale)]))
         .collect();
     FigureResult {
         id: "table02",
@@ -381,7 +392,11 @@ pub fn table03() -> FigureResult<'static> {
         ),
         (
             "Way-map table %".to_string(),
-            vec![home.wmt_fraction * 100.0, 0.0, mc.wmt_fraction * 3.0 * 100.0],
+            vec![
+                home.wmt_fraction * 100.0,
+                0.0,
+                mc.wmt_fraction * 3.0 * 100.0,
+            ],
         ),
         (
             "RemoteLID bits".to_string(),
@@ -412,32 +427,50 @@ pub fn table04() -> FigureResult<'static> {
     let c = SystemConfig::paper_defaults();
     let rows = vec![
         ("core GHz".to_string(), vec![c.core_ghz]),
-        ("L1 KB / ways / cycles".to_string(), vec![
-            (c.l1_bytes >> 10) as f64,
-            f64::from(c.l1_ways),
-            c.l1_latency_cy as f64,
-        ]),
-        ("L2 KB / ways / cycles".to_string(), vec![
-            (c.l2_bytes >> 10) as f64,
-            f64::from(c.l2_ways),
-            c.l2_latency_cy as f64,
-        ]),
-        ("LLC KB / ways / cycles".to_string(), vec![
-            (c.llc_bytes >> 10) as f64,
-            f64::from(c.llc_ways),
-            c.llc_latency_cy as f64,
-        ]),
-        ("L4 KB / ways / cycles".to_string(), vec![
-            (c.l4_bytes >> 10) as f64,
-            f64::from(c.l4_ways),
-            c.l4_latency_cy as f64,
-        ]),
-        ("link bits / GHz / GB/s".to_string(), vec![
-            f64::from(c.link_width_bits),
-            c.link_ghz,
-            c.link_bytes_per_sec() / 1e9,
-        ]),
-        ("comp cycles CPACK/gzip/CABLE".to_string(), vec![16.0, 96.0, 48.0]),
+        (
+            "L1 KB / ways / cycles".to_string(),
+            vec![
+                (c.l1_bytes >> 10) as f64,
+                f64::from(c.l1_ways),
+                c.l1_latency_cy as f64,
+            ],
+        ),
+        (
+            "L2 KB / ways / cycles".to_string(),
+            vec![
+                (c.l2_bytes >> 10) as f64,
+                f64::from(c.l2_ways),
+                c.l2_latency_cy as f64,
+            ],
+        ),
+        (
+            "LLC KB / ways / cycles".to_string(),
+            vec![
+                (c.llc_bytes >> 10) as f64,
+                f64::from(c.llc_ways),
+                c.llc_latency_cy as f64,
+            ],
+        ),
+        (
+            "L4 KB / ways / cycles".to_string(),
+            vec![
+                (c.l4_bytes >> 10) as f64,
+                f64::from(c.l4_ways),
+                c.l4_latency_cy as f64,
+            ],
+        ),
+        (
+            "link bits / GHz / GB/s".to_string(),
+            vec![
+                f64::from(c.link_width_bits),
+                c.link_ghz,
+                c.link_bytes_per_sec() / 1e9,
+            ],
+        ),
+        (
+            "comp cycles CPACK/gzip/CABLE".to_string(),
+            vec![16.0, 96.0, 48.0],
+        ),
     ];
     FigureResult {
         id: "table04",
@@ -452,21 +485,30 @@ pub fn table04() -> FigureResult<'static> {
 pub fn table05() -> FigureResult<'static> {
     let p = EnergyParams::paper_defaults();
     let rows = vec![
-        ("L1 static mW / dyn pJ".to_string(), vec![p.l1_static_w * 1e3, p.l1_dynamic_j * 1e12]),
-        ("L2 static mW / dyn pJ".to_string(), vec![p.l2_static_w * 1e3, p.l2_dynamic_j * 1e12]),
-        ("LLC static mW / dyn pJ".to_string(), vec![p.llc_static_w * 1e3, p.llc_dynamic_j * 1e12]),
-        ("L4 static mW / dyn pJ".to_string(), vec![
-            p.buffer_static_w * 1e3,
-            p.buffer_dynamic_j * 1e12,
-        ]),
-        ("CABLE+LBE comp/decomp pJ".to_string(), vec![
-            p.compress_j * 1e12,
-            p.decompress_j * 1e12,
-        ]),
-        ("link nJ per 64B / DRAM nJ".to_string(), vec![
-            p.link_j_per_64b * 1e9,
-            p.dram_access_j * 1e9,
-        ]),
+        (
+            "L1 static mW / dyn pJ".to_string(),
+            vec![p.l1_static_w * 1e3, p.l1_dynamic_j * 1e12],
+        ),
+        (
+            "L2 static mW / dyn pJ".to_string(),
+            vec![p.l2_static_w * 1e3, p.l2_dynamic_j * 1e12],
+        ),
+        (
+            "LLC static mW / dyn pJ".to_string(),
+            vec![p.llc_static_w * 1e3, p.llc_dynamic_j * 1e12],
+        ),
+        (
+            "L4 static mW / dyn pJ".to_string(),
+            vec![p.buffer_static_w * 1e3, p.buffer_dynamic_j * 1e12],
+        ),
+        (
+            "CABLE+LBE comp/decomp pJ".to_string(),
+            vec![p.compress_j * 1e12, p.decompress_j * 1e12],
+        ),
+        (
+            "link nJ per 64B / DRAM nJ".to_string(),
+            vec![p.link_j_per_64b * 1e9, p.dram_access_j * 1e9],
+        ),
     ];
     FigureResult {
         id: "table05",

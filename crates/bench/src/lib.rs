@@ -15,6 +15,7 @@
 
 pub mod figs;
 pub mod figs_timing;
+pub mod perf;
 pub mod report;
 pub mod runner;
 

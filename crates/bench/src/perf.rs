@@ -1,0 +1,83 @@
+//! Criterion-free encode-path throughput benchmark (`perf_smoke`).
+//!
+//! Replays a template-heavy workload (the worst case for the CABLE search
+//! pipeline: many resident signatures, long candidate lists) through every
+//! scheme of the Fig. 11/12 line-up and reports sustained accesses per
+//! second. The result doubles as the tracked perf regression signal:
+//! `cargo run --release -p cable-bench --bin perf_smoke` writes
+//! `BENCH_encode.json` next to the current directory.
+//!
+//! Unlike the statistical criterion micro-benchmarks (`benches/kernels.rs`)
+//! this measures the *end-to-end* hot path — cache lookups, signature
+//! search, reference selection, compression, verification — the thing the
+//! allocation-free encode work actually optimizes.
+
+use crate::figs::is_quick;
+use crate::report::FigureResult;
+use crate::runner::{default_schemes, drive, StudyConfig};
+use cable_trace::WorkloadGen;
+use std::time::Instant;
+
+/// Identifier of the emitted JSON result (`BENCH_encode.json`).
+pub const BENCH_ID: &str = "BENCH_encode";
+
+/// The workload the encode benchmark replays. dealII is template-heavy:
+/// nearly every fill runs a full signature search with live candidates.
+pub const BENCH_WORKLOAD: &str = "dealII";
+
+/// Columns of the emitted figure, in order.
+pub const BENCH_COLUMNS: &[&str] = &["accesses_per_sec", "elapsed_ms", "accesses"];
+
+/// Measures sustained accesses/sec of every default scheme on the encode
+/// workload. Honors `CABLE_QUICK` (shrinks the access budget ~10x).
+///
+/// # Panics
+///
+/// Panics if the benchmark workload is missing from the profile table.
+#[must_use]
+pub fn run_encode_bench() -> FigureResult<'static> {
+    let cfg = if is_quick() {
+        StudyConfig::quick()
+    } else {
+        StudyConfig::paper_defaults()
+    };
+    let profile = cable_trace::by_name(BENCH_WORKLOAD).expect("benchmark workload exists");
+    let rows = default_schemes()
+        .into_iter()
+        .map(|scheme| {
+            let mut link = cfg.build_link(scheme);
+            let mut gen = WorkloadGen::new(profile, 0);
+            drive(&mut link, &mut gen, cfg.warmup_accesses);
+            link.reset_stats();
+            let start = Instant::now();
+            drive(&mut link, &mut gen, cfg.accesses);
+            let elapsed = start.elapsed();
+            let secs = elapsed.as_secs_f64().max(1e-12);
+            (
+                scheme.label().to_string(),
+                vec![
+                    cfg.accesses as f64 / secs,
+                    elapsed.as_secs_f64() * 1e3,
+                    cfg.accesses as f64,
+                ],
+            )
+        })
+        .collect();
+    FigureResult {
+        id: BENCH_ID,
+        title: "Encode hot-path throughput (accesses/sec per scheme)",
+        columns: BENCH_COLUMNS.iter().map(|c| (*c).to_string()).collect(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_match_schema() {
+        assert_eq!(BENCH_COLUMNS[0], "accesses_per_sec");
+        assert_eq!(BENCH_COLUMNS.len(), 3);
+    }
+}

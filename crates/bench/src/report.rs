@@ -109,7 +109,10 @@ impl FigureResult<'_> {
                     })
                     .collect::<Vec<_>>()
                     .join(", ");
-                format!("    {{\"label\": \"{}\", \"values\": [{vals}]}}", json_escape(label))
+                format!(
+                    "    {{\"label\": \"{}\", \"values\": [{vals}]}}",
+                    json_escape(label)
+                )
             })
             .collect::<Vec<_>>()
             .join(",\n");
@@ -152,14 +155,19 @@ impl LoadedFigure {
 pub fn load_json(text: &str) -> Result<LoadedFigure, String> {
     fn string_after<'a>(text: &'a str, key: &str) -> Result<&'a str, String> {
         let pat = format!("\"{key}\": \"");
-        let start = text.find(&pat).ok_or_else(|| format!("missing key {key}"))? + pat.len();
+        let start = text
+            .find(&pat)
+            .ok_or_else(|| format!("missing key {key}"))?
+            + pat.len();
         let end = text[start..]
             .find('"')
             .ok_or_else(|| format!("unterminated string for {key}"))?;
         Ok(&text[start..start + end])
     }
     fn unescape(s: &str) -> String {
-        s.replace("\\n", "\n").replace("\\\"", "\"").replace("\\\\", "\\")
+        s.replace("\\n", "\n")
+            .replace("\\\"", "\"")
+            .replace("\\\\", "\\")
     }
     let id = unescape(string_after(text, "id")?);
     let title = unescape(string_after(text, "title")?);
@@ -266,7 +274,10 @@ mod tests {
             id: "fig00",
             title: "title with \"quotes\"",
             columns: vec!["A".into()],
-            rows: vec![("mcf".into(), vec![1.5]), ("bad\nrow".into(), vec![f64::NAN])],
+            rows: vec![
+                ("mcf".into(), vec![1.5]),
+                ("bad\nrow".into(), vec![f64::NAN]),
+            ],
         };
         let json = r.to_json();
         assert!(json.contains("\\\"quotes\\\""));

@@ -1,10 +1,11 @@
 //! Study runners: trace replay through compressed links.
 
-
 use cable_compress::EngineKind;
 use cable_core::{BaselineKind, LinkStats};
 use cable_sim::{CompressedLink, Scheme};
 use cable_trace::{MixSpec, WorkloadGen, WorkloadProfile};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
 
 /// Parameters of a compression-ratio study.
@@ -51,7 +52,7 @@ impl StudyConfig {
         }
     }
 
-    fn build_link(&self, scheme: Scheme) -> CompressedLink {
+    pub(crate) fn build_link(&self, scheme: Scheme) -> CompressedLink {
         self.build_link_scaled(scheme, 1)
     }
 
@@ -81,18 +82,9 @@ pub fn default_schemes() -> Vec<Scheme> {
     ]
 }
 
-fn drive(link: &mut CompressedLink, gen: &mut WorkloadGen, accesses: u64) {
+pub(crate) fn drive(link: &mut CompressedLink, gen: &mut WorkloadGen, accesses: u64) {
     for _ in 0..accesses {
-        let access = gen.next_access();
-        let memory = gen.content(access.addr);
-        if access.is_write {
-            let t = link.request_exclusive(access.addr, memory);
-            let _ = t;
-            let data = gen.store_data(access.addr);
-            link.remote_store(access.addr, data);
-        } else {
-            link.request(access.addr, memory);
-        }
+        drive_one(link, gen);
     }
 }
 
@@ -205,21 +197,67 @@ fn add_delta(mut acc: LinkStats, after: &LinkStats, before: &LinkStats) -> LinkS
     acc
 }
 
-/// Runs `f` over the items in parallel (one OS thread per item, which is
-/// fine for the study sizes here) and returns results in input order.
+/// Worker count for [`parallel_map`]: the machine's available parallelism.
+/// A figure sweep can enqueue dozens of multi-second studies; a bounded
+/// pool keeps memory proportional to the core count instead of the item
+/// count (each in-flight study owns multi-megabyte caches) and avoids
+/// oversubscribing the scheduler with one OS thread per item.
+fn worker_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(items)
+}
+
+/// Runs `f` over the items on a bounded worker pool and returns results in
+/// input order. Workers claim items through a shared atomic cursor, so the
+/// pool needs no queues or channels; results are deterministic (identical
+/// to a sequential map) regardless of which worker runs which item.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
     thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .into_iter()
-            .map(|item| scope.spawn(|| f(item)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("study panicked")).collect()
-    })
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("unpoisoned")
+                    .take()
+                    .expect("claimed once");
+                let r = f(item);
+                *results[i].lock().expect("unpoisoned") = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("unpoisoned")
+                .expect("worker completed")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -246,7 +284,11 @@ mod tests {
         let cfg = StudyConfig::quick();
         let p = by_name("libquantum").unwrap();
         let cable = compression_study(p, Scheme::Cable(EngineKind::Lbe), &cfg);
-        assert!(cable.compression_ratio() > 10.0, "{}", cable.compression_ratio());
+        assert!(
+            cable.compression_ratio() > 10.0,
+            "{}",
+            cable.compression_ratio()
+        );
     }
 
     #[test]
@@ -272,5 +314,20 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out = parallel_map(vec![3u64, 1, 2], |x| x * 10);
         assert_eq!(out, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn parallel_map_handles_more_items_than_workers() {
+        // Far more items than any realistic core count: every item must be
+        // claimed exactly once and land in its input slot.
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(items.clone(), |x| x + 1);
+        assert_eq!(out, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        assert_eq!(parallel_map(Vec::<u64>::new(), |x| x), Vec::<u64>::new());
+        assert_eq!(parallel_map(vec![7u64], |x| x * 2), vec![14]);
     }
 }

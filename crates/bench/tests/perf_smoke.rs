@@ -1,0 +1,63 @@
+//! Quick-mode throughput smoke test for the `perf_smoke` benchmark.
+//!
+//! Gated on `CABLE_QUICK=1` so CI exercises the end-to-end encode
+//! benchmark (full access budget per scheme, JSON emission, schema) without
+//! paying the full measurement cost in every local `cargo test`.
+
+use cable_bench::perf::{run_encode_bench, BENCH_COLUMNS, BENCH_ID};
+use cable_bench::report::load_json;
+use cable_bench::runner::default_schemes;
+
+fn quick() -> bool {
+    std::env::var("CABLE_QUICK").is_ok_and(|v| v == "1")
+}
+
+#[test]
+fn encode_bench_completes_and_roundtrips_schema() {
+    if !quick() {
+        eprintln!("skipping: set CABLE_QUICK=1 to run the encode benchmark");
+        return;
+    }
+
+    let result = run_encode_bench();
+    assert_eq!(result.id, BENCH_ID);
+    assert_eq!(result.columns, BENCH_COLUMNS);
+    assert_eq!(
+        result.rows.len(),
+        default_schemes().len(),
+        "one row per scheme"
+    );
+
+    // Every scheme must have completed its full access budget at a finite,
+    // positive rate.
+    for (label, values) in &result.rows {
+        assert_eq!(values.len(), BENCH_COLUMNS.len(), "{label}: column count");
+        let (rate, elapsed_ms, accesses) = (values[0], values[1], values[2]);
+        assert!(rate.is_finite() && rate > 0.0, "{label}: bad rate {rate}");
+        assert!(
+            elapsed_ms.is_finite() && elapsed_ms > 0.0,
+            "{label}: bad elapsed {elapsed_ms}"
+        );
+        assert!(
+            accesses > 0.0 && accesses.fract() == 0.0,
+            "{label}: bad access budget {accesses}"
+        );
+    }
+
+    // The emitted JSON parses back with the same schema and values.
+    let loaded = load_json(&result.to_json()).expect("emitted JSON parses");
+    assert_eq!(loaded.id, BENCH_ID);
+    assert_eq!(loaded.columns, BENCH_COLUMNS);
+    assert_eq!(loaded.rows.len(), result.rows.len());
+    for (label, values) in &result.rows {
+        for (col, v) in BENCH_COLUMNS.iter().zip(values) {
+            let got = loaded
+                .value(label, col)
+                .unwrap_or_else(|| panic!("{label}/{col} missing after roundtrip"));
+            assert!(
+                (got - v).abs() <= v.abs() * 1e-9,
+                "{label}/{col}: {got} != {v}"
+            );
+        }
+    }
+}

@@ -170,7 +170,10 @@ impl LineId {
     /// Panics if the coordinate lies outside `geometry`.
     #[must_use]
     pub fn pack(&self, geometry: &CacheGeometry) -> u64 {
-        assert!(u64::from(self.index) < geometry.sets(), "index out of range");
+        assert!(
+            u64::from(self.index) < geometry.sets(),
+            "index out of range"
+        );
         assert!(u32::from(self.way) < geometry.ways(), "way out of range");
         u64::from(self.index) * u64::from(geometry.ways()) + u64::from(self.way)
     }

@@ -172,9 +172,9 @@ impl InclusivePair {
 
         // 2. Install in the remote cache at its advertised replacement way.
         let victim_way = self.remote.victim_way(addr);
-        let outcome = self
-            .remote
-            .insert_at_way(addr, data, CoherenceState::Shared, Some(victim_way));
+        let outcome =
+            self.remote
+                .insert_at_way(addr, data, CoherenceState::Shared, Some(victim_way));
         if let Some(victim) = outcome.evicted {
             if victim.state == CoherenceState::Modified {
                 // Dirty victims write back to the home cache.
@@ -256,7 +256,11 @@ impl InclusivePair {
 
 impl fmt::Debug for InclusivePair {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "InclusivePair(home: {:?}, remote: {:?})", self.home, self.remote)
+        write!(
+            f,
+            "InclusivePair(home: {:?}, remote: {:?})",
+            self.home, self.remote
+        )
     }
 }
 
@@ -310,7 +314,9 @@ mod tests {
         // Fill one home set (2 ways) with lines mapping to the same home set
         // and then overflow it.
         let sets = p.home().geometry().sets();
-        let addrs: Vec<Address> = (0..3).map(|t| Address::from_line_number(t * sets)).collect();
+        let addrs: Vec<Address> = (0..3)
+            .map(|t| Address::from_line_number(t * sets))
+            .collect();
         for &a in &addrs {
             p.remote_request(a, |_| LineData::zeroed());
         }
@@ -325,7 +331,9 @@ mod tests {
     fn remote_victim_event_reported() {
         let mut p = pair();
         let sets = p.remote().geometry().sets();
-        let addrs: Vec<Address> = (0..3).map(|t| Address::from_line_number(t * sets)).collect();
+        let addrs: Vec<Address> = (0..3)
+            .map(|t| Address::from_line_number(t * sets))
+            .collect();
         p.remote_request(addrs[0], |_| LineData::zeroed());
         p.remote_request(addrs[1], |_| LineData::zeroed());
         let out = p.remote_request(addrs[2], |_| LineData::zeroed());
@@ -353,7 +361,9 @@ mod tests {
         p.remote_request(a, |_| LineData::zeroed());
         p.remote_write(a, LineData::splat_word(7));
         let events = p.remote_writeback(a).expect("dirty line");
-        assert!(events.iter().any(|e| matches!(e, PairEvent::WriteBack { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, PairEvent::WriteBack { .. })));
         let home_lid = p.home().lookup(a).unwrap();
         assert_eq!(p.home().read_by_id(home_lid), Some(LineData::splat_word(7)));
         assert_eq!(p.home().state_by_id(home_lid), CoherenceState::Shared);
@@ -413,6 +423,9 @@ mod tests {
         p.remote_request(b, |_| LineData::zeroed());
         p.remote_request(c, |_| LineData::zeroed()); // evicts dirty `a`
         let home_lid = p.home().lookup(a).unwrap();
-        assert_eq!(p.home().read_by_id(home_lid), Some(LineData::splat_word(42)));
+        assert_eq!(
+            p.home().read_by_id(home_lid),
+            Some(LineData::splat_word(42))
+        );
     }
 }

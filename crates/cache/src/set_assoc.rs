@@ -179,7 +179,12 @@ impl SetAssocCache {
     ///
     /// If `addr` is already present its data and state are updated in place
     /// (no eviction).
-    pub fn insert(&mut self, addr: Address, data: LineData, state: CoherenceState) -> InsertOutcome {
+    pub fn insert(
+        &mut self,
+        addr: Address,
+        data: LineData,
+        state: CoherenceState,
+    ) -> InsertOutcome {
         self.insert_at_way(addr, data, state, None)
     }
 
@@ -320,14 +325,17 @@ impl SetAssocCache {
     pub fn iter_valid(&self) -> impl Iterator<Item = (LineId, Address, CoherenceState)> + '_ {
         let ways = self.geometry.ways() as usize;
         let sets = self.geometry.sets();
-        self.slots.iter().enumerate().filter_map(move |(pos, slot)| {
-            if slot.state == CoherenceState::Invalid {
-                return None;
-            }
-            let lid = LineId::new((pos / ways) as u32, (pos % ways) as u8);
-            let addr = Address::from_line_number(slot.tag * sets + u64::from(lid.index()));
-            Some((lid, addr, slot.state))
-        })
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(pos, slot)| {
+                if slot.state == CoherenceState::Invalid {
+                    return None;
+                }
+                let lid = LineId::new((pos / ways) as u32, (pos % ways) as u8);
+                let addr = Address::from_line_number(slot.tag * sets + u64::from(lid.index()));
+                Some((lid, addr, slot.state))
+            })
     }
 
     /// Number of valid lines currently resident.
@@ -421,7 +429,10 @@ mod tests {
         let a = addr_for(2, 5, sets);
         let outcome = c.insert_at_way(a, LineData::splat_word(9), CoherenceState::Shared, Some(1));
         assert_eq!(outcome.line_id, LineId::new(2, 1));
-        assert_eq!(c.read_by_id(LineId::new(2, 1)), Some(LineData::splat_word(9)));
+        assert_eq!(
+            c.read_by_id(LineId::new(2, 1)),
+            Some(LineData::splat_word(9))
+        );
         assert_eq!(c.read_by_id(LineId::new(2, 0)), None);
     }
 

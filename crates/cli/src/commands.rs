@@ -67,7 +67,10 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             let nodes = parse_or(args.get(2), 4)? as usize;
             let gbps = args
                 .get(3)
-                .map(|s| s.parse::<f64>().map_err(|_| format!("`{s}` is not a number")))
+                .map(|s| {
+                    s.parse::<f64>()
+                        .map_err(|_| format!("`{s}` is not a number"))
+                })
                 .transpose()?
                 .unwrap_or(2.4);
             fabric(name, nodes, gbps)
@@ -122,7 +125,10 @@ fn build_link(scheme: Scheme) -> CompressedLink {
 }
 
 fn workloads() {
-    println!("{:12} {:>9} {:>8} {:>7}  traits", "name", "WS lines", "mem/ins", "writes");
+    println!(
+        "{:12} {:>9} {:>8} {:>7}  traits",
+        "name", "WS lines", "mem/ins", "writes"
+    );
     for p in cable_trace::ALL_WORKLOADS {
         let mut traits = Vec::new();
         if p.zero_dominant {
@@ -194,7 +200,10 @@ fn record(name: &str, n: u64, path: &str) -> Result<(), String> {
     let mut gen = WorkloadGen::new(p, 0);
     let trace = record_synthetic(&mut gen, n);
     std::fs::write(path, &trace).map_err(|e| format!("cannot write {path}: {e}"))?;
-    println!("recorded {n} accesses of {name} to {path} ({} KB)", trace.len() / 1024);
+    println!(
+        "recorded {n} accesses of {name} to {path} ({} KB)",
+        trace.len() / 1024
+    );
     Ok(())
 }
 
@@ -202,8 +211,7 @@ fn replay(path: &str) -> Result<(), String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     println!("{:12} {:>7} {:>8} {:>7}", "scheme", "ratio", "fills", "wb");
     for scheme in schemes() {
-        let reader = TraceReader::new(cable_trace::bytes::Bytes::from(bytes.clone()))
-            .map_err(|e| e.to_string())?;
+        let reader = TraceReader::new(bytes.clone()).map_err(|e| e.to_string())?;
         let mut link = build_link(scheme);
         for r in reader {
             let TraceRecord {
@@ -264,8 +272,10 @@ fn fabric(name: &str, nodes: usize, gbps: f64) -> Result<(), String> {
         return Err("PTP bandwidth must be positive".into());
     }
     let p = profile(name)?;
-    println!("{name}: {nodes}-chip fabric, {gbps} GB/s per PTP link
-");
+    println!(
+        "{name}: {nodes}-chip fabric, {gbps} GB/s per PTP link
+"
+    );
     let mut base = cable_sim::FabricSim::new(p, Scheme::Uncompressed, nodes, gbps * 1e9);
     let rb = base.run(20_000);
     println!("{:12} {:>12.3e} ins/s", "uncompressed", rb.ips());
@@ -345,7 +355,9 @@ mod tests {
 
     #[test]
     fn unknown_command_fails() {
-        assert!(run(&["frobnicate"]).unwrap_err().contains("unknown command"));
+        assert!(run(&["frobnicate"])
+            .unwrap_err()
+            .contains("unknown command"));
     }
 
     #[test]
@@ -367,8 +379,12 @@ mod tests {
     #[test]
     fn bench_validates_workload() {
         assert!(run(&["bench"]).is_err());
-        assert!(run(&["bench", "nonexistent"]).unwrap_err().contains("unknown workload"));
-        assert!(run(&["bench", "gcc", "abc"]).unwrap_err().contains("not a number"));
+        assert!(run(&["bench", "nonexistent"])
+            .unwrap_err()
+            .contains("unknown workload"));
+        assert!(run(&["bench", "gcc", "abc"])
+            .unwrap_err()
+            .contains("not a number"));
     }
 
     #[test]
@@ -388,23 +404,33 @@ mod tests {
     #[test]
     fn record_validates_arguments() {
         assert!(run(&["record", "gcc"]).is_err());
-        assert!(run(&["record", "gcc", "100"]).unwrap_err().contains("output file"));
+        assert!(run(&["record", "gcc", "100"])
+            .unwrap_err()
+            .contains("output file"));
     }
 
     #[test]
     fn replay_missing_file_fails() {
-        assert!(run(&["replay", "/nonexistent/file.cbtr"]).unwrap_err().contains("cannot read"));
+        assert!(run(&["replay", "/nonexistent/file.cbtr"])
+            .unwrap_err()
+            .contains("cannot read"));
     }
 
     #[test]
     fn fabric_validates_arguments() {
         assert!(run(&["fabric"]).is_err());
-        assert!(run(&["fabric", "gcc", "1"]).unwrap_err().contains("two chips"));
-        assert!(run(&["fabric", "gcc", "4", "-1"]).unwrap_err().contains("must be positive"));
+        assert!(run(&["fabric", "gcc", "1"])
+            .unwrap_err()
+            .contains("two chips"));
+        assert!(run(&["fabric", "gcc", "4", "-1"])
+            .unwrap_err()
+            .contains("must be positive"));
     }
 
     #[test]
     fn throughput_validates_thread_count() {
-        assert!(run(&["throughput", "gcc", "12"]).unwrap_err().contains("multiple of 8"));
+        assert!(run(&["throughput", "gcc", "12"])
+            .unwrap_err()
+            .contains("multiple of 8"));
     }
 }

@@ -45,8 +45,36 @@ impl BitWriter {
     /// Panics if `count > 64`.
     pub fn write_bits(&mut self, value: u64, count: u32) {
         assert!(count <= 64, "cannot write more than 64 bits at once");
-        for i in (0..count).rev() {
-            self.write_bit((value >> i) & 1 == 1);
+        if count == 0 {
+            return;
+        }
+        // Mask to the low `count` bits so stray high bits cannot leak in.
+        let value = if count == 64 {
+            value
+        } else {
+            value & ((1u64 << count) - 1)
+        };
+        let mut remaining = count;
+        let offset = (self.bit_len % 8) as u32;
+        if offset != 0 {
+            // Top up the partial final byte.
+            let room = 8 - offset;
+            let take = room.min(remaining);
+            let chunk = ((value >> (remaining - take)) as u16 & ((1u16 << take) - 1)) as u8;
+            let last = self.bytes.last_mut().expect("partial byte exists");
+            *last |= chunk << (room - take);
+            self.bit_len += take as usize;
+            remaining -= take;
+        }
+        while remaining >= 8 {
+            remaining -= 8;
+            self.bytes.push((value >> remaining) as u8);
+            self.bit_len += 8;
+        }
+        if remaining > 0 {
+            let chunk = (value as u16 & ((1u16 << remaining) - 1)) as u8;
+            self.bytes.push(chunk << (8 - remaining));
+            self.bit_len += remaining as usize;
         }
     }
 
@@ -65,8 +93,13 @@ impl BitWriter {
 
     /// Appends whole bytes (8 bits each).
     pub fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.write_bits(u64::from(b), 8);
+        if self.bit_len.is_multiple_of(8) {
+            self.bytes.extend_from_slice(bytes);
+            self.bit_len += bytes.len() * 8;
+        } else {
+            for &b in bytes {
+                self.write_bits(u64::from(b), 8);
+            }
         }
     }
 
@@ -144,11 +177,16 @@ impl<'a> BitReader<'a> {
             return None;
         }
         let mut value = 0u64;
-        for _ in 0..count {
+        let mut remaining = count;
+        while remaining > 0 {
             let byte = self.bytes[self.pos / 8];
-            let bit = (byte >> (7 - self.pos % 8)) & 1;
-            value = (value << 1) | u64::from(bit);
-            self.pos += 1;
+            let avail = 8 - (self.pos % 8) as u32;
+            let take = avail.min(remaining);
+            // Bits [8-avail, 8-avail+take) of the byte, MSB-first.
+            let chunk = (u16::from(byte >> (avail - take)) & ((1u16 << take) - 1)) as u8;
+            value = (value << take) | u64::from(chunk);
+            self.pos += take as usize;
+            remaining -= take;
         }
         Some(value)
     }

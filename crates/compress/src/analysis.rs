@@ -177,7 +177,22 @@ mod tests {
     #[test]
     fn line_stats_mixed() {
         let line = LineData::from_words([
-            0, 0, 7, 7, 7, 0xdead_beef, 0, 1, 0xffff_fff0, 0x0100_0000, 0, 0, 0, 2, 2, 2,
+            0,
+            0,
+            7,
+            7,
+            7,
+            0xdead_beef,
+            0,
+            1,
+            0xffff_fff0,
+            0x0100_0000,
+            0,
+            0,
+            0,
+            2,
+            2,
+            2,
         ]);
         let s = line_stats(&line);
         assert_eq!(s.zero_words, 6);

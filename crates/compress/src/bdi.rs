@@ -352,7 +352,9 @@ mod tests {
         let cases = [
             LineData::zeroed(),
             LineData::splat_word(7),
-            LineData::from_words([0x1000, 0x1001, 0x1002, 0x1003, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]),
+            LineData::from_words([
+                0x1000, 0x1001, 0x1002, 0x1003, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+            ]),
         ];
         for line in cases {
             assert_eq!(

@@ -223,9 +223,10 @@ impl Cpack {
                                 .read_bits(b)
                                 .ok_or_else(|| DecodeError::new("truncated index"))?
                                 as usize;
-                            let base = *self.dict.get(idx).ok_or_else(|| {
-                                DecodeError::new(format!("bad dict index {idx}"))
-                            })?;
+                            let base = *self
+                                .dict
+                                .get(idx)
+                                .ok_or_else(|| DecodeError::new(format!("bad dict index {idx}")))?;
                             let w = if c4 == CODE_MMMX {
                                 let low = r
                                     .read_bits(8)
@@ -242,12 +243,9 @@ impl Cpack {
                             self.push(w);
                             w
                         }
-                        other => {
-                            return Err(DecodeError::new(format!("unknown code {other:04b}")))
-                        }
+                        other => return Err(DecodeError::new(format!("unknown code {other:04b}"))),
                     }
-                }
-                // c2 is two bits; all four values are covered above.
+                } // c2 is two bits; all four values are covered above.
             };
             line.set_word(i, word);
         }

@@ -126,7 +126,9 @@ impl Lbe {
                 continue;
             }
             let mut len = 1;
-            while len < max_len && j + len < self.window.len() && self.window[j + len] == words[i + len]
+            while len < max_len
+                && j + len < self.window.len()
+                && self.window[j + len] == words[i + len]
             {
                 len += 1;
             }

@@ -212,7 +212,8 @@ impl Lzss {
             if literal {
                 let b = r
                     .read_bits(8)
-                    .ok_or_else(|| DecodeError::new("truncated literal"))? as u8;
+                    .ok_or_else(|| DecodeError::new("truncated literal"))?
+                    as u8;
                 line[i] = b;
                 self.push_byte(b);
                 i += 1;

@@ -118,10 +118,7 @@ impl Oracle {
         out
     }
 
-    fn decompress_bytes(
-        refs: &[LineData],
-        r: &mut BitReader<'_>,
-    ) -> Result<LineData, DecodeError> {
+    fn decompress_bytes(refs: &[LineData], r: &mut BitReader<'_>) -> Result<LineData, DecodeError> {
         let mut space = Self::space(refs);
         let mut line = [0u8; LINE_BYTES];
         let mut i = 0;
@@ -132,7 +129,8 @@ impl Oracle {
             if literal {
                 let b = r
                     .read_bits(8)
-                    .ok_or_else(|| DecodeError::new("truncated literal"))? as u8;
+                    .ok_or_else(|| DecodeError::new("truncated literal"))?
+                    as u8;
                 line[i] = b;
                 space.push(b);
                 i += 1;
@@ -246,7 +244,11 @@ mod tests {
         let target = LineData::from_bytes(t);
         let engine = Oracle::new();
         let payload = engine.compress_seeded(&[r0, r1], &target);
-        assert_eq!(payload.len_bits(), 16, "mode bit + one 64-byte unaligned copy");
+        assert_eq!(
+            payload.len_bits(),
+            16,
+            "mode bit + one 64-byte unaligned copy"
+        );
         assert_eq!(
             engine.decompress_seeded(&[r0, r1], &payload).unwrap(),
             target

@@ -70,7 +70,8 @@ impl Decompressor for Zce {
             if !is_zero {
                 let w = r
                     .read_bits(32)
-                    .ok_or_else(|| DecodeError::new("truncated word"))? as u32;
+                    .ok_or_else(|| DecodeError::new("truncated word"))?
+                    as u32;
                 if w == 0 {
                     return Err(DecodeError::new("zero word encoded as literal"));
                 }

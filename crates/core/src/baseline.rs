@@ -56,12 +56,7 @@ impl BaselineKind {
         }
     }
 
-    fn build(
-        self,
-    ) -> Option<(
-        Box<dyn Compressor + Send>,
-        Box<dyn Decompressor + Send>,
-    )> {
+    fn build(self) -> Option<(Box<dyn Compressor + Send>, Box<dyn Decompressor + Send>)> {
         match self {
             BaselineKind::Uncompressed => None,
             BaselineKind::Bdi => Some((Box::new(Bdi::new()), Box::new(Bdi::new()))),
@@ -70,14 +65,12 @@ impl BaselineKind {
                 Box::new(Cpack::streaming(128)),
                 Box::new(Cpack::streaming(128)),
             )),
-            BaselineKind::Lbe256 => Some((
-                Box::new(Lbe::streaming(256)),
-                Box::new(Lbe::streaming(256)),
-            )),
-            BaselineKind::Gzip => Some((
-                Box::new(Lzss::new(32 << 10)),
-                Box::new(Lzss::new(32 << 10)),
-            )),
+            BaselineKind::Lbe256 => {
+                Some((Box::new(Lbe::streaming(256)), Box::new(Lbe::streaming(256))))
+            }
+            BaselineKind::Gzip => {
+                Some((Box::new(Lzss::new(32 << 10)), Box::new(Lzss::new(32 << 10))))
+            }
         }
     }
 }
@@ -114,10 +107,7 @@ pub struct BaselineLink {
     kind: BaselineKind,
     home: SetAssocCache,
     remote: SetAssocCache,
-    engines: Option<(
-        Box<dyn Compressor + Send>,
-        Box<dyn Decompressor + Send>,
-    )>,
+    engines: Option<(Box<dyn Compressor + Send>, Box<dyn Decompressor + Send>)>,
     link_width_bits: u32,
     stats: LinkStats,
     last_flit: u64,
@@ -404,7 +394,11 @@ mod tests {
                 let addr = Address::from_line_number(rng.next_bounded(4096));
                 let mut words = [0u32; 16];
                 for w in &mut words {
-                    *w = if rng2.next_bool(0.5) { 0 } else { rng2.next_u32() };
+                    *w = if rng2.next_bool(0.5) {
+                        0
+                    } else {
+                        rng2.next_u32()
+                    };
                 }
                 let line = LineData::from_words(words);
                 if i % 7 == 0 {

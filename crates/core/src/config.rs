@@ -235,7 +235,10 @@ mod tests {
         let cfg = CableConfig::memory_link_default();
         assert!(cfg
             .clone()
-            .with_geometries(CacheGeometry::new(1 << 20, 8), CacheGeometry::new(4 << 20, 16))
+            .with_geometries(
+                CacheGeometry::new(1 << 20, 8),
+                CacheGeometry::new(4 << 20, 16)
+            )
             .validate()
             .is_err());
         assert!(cfg.clone().with_link_width(0).validate().is_err());

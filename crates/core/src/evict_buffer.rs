@@ -183,7 +183,13 @@ mod tests {
     fn acknowledge_drops_prefix() {
         let mut buf = EvictionBuffer::new(8);
         let seqs: Vec<u64> = (0..4)
-            .map(|i| buf.insert(Address::new(i * 64), LineId::new(i as u32, 0), line(i as u32)))
+            .map(|i| {
+                buf.insert(
+                    Address::new(i * 64),
+                    LineId::new(i as u32, 0),
+                    line(i as u32),
+                )
+            })
             .collect();
         buf.acknowledge(seqs[1]);
         assert_eq!(buf.len(), 2);

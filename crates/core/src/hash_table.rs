@@ -121,7 +121,10 @@ impl SignatureTable {
     pub fn lookup(&self, sig: Signature) -> &[u32] {
         let range = self.bucket_range(sig);
         let bucket = &self.slots[range];
-        let len = bucket.iter().position(|&s| s == EMPTY).unwrap_or(self.depth);
+        let len = bucket
+            .iter()
+            .position(|&s| s == EMPTY)
+            .unwrap_or(self.depth);
         &bucket[..len]
     }
 
@@ -150,7 +153,10 @@ impl SignatureTable {
     /// Iterates the occupied prefix of every bucket (invariant checks).
     pub fn iter_buckets(&self) -> impl Iterator<Item = &[u32]> {
         self.slots.chunks(self.depth).map(|bucket| {
-            let len = bucket.iter().position(|&s| s == EMPTY).unwrap_or(self.depth);
+            let len = bucket
+                .iter()
+                .position(|&s| s == EMPTY)
+                .unwrap_or(self.depth);
             &bucket[..len]
         })
     }

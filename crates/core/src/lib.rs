@@ -52,6 +52,7 @@ pub mod hash_table;
 pub mod link;
 pub mod ooo;
 pub mod search;
+pub mod sig_cache;
 pub mod signature;
 pub mod super_wmt;
 pub mod wmt;
@@ -61,7 +62,8 @@ pub use cable_compress::DecodeError;
 pub use config::CableConfig;
 pub use link::{CableLink, Direction, LinkStats, Transfer, TransferKind};
 pub use ooo::OooLink;
-pub use search::Reference;
+pub use search::{Reference, SearchScratch};
+pub use sig_cache::InsertSigCache;
+pub use signature::{Signature, SignatureBuf, SignatureExtractor};
 pub use super_wmt::SuperWmt;
-pub use signature::{Signature, SignatureExtractor};
 pub use wmt::WayMapTable;

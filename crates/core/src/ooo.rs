@@ -121,10 +121,7 @@ impl OooLink {
     /// copy into the eviction buffer and returning its EvictSeq.
     pub fn evict_remote(&mut self, addr: Address) -> Option<u64> {
         let victim = self.remote.invalidate(addr)?;
-        Some(
-            self.buffer
-                .insert(victim.addr, victim.line_id, victim.data),
-        )
+        Some(self.buffer.insert(victim.addr, victim.line_id, victim.data))
     }
 
     /// The home cache acknowledges evictions up to `seq` (it has processed
@@ -237,7 +234,9 @@ mod tests {
     }
 
     fn line(tag: u32) -> LineData {
-        LineData::from_words(core::array::from_fn(|i| 0x0400_0000 + (tag << 8) + i as u32))
+        LineData::from_words(core::array::from_fn(|i| {
+            0x0400_0000 + (tag << 8) + i as u32
+        }))
     }
 
     #[test]
@@ -318,8 +317,15 @@ mod tests {
             let r = line(10 + i);
             let (lid, _) = l.install(Address::from_line_number(u64::from(i) * 64), r);
             let mut target = r;
-            target.set_word((rng.next_bounded(16)) as usize, rng.next_u32() | 0x0100_0000);
-            l.send(Address::from_line_number(1000 + u64::from(i)), target, &[(lid, r)]);
+            target.set_word(
+                (rng.next_bounded(16)) as usize,
+                rng.next_u32() | 0x0100_0000,
+            );
+            l.send(
+                Address::from_line_number(1000 + u64::from(i)),
+                target,
+                &[(lid, r)],
+            );
             expected.push(target);
             if i % 2 == 1 {
                 l.evict_remote(Address::from_line_number(u64::from(i) * 64));

@@ -18,7 +18,7 @@
 //!    `1100/0110/0011` example).
 
 use crate::hash_table::SignatureTable;
-use crate::signature::SignatureExtractor;
+use crate::signature::{SignatureBuf, SignatureExtractor};
 use crate::wmt::WayMapTable;
 use cable_cache::{LineId, SetAssocCache};
 use cable_common::LineData;
@@ -52,12 +52,121 @@ pub struct SearchStats {
     pub selected: usize,
 }
 
+/// Minimum dedup-table size; keeps the load factor low even for tiny
+/// searches so linear probes stay short.
+const DEDUP_MIN_SLOTS: usize = 64;
+
+#[derive(Clone, Copy, Default)]
+struct DedupSlot {
+    gen: u32,
+    packed: u32,
+    idx: u32,
+}
+
+/// Open-addressed `packed LineId -> counts index` map with generation
+/// stamps: clearing between searches is a counter bump, not a memset.
+#[derive(Clone, Debug, Default)]
+struct DedupTable {
+    slots: Vec<DedupSlot>,
+    generation: u32,
+}
+
+impl std::fmt::Debug for DedupSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DedupSlot").finish_non_exhaustive()
+    }
+}
+
+impl DedupTable {
+    /// Starts a new search that will insert at most `max_entries` distinct
+    /// keys. Sized to ≤50% load so probes terminate and stay short.
+    fn begin(&mut self, max_entries: usize) {
+        let wanted = (max_entries * 2).next_power_of_two().max(DEDUP_MIN_SLOTS);
+        if self.slots.len() < wanted {
+            self.slots.clear();
+            self.slots.resize(wanted, DedupSlot::default());
+            self.generation = 0;
+        }
+        if self.generation == u32::MAX {
+            self.slots.fill(DedupSlot::default());
+            self.generation = 0;
+        }
+        self.generation += 1;
+    }
+
+    /// Returns the stored index for `packed` if it was inserted this
+    /// generation, otherwise records `idx` for it and returns `None`.
+    fn get_or_insert(&mut self, packed: u32, idx: u32) -> Option<u32> {
+        let mask = self.slots.len() - 1;
+        // Fibonacci hashing spreads the low-entropy packed LineIds across
+        // the power-of-two table.
+        let mut i = (u64::from(packed).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask;
+        loop {
+            let s = self.slots[i];
+            if s.gen != self.generation {
+                self.slots[i] = DedupSlot {
+                    gen: self.generation,
+                    packed,
+                    idx,
+                };
+                return None;
+            }
+            if s.packed == packed {
+                return Some(s.idx);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+}
+
+/// Reusable buffers for the search pipeline.
+///
+/// One instance per link endpoint turns every per-search allocation
+/// (signature list, candidate counts, reference list, selection
+/// bookkeeping) into a buffer reuse. `search_references_into` leaves the
+/// chosen references in [`SearchScratch::selected`].
+#[derive(Clone, Debug, Default)]
+pub struct SearchScratch {
+    sigs: SignatureBuf,
+    /// (packed LineId, duplication count, first-seen order).
+    counts: Vec<(u32, usize, usize)>,
+    dedup: DedupTable,
+    candidates: Vec<Reference>,
+    selected: Vec<Reference>,
+    sel_idx: Vec<usize>,
+    keep: Vec<bool>,
+}
+
+impl SearchScratch {
+    /// Creates an empty scratch; buffers grow to steady-state sizes during
+    /// the first few searches and are reused afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// References selected by the most recent `search_references_into`.
+    #[must_use]
+    pub fn selected(&self) -> &[Reference] {
+        &self.selected
+    }
+
+    /// Empties the selection; used by callers whose compression policy
+    /// skips the search entirely (so stale selections cannot leak into
+    /// `selected()`).
+    pub fn clear_selected(&mut self) {
+        self.selected.clear();
+    }
+}
+
 /// Runs the search pipeline against `cache` (the searching side's own
 /// cache). `wmt` translates to wire pointers on the request path; pass
 /// `None` on the write-back path, where the searcher's own LineIDs go on
 /// the wire.
-#[must_use]
-pub fn search_references(
+///
+/// Allocation-free variant: results land in `scratch.selected()`.
+#[allow(clippy::too_many_arguments)] // mirrors `search_references` plus the scratch
+pub fn search_references_into(
     line: &LineData,
     extractor: &SignatureExtractor,
     table: &SignatureTable,
@@ -65,18 +174,29 @@ pub fn search_references(
     wmt: Option<&WayMapTable>,
     data_access_count: usize,
     max_refs: usize,
-) -> (Vec<Reference>, SearchStats) {
+    scratch: &mut SearchScratch,
+) -> SearchStats {
     let mut stats = SearchStats::default();
+    let SearchScratch {
+        sigs,
+        counts,
+        dedup,
+        candidates,
+        selected,
+        sel_idx,
+        keep,
+    } = scratch;
 
-    // 1-2. Signatures -> candidate LineIDs.
-    let sigs = extractor.search_signatures(line);
+    // 1-2. Signatures -> candidate LineIDs, deduplicated by LineId.
+    extractor.search_signatures_into(line, sigs);
     stats.signatures = sigs.len();
-    let mut counts: Vec<(u32, usize, usize)> = Vec::new(); // (packed, count, first_seen)
-    for sig in &sigs {
-        for &packed in table.lookup(*sig) {
+    counts.clear();
+    dedup.begin(sigs.len() * table.depth());
+    for &sig in sigs.as_slice() {
+        for &packed in table.lookup(sig) {
             stats.candidates += 1;
-            match counts.iter_mut().find(|(p, _, _)| *p == packed) {
-                Some((_, n, _)) => *n += 1,
+            match dedup.get_or_insert(packed, counts.len() as u32) {
+                Some(idx) => counts[idx as usize].1 += 1,
                 None => counts.push((packed, 1, counts.len())),
             }
         }
@@ -88,8 +208,8 @@ pub fn search_references(
 
     // 4. Data-array reads + CBV construction.
     let geometry = *cache.geometry();
-    let mut candidates: Vec<Reference> = Vec::with_capacity(counts.len());
-    for (packed, _, _) in counts {
+    candidates.clear();
+    for &(packed, _, _) in counts.iter() {
         let lid = LineId::unpack(u64::from(packed), &geometry);
         stats.data_reads += 1;
         let Some(data) = cache.read_by_id(lid) else {
@@ -118,56 +238,103 @@ pub fn search_references(
     }
 
     // 5. Greedy max-coverage selection with redundancy pruning.
-    let selected = select_by_coverage(&candidates, max_refs);
+    select_indices(candidates, max_refs, sel_idx, keep);
+    selected.clear();
+    selected.extend(sel_idx.iter().map(|&i| candidates[i].clone()));
     stats.selected = selected.len();
-    (selected, stats)
+    stats
 }
 
-/// Greedy CBV set-cover: repeatedly take the candidate adding the most new
-/// coverage, then drop any selected reference whose bits are fully covered
-/// by the others (the paper drops `0110` once `1100` and `0011` are in).
-fn select_by_coverage(candidates: &[Reference], max_refs: usize) -> Vec<Reference> {
-    let mut selected: Vec<&Reference> = Vec::new();
+/// Vec-returning wrapper around [`search_references_into`]. Kept as the
+/// reference API: the determinism regression test drives both entry points
+/// over the same workload and asserts identical selections.
+#[must_use]
+pub fn search_references(
+    line: &LineData,
+    extractor: &SignatureExtractor,
+    table: &SignatureTable,
+    cache: &SetAssocCache,
+    wmt: Option<&WayMapTable>,
+    data_access_count: usize,
+    max_refs: usize,
+) -> (Vec<Reference>, SearchStats) {
+    let mut scratch = SearchScratch::new();
+    let stats = search_references_into(
+        line,
+        extractor,
+        table,
+        cache,
+        wmt,
+        data_access_count,
+        max_refs,
+        &mut scratch,
+    );
+    (scratch.selected, stats)
+}
+
+/// Core of the greedy CBV set-cover, operating on candidate indices so the
+/// hot path never clones losing candidates. Leaves the kept indices (in
+/// selection order) in `sel_idx`; `keep` is selection-local scratch.
+fn select_indices(
+    candidates: &[Reference],
+    max_refs: usize,
+    sel_idx: &mut Vec<usize>,
+    keep: &mut Vec<bool>,
+) {
+    sel_idx.clear();
     let mut covered: u16 = 0;
     for _ in 0..max_refs {
         // First maximum wins ties: candidates arrive in pre-rank order.
-        let mut best: Option<&Reference> = None;
+        let mut best: Option<usize> = None;
         let mut best_gain = 0;
-        for c in candidates
-            .iter()
-            .filter(|c| !selected.iter().any(|s| std::ptr::eq(*s, *c)))
-        {
+        for (i, c) in candidates.iter().enumerate() {
+            if sel_idx.contains(&i) {
+                continue;
+            }
             let gain = (c.cbv & !covered).count_ones();
             if gain > best_gain {
                 best_gain = gain;
-                best = Some(c);
+                best = Some(i);
             }
         }
         match best {
-            Some(c) => {
-                covered |= c.cbv;
-                selected.push(c);
+            Some(i) => {
+                covered |= candidates[i].cbv;
+                sel_idx.push(i);
             }
             None => break,
         }
     }
     // Redundancy pruning: remove references whose coverage is subsumed.
-    let mut keep: Vec<bool> = vec![true; selected.len()];
-    for i in 0..selected.len() {
-        let others: u16 = selected
+    keep.clear();
+    keep.resize(sel_idx.len(), true);
+    for i in 0..sel_idx.len() {
+        let others: u16 = sel_idx
             .iter()
             .enumerate()
             .filter(|&(j, _)| j != i && keep[j])
-            .fold(0, |acc, (_, r)| acc | r.cbv);
-        if selected[i].cbv & !others == 0 {
+            .fold(0, |acc, (_, &s)| acc | candidates[s].cbv);
+        if candidates[sel_idx[i]].cbv & !others == 0 {
             keep[i] = false;
         }
     }
-    selected
-        .into_iter()
-        .zip(keep)
-        .filter(|&(_r, k)| k).map(|(r, _k)| r.clone())
-        .collect()
+    let mut j = 0;
+    sel_idx.retain(|_| {
+        let k = keep[j];
+        j += 1;
+        k
+    });
+}
+
+/// Greedy CBV set-cover: repeatedly take the candidate adding the most new
+/// coverage, then drop any selected reference whose bits are fully covered
+/// by the others (the paper drops `0110` once `1100` and `0011` are in).
+#[cfg(test)]
+fn select_by_coverage(candidates: &[Reference], max_refs: usize) -> Vec<Reference> {
+    let mut sel_idx = Vec::new();
+    let mut keep = Vec::new();
+    select_indices(candidates, max_refs, &mut sel_idx, &mut keep);
+    sel_idx.into_iter().map(|i| candidates[i].clone()).collect()
 }
 
 #[cfg(test)]
@@ -245,7 +412,14 @@ mod tests {
         let (ex, mut table, mut cache) = setup();
         let reference =
             LineData::from_words(core::array::from_fn(|i| 0x0400_0000 + (i as u32) * 0x1111));
-        let lid = install(&mut cache, &mut table, &ex, 0x1000, reference, CoherenceState::Shared);
+        let lid = install(
+            &mut cache,
+            &mut table,
+            &ex,
+            0x1000,
+            reference,
+            CoherenceState::Shared,
+        );
 
         let mut target = reference;
         target.set_word(3, 0x0999_9999);
@@ -261,7 +435,14 @@ mod tests {
     fn dirty_lines_never_selected() {
         let (ex, mut table, mut cache) = setup();
         let line = LineData::from_words(core::array::from_fn(|i| 0x0500_0000 + i as u32));
-        install(&mut cache, &mut table, &ex, 0x2000, line, CoherenceState::Modified);
+        install(
+            &mut cache,
+            &mut table,
+            &ex,
+            0x2000,
+            line,
+            CoherenceState::Modified,
+        );
         let (refs, _) = search_references(&line, &ex, &table, &cache, None, 6, 3);
         assert!(refs.is_empty());
     }
@@ -274,7 +455,14 @@ mod tests {
         let mut wmt = WayMapTable::new(home_geom, remote_geom);
 
         let line = LineData::from_words(core::array::from_fn(|i| 0x0600_0000 + i as u32));
-        let lid = install(&mut cache, &mut table, &ex, 0x3000, line, CoherenceState::Shared);
+        let lid = install(
+            &mut cache,
+            &mut table,
+            &ex,
+            0x3000,
+            line,
+            CoherenceState::Shared,
+        );
 
         // Absent from the WMT: no references.
         let (refs, _) = search_references(&line, &ex, &table, &cache, Some(&wmt), 6, 3);
@@ -360,7 +548,14 @@ mod tests {
     fn stale_table_entries_ignored() {
         let (ex, mut table, mut cache) = setup();
         let line = LineData::from_words(core::array::from_fn(|i| 0x0a00_0000 + i as u32));
-        let lid = install(&mut cache, &mut table, &ex, 0x5000, line, CoherenceState::Shared);
+        let lid = install(
+            &mut cache,
+            &mut table,
+            &ex,
+            0x5000,
+            line,
+            CoherenceState::Shared,
+        );
         // Invalidate the cache line but leave the table entry dangling.
         cache.invalidate(Address::new(0x5000));
         let (refs, stats) = search_references(&line, &ex, &table, &cache, None, 6, 3);

@@ -28,7 +28,7 @@ pub const INSERT_SIGNATURES: usize = 2;
 pub const DEFAULT_INSERT_OFFSETS: [usize; INSERT_SIGNATURES] = [0, 8];
 
 /// A 32-bit line signature.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Signature(u32);
 
 impl Signature {
@@ -42,6 +42,78 @@ impl Signature {
 impl fmt::Debug for Signature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Signature({:#010x})", self.0)
+    }
+}
+
+/// A fixed-capacity signature buffer: a line yields at most
+/// [`WORDS_PER_LINE`] distinct signatures, so extraction can fill a
+/// caller-owned buffer instead of allocating a `Vec` per line — the hot
+/// encode path runs one extraction per fill plus several per
+/// synchronization event.
+#[derive(Clone, Copy)]
+pub struct SignatureBuf {
+    sigs: [Signature; WORDS_PER_LINE],
+    len: usize,
+}
+
+impl Default for SignatureBuf {
+    fn default() -> Self {
+        SignatureBuf {
+            sigs: [Signature(0); WORDS_PER_LINE],
+            len: 0,
+        }
+    }
+}
+
+impl SignatureBuf {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Signatures currently held.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Signature] {
+        &self.sigs[..self.len]
+    }
+
+    /// Number of signatures held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no signature is held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Empties the buffer (capacity is fixed; nothing is freed).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Appends `sig` unless already present (extraction dedup semantics).
+    /// The linear scan is over at most 16 entries.
+    fn push_dedup(&mut self, sig: Signature) {
+        if !self.as_slice().contains(&sig) {
+            self.sigs[self.len] = sig;
+            self.len += 1;
+        }
+    }
+
+    /// Appends an already-deduplicated signature (cache refill path).
+    pub(crate) fn push(&mut self, sig: Signature) {
+        self.sigs[self.len] = sig;
+        self.len += 1;
+    }
+}
+
+impl fmt::Debug for SignatureBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
     }
 }
 
@@ -107,24 +179,32 @@ impl SignatureExtractor {
     /// Panics if `count` is 0 or greater than 16.
     #[must_use]
     pub fn insert_signatures_n(&self, line: &LineData, count: usize) -> Vec<Signature> {
+        let mut buf = SignatureBuf::new();
+        self.insert_signatures_into(line, count, &mut buf);
+        buf.as_slice().to_vec()
+    }
+
+    /// Allocation-free form of [`SignatureExtractor::insert_signatures_n`]:
+    /// clears `out` and fills it with the insert signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is 0 or greater than 16.
+    pub fn insert_signatures_into(&self, line: &LineData, count: usize, out: &mut SignatureBuf) {
         assert!(
             (1..=WORDS_PER_LINE).contains(&count),
             "insert-signature count must be 1..=16"
         );
-        let mut out = Vec::with_capacity(count);
+        out.clear();
         for k in 0..count {
             let offset = k * WORDS_PER_LINE / count;
             let found = (offset..WORDS_PER_LINE)
                 .map(|i| line.word(i))
                 .find(|&w| !is_trivial_word(w));
             if let Some(word) = found {
-                let sig = self.sign(word);
-                if !out.contains(&sig) {
-                    out.push(sig);
-                }
+                out.push_dedup(self.sign(word));
             }
         }
-        out
     }
 
     /// Extracts **all** distinct non-trivial signatures for searching: "all
@@ -133,17 +213,21 @@ impl SignatureExtractor {
     /// signatures" (§III-C).
     #[must_use]
     pub fn search_signatures(&self, line: &LineData) -> Vec<Signature> {
-        let mut out = Vec::new();
+        let mut buf = SignatureBuf::new();
+        self.search_signatures_into(line, &mut buf);
+        buf.as_slice().to_vec()
+    }
+
+    /// Allocation-free form of [`SignatureExtractor::search_signatures`]:
+    /// clears `out` and fills it with all distinct non-trivial signatures.
+    pub fn search_signatures_into(&self, line: &LineData, out: &mut SignatureBuf) {
+        out.clear();
         for word in line.words() {
             if is_trivial_word(word) {
                 continue;
             }
-            let sig = self.sign(word);
-            if !out.contains(&sig) {
-                out.push(sig);
-            }
+            out.push_dedup(self.sign(word));
         }
-        out
     }
 }
 
@@ -212,8 +296,22 @@ mod tests {
     #[test]
     fn insert_signatures_are_subset_of_search() {
         let line = LineData::from_words([
-            0, 0x1111_2222, 0, 0x3333_4444, 5, 0xffff_fff0, 0x5555_6666, 0, 0x7777_8888, 0, 0, 1,
-            0x9999_aaaa, 2, 0xbbbb_cccc, 0,
+            0,
+            0x1111_2222,
+            0,
+            0x3333_4444,
+            5,
+            0xffff_fff0,
+            0x5555_6666,
+            0,
+            0x7777_8888,
+            0,
+            0,
+            1,
+            0x9999_aaaa,
+            2,
+            0xbbbb_cccc,
+            0,
         ]);
         let ins = extractor().insert_signatures(&line);
         let all = extractor().search_signatures(&line);
@@ -227,6 +325,41 @@ mod tests {
         let b = SignatureExtractor::new(5);
         let line = LineData::splat_word(0x8765_4321);
         assert_eq!(a.search_signatures(&line), b.search_signatures(&line));
+    }
+
+    #[test]
+    fn buffer_api_matches_vec_api() {
+        let ex = extractor();
+        let line = LineData::from_words([
+            0,
+            0x1111_2222,
+            0,
+            0x3333_4444,
+            5,
+            0xffff_fff0,
+            0x5555_6666,
+            0,
+            0x7777_8888,
+            0,
+            0,
+            1,
+            0x9999_aaaa,
+            2,
+            0xbbbb_cccc,
+            0,
+        ]);
+        let mut buf = SignatureBuf::new();
+        ex.search_signatures_into(&line, &mut buf);
+        assert_eq!(buf.as_slice(), ex.search_signatures(&line).as_slice());
+        for count in [1, 2, 4, 16] {
+            ex.insert_signatures_into(&line, count, &mut buf);
+            assert_eq!(
+                buf.as_slice(),
+                ex.insert_signatures_n(&line, count).as_slice()
+            );
+        }
+        buf.clear();
+        assert!(buf.is_empty());
     }
 
     proptest! {

@@ -1,0 +1,205 @@
+//! A minimal, std-only, in-repo stand-in for the `criterion` crate.
+//!
+//! The workspace builds offline (no registry access), so the benchmark
+//! harness vendors the slice of criterion's API that `benches/kernels.rs`
+//! uses: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! throughput annotation, `Bencher::iter`, and `Bencher::iter_batched`.
+//!
+//! Measurement is deliberately simple — a warm-up, then timed batches until
+//! a wall-clock budget is spent — and results print as `ns/iter` plus
+//! MB/s when a byte throughput is declared. Statistical machinery
+//! (outlier rejection, regression, HTML reports) is out of scope; the
+//! `perf_smoke` binary in `cable-bench` is the tracked perf signal.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; the shim runs one setup per
+/// measured batch regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// The top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    /// Wall-clock budget per benchmark. Shrunk to one pass when the binary
+    /// is invoked with `--test` (e.g. `cargo test --benches`).
+    measure_budget: Duration,
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Criterion {
+            measure_budget: Duration::from_millis(300),
+            smoke_only,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for MB/s reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark and prints its timing.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            budget: if self.criterion.smoke_only {
+                Duration::ZERO
+            } else {
+                self.criterion.measure_budget
+            },
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let ns_per_iter = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        };
+        print!("  {name:<28} {ns_per_iter:>12.1} ns/iter");
+        if let Some(Throughput::Bytes(bytes)) = self.throughput {
+            if ns_per_iter > 0.0 {
+                let mbps = bytes as f64 / ns_per_iter * 1e9 / 1e6;
+                print!(" {mbps:>10.1} MB/s");
+            }
+        }
+        println!();
+    }
+
+    /// Ends the group (kept for API parity; printing is immediate).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives and times the iterations.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the budget is spent (at least once).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up pass, untimed.
+        std_black_box(f());
+        let start = Instant::now();
+        loop {
+            std_black_box(f());
+            self.iters += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        std_black_box(routine(setup()));
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_at_least_once() {
+        let mut c = Criterion {
+            measure_budget: Duration::from_millis(1),
+            smoke_only: true,
+        };
+        let mut ran = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function("noop", |b| b.iter(|| ran += 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 1u32, |x| x + 1, BatchSize::LargeInput)
+        });
+        group.finish();
+        assert!(ran >= 1);
+    }
+}

@@ -110,8 +110,8 @@ impl EnergyModel {
     #[must_use]
     pub fn breakdown(&self, counts: &ActivityCounts) -> EnergyBreakdown {
         let p = &self.params;
-        let sram_static = counts.runtime_s
-            * (p.l1_static_w + p.l2_static_w + p.llc_static_w + p.buffer_static_w);
+        let sram_static =
+            counts.runtime_s * (p.l1_static_w + p.l2_static_w + p.llc_static_w + p.buffer_static_w);
         let sram_dynamic = counts.l1_accesses as f64 * p.l1_dynamic_j
             + counts.l2_accesses as f64 * p.l2_dynamic_j
             + counts.llc_accesses as f64 * p.llc_dynamic_j

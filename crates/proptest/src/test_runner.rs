@@ -1,0 +1,110 @@
+//! Test configuration and the deterministic RNG behind every strategy.
+
+/// Per-test configuration; only `cases` is honoured by the shim.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// The default configuration with `cases` overridden (proptest's most
+    /// common entry point).
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Matches upstream proptest's default case count.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// SplitMix64 (Steele et al., "Fast splittable pseudorandom number
+/// generators"): tiny, fast, and plenty for input generation. Kept local so
+/// the shim has zero dependencies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+    case: u32,
+}
+
+impl TestRng {
+    /// Seeds the RNG from a test's fully-qualified name (FNV-1a), making
+    /// every property deterministic across runs and machines.
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h, case: 0 }
+    }
+
+    /// Records the current case index (panic messages from `assert!` don't
+    /// carry it, but debuggers and `dbg!` can read it off the RNG).
+    pub fn set_case(&mut self, case: u32) {
+        self.case = case;
+    }
+
+    /// The case index most recently set.
+    #[must_use]
+    pub fn case(&self) -> u32 {
+        self.case
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` 0 returns 0). Debiased via
+    /// rejection sampling on the top bits.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        // Rejection zone keeps the distribution exactly uniform.
+        let zone = u64::MAX - (u64::MAX % bound) - 1;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn different_names_different_streams() {
+        let mut a = TestRng::for_test("a");
+        let mut b = TestRng::for_test("b");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_bounds() {
+        let mut rng = TestRng::for_test("bounds");
+        for bound in [1u64, 2, 3, 7, 100, 1 << 33] {
+            for _ in 0..50 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+        assert_eq!(rng.next_below(0), 0);
+    }
+}

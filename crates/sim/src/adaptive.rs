@@ -195,8 +195,7 @@ mod tests {
         let demand_bits = thread.link().stats().uncompressed_bits as f64;
         let elapsed_s = thread.now_ps() as f64 * 1e-12;
         let capacity = demand_bits / elapsed_s / 8.0 / 0.85; // usage = 85%
-        let mut ctl =
-            OnOffController::with_thresholds(capacity, thread.now_ps().max(1), 0.8, 0.9);
+        let mut ctl = OnOffController::with_thresholds(capacity, thread.now_ps().max(1), 0.8, 0.9);
         let now = thread.now_ps() + 1;
         ctl.observe(now, thread.link_mut());
         assert!(ctl.enabled(), "in-band demand keeps the current state");

@@ -106,7 +106,9 @@ impl FabricSim {
         let local_wires = (0..nodes)
             .map(|_| SharedLink::from_config(&config))
             .collect();
-        let drams = (0..nodes).map(|_| DramModel::from_config(&config)).collect();
+        let drams = (0..nodes)
+            .map(|_| DramModel::from_config(&config))
+            .collect();
         FabricSim {
             nodes,
             chips,
@@ -181,7 +183,10 @@ impl FabricSim {
         let (link, wire_kind) = if home == idx {
             (idx, None)
         } else {
-            (self.pipeline_index(idx, home), Some(self.wire_index(idx, home)))
+            (
+                self.pipeline_index(idx, home),
+                Some(self.wire_index(idx, home)),
+            )
         };
         let transfer = {
             let pipeline = if wire_kind.is_some() {
@@ -282,12 +287,7 @@ mod tests {
 
     #[test]
     fn wire_index_is_a_bijection_over_pairs() {
-        let f = FabricSim::new(
-            by_name("gcc").unwrap(),
-            Scheme::Uncompressed,
-            4,
-            19.2e9,
-        );
+        let f = FabricSim::new(by_name("gcc").unwrap(), Scheme::Uncompressed, 4, 19.2e9);
         let mut seen = std::collections::HashSet::new();
         for a in 0..4 {
             for b in 0..4 {
@@ -323,12 +323,7 @@ mod tests {
         // With scarce PTP bandwidth, CABLE's coherence compression buys
         // throughput — the §V-B motivation.
         let scarce = 19.2e9 / 64.0;
-        let mut base = FabricSim::new(
-            by_name("mcf").unwrap(),
-            Scheme::Uncompressed,
-            4,
-            scarce,
-        );
+        let mut base = FabricSim::new(by_name("mcf").unwrap(), Scheme::Uncompressed, 4, scarce);
         let mut cable = FabricSim::new(
             by_name("mcf").unwrap(),
             Scheme::Cable(EngineKind::Lbe),

@@ -124,11 +124,7 @@ mod tests {
 
     #[test]
     fn page_interleave_splits_traffic() {
-        let mut sim = NumaSim::new(
-            by_name("gcc").unwrap(),
-            Scheme::Cable(EngineKind::Lbe),
-            4,
-        );
+        let mut sim = NumaSim::new(by_name("gcc").unwrap(), Scheme::Cable(EngineKind::Lbe), 4);
         sim.run(20_000);
         let (local, remote) = sim.access_split();
         let frac = remote as f64 / (local + remote) as f64;
@@ -154,11 +150,7 @@ mod tests {
     fn writebacks_appear_in_coherence_traffic() {
         // mcf touches enough distinct lines to overflow each link's 16K-line
         // remote share, evicting dirty lines that must write back.
-        let mut sim = NumaSim::new(
-            by_name("mcf").unwrap(),
-            Scheme::Cable(EngineKind::Lbe),
-            4,
-        );
+        let mut sim = NumaSim::new(by_name("mcf").unwrap(), Scheme::Cable(EngineKind::Lbe), 4);
         sim.run(100_000);
         assert!(sim.combined_stats().writebacks > 0);
     }

@@ -13,7 +13,9 @@ use crate::resources::{DramModel, SharedLink};
 use cable_cache::{CacheGeometry, CoherenceState, SetAssocCache};
 use cable_common::{Address, LineData};
 use cable_compress::EngineKind;
-use cable_core::{BaselineKind, BaselineLink, CableConfig, CableLink, LinkStats, Transfer, TransferKind};
+use cable_core::{
+    BaselineKind, BaselineLink, CableConfig, CableLink, LinkStats, Transfer, TransferKind,
+};
 use cable_energy::ActivityCounts;
 use cable_trace::{WorkloadGen, WorkloadProfile};
 use std::fmt;
@@ -297,7 +299,8 @@ impl ThreadSim {
             if victim.state == CoherenceState::Modified {
                 // L1 dirty victim lands in L2.
                 if !self.l2.write(victim.addr, victim.data) {
-                    self.l2.insert(victim.addr, victim.data, CoherenceState::Modified);
+                    self.l2
+                        .insert(victim.addr, victim.data, CoherenceState::Modified);
                 }
             }
         }
@@ -333,7 +336,9 @@ impl ThreadSim {
             self.counts.dram += 1;
             ready = dram.access(ready, addr);
         }
-        ready += self.config.cycles_to_ps(self.compression_cycles(transfer.kind()));
+        ready += self
+            .config
+            .cycles_to_ps(self.compression_cycles(transfer.kind()));
         // Charge the wire for everything this request put on the link,
         // including any internal dirty-victim write-backs.
         let delta_bits = self.link.stats().wire_bits - bits_before;
@@ -365,7 +370,9 @@ impl ThreadSim {
                 self.counts.dram += 1;
                 ready = dram.access(ready, addr);
             }
-            ready += self.config.cycles_to_ps(self.compression_cycles(transfer.kind()));
+            ready += self
+                .config
+                .cycles_to_ps(self.compression_cycles(transfer.kind()));
             let delta_bits = self.link.stats().wire_bits - bits_before;
             ready = wire.transfer(ready, delta_bits);
             // Write-backs overlap execution: the store buffer hides them,

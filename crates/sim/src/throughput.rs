@@ -62,7 +62,14 @@ pub fn run_group(
     instructions_per_thread: u64,
     config: &SystemConfig,
 ) -> ThroughputResult {
-    run_group_warmed(profile, scheme, threads, 20_000, instructions_per_thread, config)
+    run_group_warmed(
+        profile,
+        scheme,
+        threads,
+        20_000,
+        instructions_per_thread,
+        config,
+    )
 }
 
 /// [`run_group`] with an explicit per-thread warm-up access count (caches
@@ -100,9 +107,7 @@ pub fn run_group_warmed(
     // Advance the earliest thread until every thread reaches its target
     // ("kept running until all have finished ... to sustain loads").
     loop {
-        let all_done = group
-            .iter()
-            .all(|t| t.retired() >= instructions_per_thread);
+        let all_done = group.iter().all(|t| t.retired() >= instructions_per_thread);
         if all_done {
             break;
         }
@@ -114,7 +119,11 @@ pub fn run_group_warmed(
     }
 
     let group_instructions: u64 = group.iter().map(ThreadSim::retired).sum();
-    let elapsed_ps = group.iter().map(ThreadSim::now_ps).max().expect("non-empty");
+    let elapsed_ps = group
+        .iter()
+        .map(ThreadSim::now_ps)
+        .max()
+        .expect("non-empty");
     ThroughputResult {
         threads,
         group_instructions,

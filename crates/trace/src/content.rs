@@ -50,10 +50,9 @@ pub struct ContentSynthesizer {
 }
 
 fn name_seed(name: &str) -> u64 {
-    name.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
-        })
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
 }
 
 impl ContentSynthesizer {
@@ -77,7 +76,9 @@ impl ContentSynthesizer {
     fn line_rng(&self, addr: Address) -> SplitMix64 {
         // Content keys off the line number *within* the instance's address
         // space window so instances see the same stream of classes.
-        SplitMix64::new(self.seed ^ (addr.line_number() & 0x3fff_ffff).wrapping_mul(0x2545_f491_4f6c_dd1d))
+        SplitMix64::new(
+            self.seed ^ (addr.line_number() & 0x3fff_ffff).wrapping_mul(0x2545_f491_4f6c_dd1d),
+        )
     }
 
     /// The class rolled for this address.
@@ -177,13 +178,17 @@ impl ContentSynthesizer {
         // instances often differ in 0–2 words and sometimes agree exactly.
         let mutations = rng.next_bounded(u64::from(p.max_mutations) + 1);
         for _ in 0..mutations {
-            let mut srng = SplitMix64::new(self.seed ^ 0x5107 ^ (u64::from(id) << 8) ^ rng.next_bounded(4));
+            let mut srng =
+                SplitMix64::new(self.seed ^ 0x5107 ^ (u64::from(id) << 8) ^ rng.next_bounded(4));
             let slot = srng.next_bounded(WORDS_PER_LINE as u64) as usize;
             let pool_entry = rng.next_bounded(8);
             let mut vrng = SplitMix64::new(
                 self.seed ^ 0xf1e1d ^ (u64::from(id) << 16) ^ ((slot as u64) << 8) ^ pool_entry,
             );
-            line.set_word(slot, 0x0300_0000 | (vrng.next_u32() & 0x00ef_ffff) | 0x0010_0000);
+            line.set_word(
+                slot,
+                0x0300_0000 | (vrng.next_u32() & 0x00ef_ffff) | 0x0010_0000,
+            );
         }
         // Occasionally byte-shift the instance (hurts word-aligned
         // schemes; gzip/ORACLE still match).

@@ -38,12 +38,8 @@ pub mod record;
 pub use content::ContentSynthesizer;
 pub use gen::{Access, WorkloadGen};
 pub use mix::{mix_table, MixSpec};
-pub use record::{TraceReader, TraceRecord, TraceWriter};
-
-// `bytes` types appear in the public trace API; re-export the crate so
-// downstream users need not add their own dependency.
-pub use bytes;
 pub use profile::{WorkloadProfile, ALL_WORKLOADS};
+pub use record::{TraceReader, TraceRecord, TraceWriter};
 
 /// Looks a profile up by benchmark name.
 ///

@@ -67,6 +67,9 @@ mod tests {
         // MIX1 runs gcc twice, MIX5 runs bzip2 twice — Table VI verbatim.
         let mixes = mix_table();
         assert_eq!(mixes[1].members.iter().filter(|m| **m == "gcc").count(), 2);
-        assert_eq!(mixes[5].members.iter().filter(|m| **m == "bzip2").count(), 2);
+        assert_eq!(
+            mixes[5].members.iter().filter(|m| **m == "bzip2").count(),
+            2
+        );
     }
 }

@@ -62,7 +62,6 @@ pub struct WorkloadProfile {
     pub content_diverges: bool,
 }
 
-
 /// All synthetic benchmarks, in Fig. 12's left-to-right order
 /// (non-trivial first, zero-dominant grouped at the end).
 pub const ALL_WORKLOADS: &[WorkloadProfile] = &[
@@ -705,7 +704,11 @@ mod tests {
                 + p.template_frac
                 + p.pointer_frac
                 + p.small_value_frac;
-            assert!(sum <= 1.0 + 1e-9, "{}: class fractions sum to {sum}", p.name);
+            assert!(
+                sum <= 1.0 + 1e-9,
+                "{}: class fractions sum to {sum}",
+                p.name
+            );
             assert!(p.mem_ratio > 0.0 && p.mem_ratio < 1.0, "{}", p.name);
             assert!((0.0..=1.0).contains(&p.write_frac), "{}", p.name);
             assert!((0.0..=1.0).contains(&p.locality), "{}", p.name);

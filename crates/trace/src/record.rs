@@ -21,12 +21,12 @@
 
 use crate::gen::Access;
 use cable_common::{Address, LineData, LINE_BYTES};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::error::Error;
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"CBTR";
 const VERSION: u16 = 1;
+const HEADER_BYTES: usize = 4 + 2 + 8;
 const RECORD_BYTES: usize = 8 + 1 + LINE_BYTES;
 
 /// One captured access.
@@ -84,7 +84,7 @@ impl Error for TraceFormatError {}
 /// ```
 #[derive(Debug, Default)]
 pub struct TraceWriter {
-    body: BytesMut,
+    body: Vec<u8>,
     count: u64,
 }
 
@@ -97,9 +97,10 @@ impl TraceWriter {
 
     /// Appends one record.
     pub fn push(&mut self, record: TraceRecord) {
-        self.body.put_u64_le(record.addr.line_aligned().as_u64());
-        self.body.put_u8(u8::from(record.is_write));
-        self.body.put_slice(record.data.as_bytes());
+        self.body
+            .extend_from_slice(&record.addr.line_aligned().as_u64().to_le_bytes());
+        self.body.push(u8::from(record.is_write));
+        self.body.extend_from_slice(record.data.as_bytes());
         self.count += 1;
     }
 
@@ -117,20 +118,21 @@ impl TraceWriter {
 
     /// Finalizes the trace: header plus body.
     #[must_use]
-    pub fn finish(self) -> Bytes {
-        let mut out = BytesMut::with_capacity(14 + self.body.len());
-        out.put_slice(MAGIC);
-        out.put_u16_le(VERSION);
-        out.put_u64_le(self.count);
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_BYTES + self.body.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.count.to_le_bytes());
         out.extend_from_slice(&self.body);
-        out.freeze()
+        out
     }
 }
 
 /// Iterates the records of a binary trace.
 #[derive(Debug)]
 pub struct TraceReader {
-    body: Bytes,
+    bytes: Vec<u8>,
+    pos: usize,
     remaining: u64,
 }
 
@@ -141,32 +143,33 @@ impl TraceReader {
     ///
     /// Returns [`TraceFormatError`] on a bad magic, unsupported version, or
     /// a truncated body.
-    pub fn new(bytes: Bytes) -> Result<Self, TraceFormatError> {
-        let mut buf = bytes;
-        if buf.remaining() < 14 {
+    pub fn new(bytes: impl Into<Vec<u8>>) -> Result<Self, TraceFormatError> {
+        let bytes = bytes.into();
+        if bytes.len() < HEADER_BYTES {
             return Err(TraceFormatError::new("truncated header"));
         }
-        let mut magic = [0u8; 4];
-        buf.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
+        let magic = &bytes[0..4];
+        if magic != MAGIC {
             return Err(TraceFormatError::new(format!("bad magic {magic:02x?}")));
         }
-        let version = buf.get_u16_le();
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
         if version != VERSION {
             return Err(TraceFormatError::new(format!(
                 "unsupported version {version}"
             )));
         }
-        let count = buf.get_u64_le();
-        if (buf.remaining() as u64) < count * RECORD_BYTES as u64 {
+        let count = u64::from_le_bytes(bytes[6..14].try_into().unwrap());
+        let body_len = (bytes.len() - HEADER_BYTES) as u64;
+        if body_len < count * RECORD_BYTES as u64 {
             return Err(TraceFormatError::new(format!(
                 "body holds {} bytes, need {}",
-                buf.remaining(),
+                body_len,
                 count * RECORD_BYTES as u64
             )));
         }
         Ok(TraceReader {
-            body: buf,
+            bytes,
+            pos: HEADER_BYTES,
             remaining: count,
         })
     }
@@ -186,15 +189,17 @@ impl Iterator for TraceReader {
             return None;
         }
         self.remaining -= 1;
-        let addr = Address::new(self.body.get_u64_le());
-        let flags = self.body.get_u8();
+        let rec = &self.bytes[self.pos..self.pos + RECORD_BYTES];
+        self.pos += RECORD_BYTES;
+        let addr = Address::new(u64::from_le_bytes(rec[0..8].try_into().unwrap()));
+        let flags = rec[8];
         if flags > 1 {
             return Some(Err(TraceFormatError::new(format!(
                 "unknown flags {flags:#x}"
             ))));
         }
         let mut data = [0u8; LINE_BYTES];
-        self.body.copy_to_slice(&mut data);
+        data.copy_from_slice(&rec[9..9 + LINE_BYTES]);
         Some(Ok(TraceRecord {
             addr,
             is_write: flags & 1 == 1,
@@ -206,7 +211,7 @@ impl Iterator for TraceReader {
 /// Captures `accesses` accesses of a synthetic benchmark into a trace
 /// (useful for building portable regression inputs).
 #[must_use]
-pub fn record_synthetic(gen: &mut crate::WorkloadGen, accesses: u64) -> Bytes {
+pub fn record_synthetic(gen: &mut crate::WorkloadGen, accesses: u64) -> Vec<u8> {
     let mut w = TraceWriter::new();
     for _ in 0..accesses {
         let Access { addr, is_write, .. } = gen.next_access();
@@ -253,8 +258,8 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let err = TraceReader::new(Bytes::from_static(b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
-            .unwrap_err();
+        let err =
+            TraceReader::new(b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00".to_vec()).unwrap_err();
         assert!(err.to_string().contains("bad magic"));
     }
 
@@ -267,7 +272,7 @@ mod tests {
             data: LineData::zeroed(),
         });
         let full = w.finish();
-        let truncated = full.slice(0..full.len() - 10);
+        let truncated = full[0..full.len() - 10].to_vec();
         assert!(TraceReader::new(truncated).is_err());
     }
 
@@ -279,9 +284,9 @@ mod tests {
             is_write: false,
             data: LineData::zeroed(),
         });
-        let mut bytes = w.finish().to_vec();
+        let mut bytes = w.finish();
         bytes[4] = 9; // version
-        assert!(TraceReader::new(Bytes::from(bytes)).is_err());
+        assert!(TraceReader::new(bytes).is_err());
     }
 
     #[test]

@@ -42,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Scheme::Baseline(BaselineKind::Gzip),
         Scheme::Cable(EngineKind::Lbe),
     ] {
-        let bytes = cable::trace::bytes::Bytes::from(std::fs::read(&path)?);
-        let reader = TraceReader::new(bytes)?;
+        let reader = TraceReader::new(std::fs::read(&path)?)?;
         let mut link = CompressedLink::build(
             scheme,
             CacheGeometry::new(4 << 20, 16),

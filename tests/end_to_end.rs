@@ -9,7 +9,10 @@ use cable::sim::{CompressedLink, Scheme};
 use cable::trace::WorkloadGen;
 use cable_cache::CacheGeometry;
 
-fn study(profile: &'static cable::trace::WorkloadProfile, scheme: Scheme) -> cable::core::LinkStats {
+fn study(
+    profile: &'static cable::trace::WorkloadProfile,
+    scheme: Scheme,
+) -> cable::core::LinkStats {
     let mut link = CompressedLink::build(
         scheme,
         CacheGeometry::new(4 << 20, 16),
@@ -92,7 +95,10 @@ fn cable_beats_gzip_on_wide_footprint_similarity() {
             wins += 1;
         }
     }
-    assert!(wins >= 3, "CABLE won only {wins}/4 wide-footprint workloads");
+    assert!(
+        wins >= 3,
+        "CABLE won only {wins}/4 wide-footprint workloads"
+    );
 }
 
 #[test]

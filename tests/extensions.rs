@@ -86,7 +86,11 @@ fn ooo_race_monte_carlo() {
                 let (_, data, lid) = resident[rng.next_bounded(resident.len() as u64) as usize];
                 let mut target = data;
                 target.set_word(3, rng.next_u32() | 0x0100_0000);
-                l.send(Address::from_line_number(100_000 + i), target, &[(lid, data)]);
+                l.send(
+                    Address::from_line_number(100_000 + i),
+                    target,
+                    &[(lid, data)],
+                );
             }
             2 if !resident.is_empty() => {
                 // Evict a reference while responses may be in flight.

@@ -24,7 +24,7 @@ fn golden_engine_payload_bits() {
     let mut cpack = Cpack::per_line();
     assert_eq!(cpack.compress(&zero).len_bits(), 32); // 16 x zzzz
     assert_eq!(cpack.compress(&splat).len_bits(), 34 + 15 * 6); // literal + mmmm
-    // First word is a literal; the rest share high-16 bits (mmxx, 24 bits).
+                                                                // First word is a literal; the rest share high-16 bits (mmxx, 24 bits).
     assert_eq!(cpack.compress(&object).len_bits(), 34 + 15 * 24);
 
     // BDI.
