@@ -1,25 +1,31 @@
-//! Encode hot-path throughput smoke benchmark.
+//! Encode + timing-simulator throughput smoke benchmarks.
 //!
 //! ```sh
 //! cargo run --release -p cable-bench --bin perf_smoke
 //! ```
 //!
-//! Replays the template-heavy encode workload through every scheme,
-//! prints accesses/sec, and writes `BENCH_encode.json` in the current
-//! directory. `CABLE_QUICK=1` shrinks the run for CI.
+//! Replays the template-heavy encode workload through every scheme and
+//! sweeps the group timing simulator per scheme; prints accesses/sec and
+//! writes `BENCH_encode.json` and `BENCH_sim.json` in the current
+//! directory. `CABLE_QUICK=1` shrinks the runs for CI.
 
-use cable_bench::perf::{run_encode_bench, BENCH_ID};
+use cable_bench::perf::{run_encode_bench, run_sim_bench};
 use cable_bench::print_table;
+use cable_bench::FigureResult;
 
-fn main() {
-    let result = run_encode_bench();
+fn emit(result: &FigureResult<'_>) {
     print_table(result.title, &result.columns, &result.rows);
-    let path = format!("{BENCH_ID}.json");
+    let path = format!("{}.json", result.id);
     match std::fs::write(&path, result.to_json()) {
-        Ok(()) => println!("\nwrote {path}"),
+        Ok(()) => println!("\nwrote {path}\n"),
         Err(e) => {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         }
     }
+}
+
+fn main() {
+    emit(&run_encode_bench());
+    emit(&run_sim_bench());
 }

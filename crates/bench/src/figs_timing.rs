@@ -9,8 +9,8 @@ use cable_core::area::{home_side_area, paper_offchip_config, remote_side_area, S
 use cable_core::BaselineKind;
 use cable_energy::{EnergyModel, EnergyParams, TABLE_II_ROWS};
 use cable_sim::{
-    run_group, run_single_warmed, DramModel, OnOffController, Scheme, SharedLink, SystemConfig,
-    ThreadSim,
+    run_group, run_group_arena, run_single_warmed, DoneTracker, DramModel, OnOffController,
+    Scheduler, Scheme, SharedLink, SimArena, SystemConfig, ThreadSim,
 };
 use cable_trace::{WorkloadProfile, ALL_WORKLOADS};
 
@@ -87,17 +87,44 @@ pub fn fig14b() -> FigureResult<'static> {
         .iter()
         .map(|n| cable_trace::by_name(n).expect("known benchmark"))
         .collect();
+    // Workloads form the outer (parallel) loop so each job owns a local
+    // SimArena: the group is warmed once per scheme and the snapshot is
+    // restored at every thread count, instead of re-warming at all
+    // counts × schemes sweep points. The speedup matrix is reassembled in
+    // the original (count, scheme) row order below.
+    let per_workload: Vec<Vec<Vec<f64>>> = parallel_map(workloads.clone(), |p| {
+        let mut arena = SimArena::new();
+        counts
+            .iter()
+            .map(|&threads| {
+                let base = run_group_arena(
+                    &mut arena,
+                    p,
+                    Scheme::Uncompressed,
+                    threads,
+                    20_000,
+                    instrs,
+                    &cfg,
+                )
+                .system_ips();
+                schemes
+                    .iter()
+                    .map(|(_, s)| {
+                        run_group_arena(&mut arena, p, *s, threads, 20_000, instrs, &cfg)
+                            .system_ips()
+                            / base
+                    })
+                    .collect()
+            })
+            .collect()
+    });
     let rows = counts
         .iter()
-        .map(|&threads| {
-            let per_scheme: Vec<f64> = schemes
-                .iter()
-                .map(|(_, s)| {
-                    let speedups: Vec<f64> = parallel_map(workloads.clone(), |p| {
-                        let base =
-                            run_group(p, Scheme::Uncompressed, threads, instrs, &cfg).system_ips();
-                        run_group(p, *s, threads, instrs, &cfg).system_ips() / base
-                    });
+        .enumerate()
+        .map(|(ci, &threads)| {
+            let per_scheme: Vec<f64> = (0..schemes.len())
+                .map(|si| {
+                    let speedups: Vec<f64> = per_workload.iter().map(|w| w[ci][si]).collect();
                     geomean(&speedups)
                 })
                 .collect();
@@ -255,8 +282,11 @@ pub fn adaptive_throughput() -> FigureResult<'static> {
         .map(|n| cable_trace::by_name(n).expect("known benchmark"))
         .collect();
     let results: Vec<Vec<f64>> = parallel_map(workloads.clone(), |p| {
-        let plain = run_group_ctl(p, instrs, &cfg, false);
-        let controlled = run_group_ctl(p, instrs, &cfg, true);
+        // One arena per workload: the plain run warms the group, the
+        // controlled run restores the snapshot instead of re-warming.
+        let mut arena = SimArena::new();
+        let plain = run_group_ctl(p, instrs, &cfg, false, &mut arena);
+        let controlled = run_group_ctl(p, instrs, &cfg, true, &mut arena);
         vec![controlled / plain - 1.0]
     });
     let mut rows: Vec<(String, Vec<f64>)> = workloads
@@ -275,12 +305,18 @@ pub fn adaptive_throughput() -> FigureResult<'static> {
 }
 
 /// One group-of-eight run at 2048 threads, optionally with per-thread
-/// §VI-D controllers; returns system IPS.
+/// §VI-D controllers; returns system IPS. The warmed group comes out of
+/// `arena` (warm-up paid once per workload) and the loop runs on the
+/// event-driven [`Scheduler`]: every thread keeps running until all reach
+/// the target, so each popped thread is pushed back and only the
+/// [`DoneTracker`] decides termination — the same schedule the seed
+/// `min_by_key` scan produced.
 fn run_group_ctl(
     profile: &'static WorkloadProfile,
     instrs: u64,
     config: &SystemConfig,
     controlled: bool,
+    arena: &mut SimArena,
 ) -> f64 {
     use cable_sim::throughput::{GROUP_SIZE, TOTAL_LINK_BYTES_PER_SEC};
     let threads = 2048usize;
@@ -290,27 +326,37 @@ fn run_group_ctl(
     dram_cfg.dram_bus_bytes_per_sec = 16.0 * config.dram_bus_bytes_per_sec / groups;
     let mut dram = DramModel::from_config(&dram_cfg);
     let per_thread_share = TOTAL_LINK_BYTES_PER_SEC / groups / GROUP_SIZE as f64;
-    let mut group: Vec<(ThreadSim, OnOffController)> = (0..GROUP_SIZE)
-        .map(|i| {
-            let mut t = ThreadSim::new(profile, i as u64, Scheme::Cable(EngineKind::Lbe), *config);
-            t.warm(scaled(20_000));
-            (t, OnOffController::new(per_thread_share))
-        })
+    let mut group: Vec<(ThreadSim, OnOffController)> = arena
+        .warmed_group(
+            profile,
+            Scheme::Cable(EngineKind::Lbe),
+            scaled(20_000),
+            config,
+        )
+        .into_iter()
+        .map(|t| (t, OnOffController::new(per_thread_share)))
         .collect();
-    loop {
-        let all_done = group.iter().all(|(t, _)| t.retired() >= instrs);
-        if all_done {
-            break;
+    let mut sched = Scheduler::with_capacity(GROUP_SIZE);
+    let mut done = DoneTracker::new(GROUP_SIZE);
+    for (i, (t, _)) in group.iter().enumerate() {
+        if t.retired() >= instrs {
+            done.mark_done();
         }
-        let (t, ctl) = group
-            .iter_mut()
-            .min_by_key(|(t, _)| t.now_ps())
-            .expect("non-empty");
+        sched.push(t.now_ps(), i);
+    }
+    while !done.all_done() {
+        let (_, idx) = sched.pop().expect("undone threads remain scheduled");
+        let (t, ctl) = &mut group[idx];
+        let before = t.retired();
         t.step(&mut wire, &mut dram);
         if controlled {
             let now = t.now_ps();
             ctl.observe(now, t.link_mut());
         }
+        if before < instrs && t.retired() >= instrs {
+            done.mark_done();
+        }
+        sched.push(t.now_ps(), idx);
     }
     let total: u64 = group.iter().map(|(t, _)| t.retired()).sum();
     let elapsed = group

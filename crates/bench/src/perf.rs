@@ -15,6 +15,10 @@
 use crate::figs::is_quick;
 use crate::report::FigureResult;
 use crate::runner::{default_schemes, drive, StudyConfig};
+use cable_compress::EngineKind;
+use cable_core::BaselineKind;
+use cable_sim::throughput::{run_group_arena, run_group_warmed_linear};
+use cable_sim::{Scheme, SimArena, SystemConfig};
 use cable_trace::WorkloadGen;
 use std::time::Instant;
 
@@ -71,6 +75,93 @@ pub fn run_encode_bench() -> FigureResult<'static> {
     }
 }
 
+/// Identifier of the emitted simulator JSON result (`BENCH_sim.json`).
+pub const SIM_BENCH_ID: &str = "BENCH_sim";
+
+/// The workload the simulator benchmark sweeps. mcf is memory-bound — the
+/// group sweep's stress case: nearly every access exercises the wire,
+/// DRAM, and scheduler.
+pub const SIM_BENCH_WORKLOAD: &str = "mcf";
+
+/// Columns of the emitted simulator figure, in order.
+pub const SIM_BENCH_COLUMNS: &[&str] = &[
+    "accesses_per_sec",
+    "linear_accesses_per_sec",
+    "speedup",
+    "elapsed_ms",
+    "accesses",
+];
+
+/// Thread counts of the tracked group sweep (the Fig. 14b axis).
+pub const SIM_BENCH_THREADS: &[usize] = &[256, 512, 1024, 2048];
+
+/// Measures the timing simulator's sustained simulated-accesses/sec per
+/// scheme over the group sweep, on both the event-driven + `SimArena` path
+/// and the seed linear-scan path (`run_group_warmed_linear`, which rebuilds
+/// and re-warms at every sweep point — the pre-change scheduler). The two
+/// paths retire bit-identical instruction totals, so `speedup` is a pure
+/// wall-clock ratio. Honors `CABLE_QUICK` (shrinks the measured budget).
+///
+/// # Panics
+///
+/// Panics if the benchmark workload is missing from the profile table, or
+/// if the two scheduler paths disagree on retired instructions.
+#[must_use]
+pub fn run_sim_bench() -> FigureResult<'static> {
+    let cfg = SystemConfig::paper_defaults();
+    let profile = cable_trace::by_name(SIM_BENCH_WORKLOAD).expect("benchmark workload exists");
+    let warm = 20_000u64; // run_group's warm-up budget
+    let instrs = if is_quick() { 1_000 } else { 5_000 };
+    let schemes = [
+        Scheme::Uncompressed,
+        Scheme::Baseline(BaselineKind::Cpack),
+        Scheme::Baseline(BaselineKind::Gzip),
+        Scheme::Cable(EngineKind::Lbe),
+    ];
+    let rows = schemes
+        .iter()
+        .map(|&scheme| {
+            let mut arena = SimArena::new();
+            let start = Instant::now();
+            let mut retired = 0u64;
+            for &threads in SIM_BENCH_THREADS {
+                retired +=
+                    run_group_arena(&mut arena, profile, scheme, threads, warm, instrs, &cfg)
+                        .group_instructions;
+            }
+            let event_s = start.elapsed().as_secs_f64().max(1e-12);
+            let start = Instant::now();
+            let mut retired_linear = 0u64;
+            for &threads in SIM_BENCH_THREADS {
+                retired_linear +=
+                    run_group_warmed_linear(profile, scheme, threads, warm, instrs, &cfg)
+                        .group_instructions;
+            }
+            let linear_s = start.elapsed().as_secs_f64().max(1e-12);
+            assert_eq!(
+                retired, retired_linear,
+                "scheduler paths must retire identical work"
+            );
+            (
+                scheme.label().to_string(),
+                vec![
+                    retired as f64 / event_s,
+                    retired as f64 / linear_s,
+                    linear_s / event_s,
+                    event_s * 1e3,
+                    retired as f64,
+                ],
+            )
+        })
+        .collect();
+    FigureResult {
+        id: SIM_BENCH_ID,
+        title: "Timing-simulator throughput over the group sweep (event+arena vs linear)",
+        columns: SIM_BENCH_COLUMNS.iter().map(|c| (*c).to_string()).collect(),
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +170,8 @@ mod tests {
     fn columns_match_schema() {
         assert_eq!(BENCH_COLUMNS[0], "accesses_per_sec");
         assert_eq!(BENCH_COLUMNS.len(), 3);
+        assert_eq!(SIM_BENCH_COLUMNS[0], "accesses_per_sec");
+        assert_eq!(SIM_BENCH_COLUMNS[2], "speedup");
+        assert_eq!(SIM_BENCH_COLUMNS.len(), 5);
     }
 }

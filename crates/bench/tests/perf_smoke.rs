@@ -4,7 +4,9 @@
 //! benchmark (full access budget per scheme, JSON emission, schema) without
 //! paying the full measurement cost in every local `cargo test`.
 
-use cable_bench::perf::{run_encode_bench, BENCH_COLUMNS, BENCH_ID};
+use cable_bench::perf::{
+    run_encode_bench, run_sim_bench, BENCH_COLUMNS, BENCH_ID, SIM_BENCH_COLUMNS, SIM_BENCH_ID,
+};
 use cable_bench::report::load_json;
 use cable_bench::runner::default_schemes;
 
@@ -51,6 +53,67 @@ fn encode_bench_completes_and_roundtrips_schema() {
     assert_eq!(loaded.rows.len(), result.rows.len());
     for (label, values) in &result.rows {
         for (col, v) in BENCH_COLUMNS.iter().zip(values) {
+            let got = loaded
+                .value(label, col)
+                .unwrap_or_else(|| panic!("{label}/{col} missing after roundtrip"));
+            assert!(
+                (got - v).abs() <= v.abs() * 1e-9,
+                "{label}/{col}: {got} != {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sim_bench_completes_and_roundtrips_schema() {
+    if !quick() {
+        eprintln!("skipping: set CABLE_QUICK=1 to run the simulator benchmark");
+        return;
+    }
+
+    let result = run_sim_bench();
+    assert_eq!(result.id, SIM_BENCH_ID);
+    assert_eq!(result.columns, SIM_BENCH_COLUMNS);
+    assert_eq!(result.rows.len(), 4, "one row per swept scheme");
+
+    for (label, values) in &result.rows {
+        assert_eq!(
+            values.len(),
+            SIM_BENCH_COLUMNS.len(),
+            "{label}: column count"
+        );
+        let (rate, linear_rate, speedup, elapsed_ms, accesses) =
+            (values[0], values[1], values[2], values[3], values[4]);
+        assert!(rate.is_finite() && rate > 0.0, "{label}: bad rate {rate}");
+        assert!(
+            linear_rate.is_finite() && linear_rate > 0.0,
+            "{label}: bad linear rate {linear_rate}"
+        );
+        assert!(
+            speedup.is_finite() && speedup > 0.0,
+            "{label}: bad speedup {speedup}"
+        );
+        assert!(
+            elapsed_ms.is_finite() && elapsed_ms > 0.0,
+            "{label}: bad elapsed {elapsed_ms}"
+        );
+        assert!(
+            accesses > 0.0 && accesses.fract() == 0.0,
+            "{label}: bad retired count {accesses}"
+        );
+        // speedup is defined as the ratio of the two measured rates.
+        assert!(
+            (speedup - rate / linear_rate).abs() <= speedup * 1e-9,
+            "{label}: speedup {speedup} inconsistent with rates"
+        );
+    }
+
+    // The emitted JSON parses back with the same schema and values.
+    let loaded = load_json(&result.to_json()).expect("emitted JSON parses");
+    assert_eq!(loaded.id, SIM_BENCH_ID);
+    assert_eq!(loaded.columns, SIM_BENCH_COLUMNS);
+    for (label, values) in &result.rows {
+        for (col, v) in SIM_BENCH_COLUMNS.iter().zip(values) {
             let got = loaded
                 .value(label, col)
                 .unwrap_or_else(|| panic!("{label}/{col} missing after roundtrip"));

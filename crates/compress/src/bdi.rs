@@ -208,6 +208,10 @@ impl Compressor for Bdi {
         }
         Encoded::new(out)
     }
+
+    fn clone_box(&self) -> Box<dyn Compressor + Send> {
+        Box::new(*self)
+    }
 }
 
 fn mask(bytes: usize) -> u64 {
@@ -275,6 +279,10 @@ impl Decompressor for Bdi {
             }
         }
         Ok(line)
+    }
+
+    fn clone_box(&self) -> Box<dyn Decompressor + Send> {
+        Box::new(*self)
     }
 }
 

@@ -276,6 +276,10 @@ impl Compressor for Cpack {
         self.encode_line(line, &mut out);
         Encoded::new(out)
     }
+
+    fn clone_box(&self) -> Box<dyn Compressor + Send> {
+        Box::new(self.clone())
+    }
 }
 
 impl Decompressor for Cpack {
@@ -285,6 +289,10 @@ impl Decompressor for Cpack {
         }
         let mut r = BitReader::new(payload.as_bytes(), payload.len_bits());
         self.decode_line(&mut r)
+    }
+
+    fn clone_box(&self) -> Box<dyn Decompressor + Send> {
+        Box::new(self.clone())
     }
 }
 
@@ -310,6 +318,10 @@ impl SeededCompressor for Cpack {
         scratch.seed_dict(refs);
         let mut r = BitReader::new(payload.as_bytes(), payload.len_bits());
         scratch.decode_line(&mut r)
+    }
+
+    fn clone_box(&self) -> Box<dyn SeededCompressor + Send + Sync> {
+        Box::new(self.clone())
     }
 }
 

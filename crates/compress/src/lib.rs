@@ -136,6 +136,16 @@ pub trait Compressor {
 
     /// Compresses one 64-byte line, updating any streaming dictionary.
     fn compress(&mut self, line: &LineData) -> Encoded;
+
+    /// Boxed deep copy including any streaming-dictionary state, so a
+    /// warmed link can be snapshotted and resumed bit-identically.
+    fn clone_box(&self) -> Box<dyn Compressor + Send>;
+}
+
+impl Clone for Box<dyn Compressor + Send> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// A streaming line decompressor: the other end of the link.
@@ -146,6 +156,15 @@ pub trait Decompressor {
     ///
     /// Returns [`DecodeError`] if the payload is malformed or truncated.
     fn decompress(&mut self, payload: &Encoded) -> Result<LineData, DecodeError>;
+
+    /// Boxed deep copy including any streaming-dictionary state.
+    fn clone_box(&self) -> Box<dyn Decompressor + Send>;
+}
+
+impl Clone for Box<dyn Decompressor + Send> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// A stateless engine that compresses one line against a temporary
@@ -168,6 +187,16 @@ pub trait SeededCompressor {
         refs: &[LineData],
         payload: &Encoded,
     ) -> Result<LineData, DecodeError>;
+
+    /// Boxed deep copy (seeded engines hold only configuration, but links
+    /// snapshot them uniformly with the streaming engines).
+    fn clone_box(&self) -> Box<dyn SeededCompressor + Send + Sync>;
+}
+
+impl Clone for Box<dyn SeededCompressor + Send + Sync> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Engine selection for CABLE's delegated compression step (Fig. 20).

@@ -252,12 +252,20 @@ impl Compressor for Lzss {
         self.encode_line(line, &mut out);
         Encoded::new(out)
     }
+
+    fn clone_box(&self) -> Box<dyn Compressor + Send> {
+        Box::new(self.clone())
+    }
 }
 
 impl Decompressor for Lzss {
     fn decompress(&mut self, payload: &Encoded) -> Result<LineData, DecodeError> {
         let mut r = BitReader::new(payload.as_bytes(), payload.len_bits());
         self.decode_line(&mut r)
+    }
+
+    fn clone_box(&self) -> Box<dyn Decompressor + Send> {
+        Box::new(self.clone())
     }
 }
 
@@ -283,6 +291,10 @@ impl SeededCompressor for Lzss {
         scratch.seed(refs);
         let mut r = BitReader::new(payload.as_bytes(), payload.len_bits());
         scratch.decode_line(&mut r)
+    }
+
+    fn clone_box(&self) -> Box<dyn SeededCompressor + Send + Sync> {
+        Box::new(self.clone())
     }
 }
 

@@ -210,6 +210,10 @@ impl SeededCompressor for Oracle {
             Self::decompress_bytes(refs, &mut r)
         }
     }
+
+    fn clone_box(&self) -> Box<dyn SeededCompressor + Send + Sync> {
+        Box::new(*self)
+    }
 }
 
 #[cfg(test)]

@@ -54,6 +54,10 @@ impl Compressor for Zce {
         }
         Encoded::new(out)
     }
+
+    fn clone_box(&self) -> Box<dyn Compressor + Send> {
+        Box::new(*self)
+    }
 }
 
 impl Decompressor for Zce {
@@ -79,6 +83,10 @@ impl Decompressor for Zce {
             }
         }
         Ok(line)
+    }
+
+    fn clone_box(&self) -> Box<dyn Decompressor + Send> {
+        Box::new(*self)
     }
 }
 

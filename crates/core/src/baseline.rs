@@ -103,6 +103,10 @@ impl fmt::Display for BaselineKind {
 /// let t = link.request(Address::new(0), LineData::zeroed());
 /// assert!(t.wire_bits() < 512); // zero lines compress well even for CPACK
 /// ```
+///
+/// Like `CableLink`, a clone deep-copies the caches and any streaming
+/// dictionary state, so warmed links can be snapshotted and resumed.
+#[derive(Clone)]
 pub struct BaselineLink {
     kind: BaselineKind,
     home: SetAssocCache,

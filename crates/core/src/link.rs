@@ -217,6 +217,11 @@ impl LinkStats {
 /// let again = link.request(Address::new(0x40), line);
 /// assert_eq!(again.wire_bits(), 0);
 /// ```
+///
+/// Links are `Clone`: a clone deep-copies every cache, table and engine, so
+/// a warmed link can be snapshotted and both copies evolve independently
+/// and bit-identically (the basis of `cable-sim`'s warm-state reuse).
+#[derive(Clone)]
 pub struct CableLink {
     config: CableConfig,
     extractor: SignatureExtractor,

@@ -13,9 +13,12 @@
 //! the coherence use case be studied end to end.
 
 use crate::config::{CompressionLatency, SystemConfig};
+use crate::hier::fill_l2_l1;
 use crate::resources::{DramModel, SharedLink};
+use crate::sched::Scheduler;
 use crate::thread::{CompressedLink, Scheme};
-use cable_cache::{CacheGeometry, CoherenceState, SetAssocCache};
+use cable_cache::{CacheGeometry, SetAssocCache};
+use cable_common::LineData;
 use cable_core::{LinkStats, TransferKind};
 use cable_trace::{WorkloadGen, WorkloadProfile};
 use std::fmt;
@@ -140,7 +143,34 @@ impl FabricSim {
     }
 
     /// Runs until every chip retires `instructions_per_chip`.
+    ///
+    /// Time advances event-driven: a min-heap keyed on `(now_ps, chip)`
+    /// always yields the chip with the earliest local clock (ties broken
+    /// lowest-index-first, matching the seed linear scan); a chip that
+    /// reaches its target is simply not re-queued, so there is no per-step
+    /// all-done scan.
     pub fn run(&mut self, instructions_per_chip: u64) -> FabricResult {
+        let mut sched = Scheduler::with_capacity(self.nodes);
+        for (i, chip) in self.chips.iter().enumerate() {
+            if chip.retired < instructions_per_chip {
+                sched.push(chip.now_ps, i);
+            }
+        }
+        while let Some((_, idx)) = sched.pop() {
+            self.step_chip(idx);
+            let chip = &self.chips[idx];
+            if chip.retired < instructions_per_chip {
+                sched.push(chip.now_ps, idx);
+            }
+        }
+        self.result()
+    }
+
+    /// The seed O(N)-scan scheduler, kept verbatim as the equivalence
+    /// oracle for [`FabricSim::run`]: the `sched_equivalence` tests and the
+    /// `BENCH_sim` speedup measurement both drive it.
+    #[doc(hidden)]
+    pub fn run_linear(&mut self, instructions_per_chip: u64) -> FabricResult {
         loop {
             let idx = (0..self.nodes)
                 .filter(|&i| self.chips[i].retired < instructions_per_chip)
@@ -148,6 +178,10 @@ impl FabricSim {
             let Some(idx) = idx else { break };
             self.step_chip(idx);
         }
+        self.result()
+    }
+
+    fn result(&self) -> FabricResult {
         FabricResult {
             instructions: self.chips.iter().map(|c| c.retired).sum(),
             elapsed_ps: self.chips.iter().map(|c| c.now_ps).max().unwrap_or(0),
@@ -228,11 +262,50 @@ impl FabricSim {
     fn fill_upper(&mut self, idx: usize, addr: cable_common::Address, is_write: bool) {
         let chip = &mut self.chips[idx];
         let line = chip.gen.content(addr);
-        chip.l2.insert(addr, line, CoherenceState::Shared);
-        chip.l1.insert(addr, line, CoherenceState::Shared);
-        if is_write {
-            let data = chip.gen.store_data(addr);
-            chip.l1.write(addr, data);
+        let store = is_write.then(|| chip.gen.store_data(addr));
+        let victim = fill_l2_l1(&mut chip.l1, &mut chip.l2, addr, line, store);
+        if let Some(v) = victim {
+            self.write_back_victim(idx, v.addr, v.data);
+        }
+    }
+
+    /// Writes a dirty L2 victim back to its home over the owning link —
+    /// the fabric's policy for the victim [`fill_l2_l1`] returns. Like the
+    /// thread model's spill, write-backs overlap execution (the store
+    /// buffer hides them), so only the wire's bandwidth is consumed.
+    fn write_back_victim(&mut self, idx: usize, addr: cable_common::Address, data: LineData) {
+        let home = self.home_node(addr);
+        let (link, wire_kind) = if home == idx {
+            (idx, None)
+        } else {
+            (
+                self.pipeline_index(idx, home),
+                Some(self.wire_index(idx, home)),
+            )
+        };
+        let pipeline = if wire_kind.is_some() {
+            &mut self.pipelines[link]
+        } else {
+            &mut self.local_links[link]
+        };
+        // Resident at the home: silent upgrade, the link compresses the
+        // eventual write-back on home-side eviction.
+        if pipeline.remote_store(addr, data) {
+            return;
+        }
+        // Read-for-ownership through the link, then store.
+        let before = pipeline.stats().wire_bits;
+        pipeline.request_exclusive(addr, data);
+        pipeline.remote_store(addr, data);
+        let delta_bits = pipeline.stats().wire_bits - before;
+        let now = self.chips[idx].now_ps;
+        match wire_kind {
+            Some(w) => {
+                self.wires[w].transfer(now, delta_bits);
+            }
+            None => {
+                self.local_wires[idx].transfer(now, delta_bits);
+            }
         }
     }
 

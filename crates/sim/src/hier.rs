@@ -1,0 +1,129 @@
+//! Shared private-hierarchy (L1/L2) fill-and-spill mechanics.
+//!
+//! [`ThreadSim`](crate::ThreadSim) and [`FabricSim`](crate::FabricSim)
+//! model the same private L1/L2 pair in front of different fabrics (a
+//! shared memory link vs. PTP coherence links). Their fill paths used to
+//! be copy-pasted and had already drifted (the fabric dropped dirty L1
+//! victims on the floor); [`fill_l2_l1`] is the single implementation both
+//! now use, so the models cannot diverge again. Only the *write-back
+//! policy* for a dirty L2 victim differs per model, so that victim is
+//! returned to the caller instead of handled here.
+
+use cable_cache::{CoherenceState, SetAssocCache};
+use cable_common::{Address, LineData};
+
+/// A dirty line displaced from L2 by a fill; the caller owns the
+/// write-back policy (spill through the memory link, write back over the
+/// home PTP link, …).
+#[derive(Clone, Debug)]
+pub(crate) struct DirtyVictim {
+    /// Line-aligned address of the victim.
+    pub addr: Address,
+    /// Victim payload.
+    pub data: LineData,
+}
+
+/// Fills `line` at `addr` into L2 then L1 and applies an optional store.
+///
+/// Mechanics shared by both timing models:
+///
+/// - the L2 insert's dirty victim is *returned* for the caller to write
+///   back (clean victims vanish silently);
+/// - the L1 insert's dirty victim is demoted into L2 (updating the line in
+///   place when resident, inserting it Modified otherwise — the inner
+///   demotion's own victim is dropped, as the seed model did);
+/// - `store`, when present, dirties the just-filled L1 line.
+pub(crate) fn fill_l2_l1(
+    l1: &mut SetAssocCache,
+    l2: &mut SetAssocCache,
+    addr: Address,
+    line: LineData,
+    store: Option<LineData>,
+) -> Option<DirtyVictim> {
+    let mut dirty = None;
+    let outcome = l2.insert(addr, line, CoherenceState::Shared);
+    if let Some(victim) = outcome.evicted {
+        if victim.state == CoherenceState::Modified {
+            dirty = Some(DirtyVictim {
+                addr: victim.addr,
+                data: victim.data,
+            });
+        }
+    }
+    let outcome = l1.insert(addr, line, CoherenceState::Shared);
+    if let Some(victim) = outcome.evicted {
+        if victim.state == CoherenceState::Modified && !l2.write(victim.addr, victim.data) {
+            l2.insert(victim.addr, victim.data, CoherenceState::Modified);
+        }
+    }
+    if let Some(data) = store {
+        l1.write(addr, data);
+    }
+    dirty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_cache::CacheGeometry;
+
+    fn tiny_pair() -> (SetAssocCache, SetAssocCache) {
+        // 2-way x 1-set L1, 4-way x 1-set L2: evictions are easy to force.
+        (
+            SetAssocCache::new(CacheGeometry::new(128, 2)),
+            SetAssocCache::new(CacheGeometry::new(256, 4)),
+        )
+    }
+
+    fn addr(n: u64) -> Address {
+        Address::from_line_number(n)
+    }
+
+    fn read(cache: &SetAssocCache, a: Address) -> Option<LineData> {
+        cache.lookup(a).and_then(|id| cache.read_by_id(id))
+    }
+
+    #[test]
+    fn fill_lands_in_both_levels_and_applies_store() {
+        let (mut l1, mut l2) = tiny_pair();
+        let stored = LineData::splat_word(7);
+        let victim = fill_l2_l1(&mut l1, &mut l2, addr(1), LineData::zeroed(), Some(stored));
+        assert!(victim.is_none());
+        assert_eq!(read(&l1, addr(1)), Some(stored));
+        assert_eq!(read(&l2, addr(1)), Some(LineData::zeroed()));
+    }
+
+    #[test]
+    fn dirty_l2_victim_is_returned_to_the_caller() {
+        let (mut l1, mut l2) = tiny_pair();
+        // Dirty line 0 in L2, then displace it with four fresh fills.
+        fill_l2_l1(&mut l1, &mut l2, addr(0), LineData::zeroed(), None);
+        l2.write(addr(0), LineData::splat_word(9));
+        let mut dirty = Vec::new();
+        for n in 1..=4 {
+            if let Some(v) = fill_l2_l1(&mut l1, &mut l2, addr(n), LineData::zeroed(), None) {
+                dirty.push(v);
+            }
+        }
+        assert_eq!(dirty.len(), 1, "exactly the one dirtied victim spills");
+        assert_eq!(dirty[0].addr, addr(0));
+        assert_eq!(dirty[0].data, LineData::splat_word(9));
+    }
+
+    #[test]
+    fn dirty_l1_victim_demotes_into_l2() {
+        let (mut l1, mut l2) = tiny_pair();
+        let stored = LineData::splat_word(3);
+        // Dirty line 0 in L1 only (the L2 copy stays clean/zeroed).
+        fill_l2_l1(&mut l1, &mut l2, addr(0), LineData::zeroed(), Some(stored));
+        // Two more fills push line 0 out of the 2-way L1.
+        fill_l2_l1(&mut l1, &mut l2, addr(1), LineData::zeroed(), None);
+        fill_l2_l1(&mut l1, &mut l2, addr(2), LineData::zeroed(), None);
+        assert!(read(&l1, addr(0)).is_none(), "evicted from L1");
+        assert_eq!(
+            read(&l2, addr(0)),
+            Some(stored),
+            "demoted store data must land in L2"
+        );
+    }
+}

@@ -11,7 +11,11 @@
 //! - [`throughput`]: the group-of-eight bandwidth-sharing methodology of
 //!   the Fig. 14 throughput studies;
 //! - [`numa`]: multi-chip coherence-link compression (Fig. 13);
-//! - [`adaptive`]: the §VI-D on/off compression controller.
+//! - [`adaptive`]: the §VI-D on/off compression controller;
+//! - [`sched`]: the event-driven [`Scheduler`]/[`DoneTracker`] core shared
+//!   by every multi-actor timing loop;
+//! - [`arena`]: the [`SimArena`] warm-state cache that amortises group
+//!   warm-up across sweep points.
 //!
 //! # Examples
 //!
@@ -30,19 +34,24 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod arena;
 pub mod config;
 pub mod fabric;
+mod hier;
 pub mod numa;
 pub mod resources;
+pub mod sched;
 pub mod single;
 pub mod thread;
 pub mod throughput;
 
 pub use adaptive::OnOffController;
+pub use arena::SimArena;
 pub use config::{CompressionLatency, SystemConfig};
 pub use fabric::{FabricResult, FabricSim};
 pub use numa::NumaSim;
 pub use resources::{DramModel, SharedLink};
+pub use sched::{DoneTracker, Scheduler};
 pub use single::{run_single, run_single_warmed, SingleResult};
 pub use thread::{CompressedLink, Scheme, ThreadSim};
-pub use throughput::{run_group, speedup, ThroughputResult, GROUP_SIZE};
+pub use throughput::{run_group, run_group_arena, speedup, ThroughputResult, GROUP_SIZE};

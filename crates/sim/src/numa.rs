@@ -60,6 +60,12 @@ impl NumaSim {
     }
 
     /// Runs `accesses` memory accesses, compressing all cross-chip traffic.
+    ///
+    /// This study is functional, not timed — it measures what the link
+    /// compresses, not when — so local accesses cost nothing here: they
+    /// never fetch line content and never touch a link. (That is also why
+    /// `NumaSim` does not sit on the [`Scheduler`](crate::Scheduler) event
+    /// core: there are no per-actor clocks to order.)
     pub fn run(&mut self, accesses: u64) {
         for _ in 0..accesses {
             let access = self.gen.next_access();
@@ -72,8 +78,7 @@ impl NumaSim {
             let link = &mut self.links[node - 1];
             let memory = self.gen.content(access.addr);
             if access.is_write {
-                let t = link.request_exclusive(access.addr, memory);
-                let _ = t;
+                link.request_exclusive(access.addr, memory);
                 let data = self.gen.store_data(access.addr);
                 link.remote_store(access.addr, data);
             } else {

@@ -9,8 +9,9 @@
 //! methodology).
 
 use crate::config::{CompressionLatency, SystemConfig};
+use crate::hier::fill_l2_l1;
 use crate::resources::{DramModel, SharedLink};
-use cable_cache::{CacheGeometry, CoherenceState, SetAssocCache};
+use cable_cache::{CacheGeometry, SetAssocCache};
 use cable_common::{Address, LineData};
 use cable_compress::EngineKind;
 use cable_core::{
@@ -62,6 +63,7 @@ impl fmt::Display for Scheme {
 }
 
 /// A compressed (or uncompressed) LLC↔L4 link of either family.
+#[derive(Clone)]
 pub enum CompressedLink {
     /// CABLE endpoints.
     Cable(Box<CableLink>),
@@ -176,6 +178,12 @@ pub struct ThreadCounts {
 }
 
 /// One simulated in-order hardware thread.
+///
+/// `Clone` deep-copies the whole microarchitectural state — caches, link
+/// dictionaries, generator RNG, clocks — so a warmed thread can be
+/// snapshotted once and restored at every sweep point
+/// (see [`crate::SimArena`]).
+#[derive(Clone)]
 pub struct ThreadSim {
     gen: WorkloadGen,
     l1: SetAssocCache,
@@ -287,26 +295,12 @@ impl ThreadSim {
             self.fetch_from_llc(access.addr, access.is_write, wire, dram)
         };
 
-        // Fill L2 then L1; dirty victims flow downward.
-        let outcome = self.l2.insert(access.addr, line, CoherenceState::Shared);
-        if let Some(victim) = outcome.evicted {
-            if victim.state == CoherenceState::Modified {
-                self.spill_dirty_to_llc(victim.addr, victim.data, wire, dram);
-            }
-        }
-        let outcome = self.l1.insert(access.addr, line, CoherenceState::Shared);
-        if let Some(victim) = outcome.evicted {
-            if victim.state == CoherenceState::Modified {
-                // L1 dirty victim lands in L2.
-                if !self.l2.write(victim.addr, victim.data) {
-                    self.l2
-                        .insert(victim.addr, victim.data, CoherenceState::Modified);
-                }
-            }
-        }
-        if access.is_write {
-            let data = self.gen.store_data(access.addr);
-            self.l1.write(access.addr, data);
+        // Fill L2 then L1 (shared mechanics); dirty L2 victims spill
+        // through the compressed link.
+        let store = access.is_write.then(|| self.gen.store_data(access.addr));
+        let victim = fill_l2_l1(&mut self.l1, &mut self.l2, access.addr, line, store);
+        if let Some(v) = victim {
+            self.spill_dirty_to_llc(v.addr, v.data, wire, dram);
         }
     }
 

@@ -9,9 +9,19 @@
 //! We simulate one representative group of eight threads sharing
 //! `total / (threads / 8)` of the link (and the proportional DRAM share),
 //! then scale: system throughput = group throughput × group count.
+//!
+//! The group loop is event-driven: a [`Scheduler`] min-heap picks the
+//! earliest thread in O(log N) and a [`DoneTracker`] makes the completion
+//! check O(1), replacing the seed's two O(N) scans per step. The seed
+//! linear-scan loop survives as [`run_group_warmed_linear`], the reference
+//! implementation the equivalence property tests (and `BENCH_sim`) compare
+//! against. [`run_group_arena`] additionally reuses warmed groups across
+//! sweep points via a [`SimArena`].
 
+use crate::arena::SimArena;
 use crate::config::SystemConfig;
 use crate::resources::{DramModel, SharedLink};
+use crate::sched::{DoneTracker, Scheduler};
 use crate::thread::{Scheme, ThreadSim};
 use cable_trace::WorkloadProfile;
 
@@ -43,6 +53,86 @@ impl ThroughputResult {
     #[must_use]
     pub fn system_ips(&self) -> f64 {
         self.group_ips() * (self.threads / GROUP_SIZE) as f64
+    }
+}
+
+/// Builds the group-share wire and DRAM for a `threads`-thread system.
+///
+/// # Panics
+///
+/// Panics if `threads` is not a positive multiple of [`GROUP_SIZE`].
+fn group_resources(threads: usize, config: &SystemConfig) -> (SharedLink, DramModel) {
+    assert!(
+        threads >= GROUP_SIZE && threads.is_multiple_of(GROUP_SIZE),
+        "thread count must be a positive multiple of {GROUP_SIZE}"
+    );
+    let groups = (threads / GROUP_SIZE) as f64;
+    let wire = SharedLink::new(TOTAL_LINK_BYTES_PER_SEC / groups, config.link_setup_ps);
+    // DRAM behind the buffers: "4 MCs per chip/buffer" across 4 channels
+    // (Table IV) gives DRAM 204.8 GB/s aggregate — 2.7x the link, so the
+    // off-chip link is the system bottleneck, as in the paper.
+    let mut dram_cfg = *config;
+    dram_cfg.dram_bus_bytes_per_sec = 16.0 * config.dram_bus_bytes_per_sec / groups;
+    let dram = DramModel::from_config(&dram_cfg);
+    (wire, dram)
+}
+
+fn build_warmed_group(
+    profile: &'static WorkloadProfile,
+    scheme: Scheme,
+    warm_accesses: u64,
+    config: &SystemConfig,
+) -> Vec<ThreadSim> {
+    (0..GROUP_SIZE)
+        .map(|i| {
+            let mut t = ThreadSim::new(profile, i as u64, scheme, *config);
+            t.warm(warm_accesses);
+            t
+        })
+        .collect()
+}
+
+fn summarize(threads: usize, group: &[ThreadSim]) -> ThroughputResult {
+    let group_instructions: u64 = group.iter().map(ThreadSim::retired).sum();
+    let elapsed_ps = group
+        .iter()
+        .map(ThreadSim::now_ps)
+        .max()
+        .expect("non-empty");
+    ThroughputResult {
+        threads,
+        group_instructions,
+        elapsed_ps,
+    }
+}
+
+/// Event-driven group loop: advance the earliest thread until every thread
+/// reaches its target ("kept running until all have finished ... to
+/// sustain loads" — finished threads keep running, so every pop is pushed
+/// back; only the done-count decides termination).
+pub(crate) fn run_group_core(
+    group: &mut [ThreadSim],
+    wire: &mut SharedLink,
+    dram: &mut DramModel,
+    instructions_per_thread: u64,
+) {
+    let mut sched = Scheduler::with_capacity(group.len());
+    let mut done = DoneTracker::new(group.len());
+    for (i, t) in group.iter().enumerate() {
+        if t.retired() >= instructions_per_thread {
+            done.mark_done();
+        }
+        sched.push(t.now_ps(), i);
+    }
+    while !done.all_done() {
+        let (_, idx) = sched.pop().expect("undone threads remain scheduled");
+        let t = &mut group[idx];
+        let before = t.retired();
+        t.step(wire, dram);
+        if before < instructions_per_thread && t.retired() >= instructions_per_thread {
+            done.mark_done();
+        }
+        sched.push(t.now_ps(), idx);
     }
 }
 
@@ -83,29 +173,48 @@ pub fn run_group_warmed(
     instructions_per_thread: u64,
     config: &SystemConfig,
 ) -> ThroughputResult {
-    assert!(
-        threads >= GROUP_SIZE && threads.is_multiple_of(GROUP_SIZE),
-        "thread count must be a positive multiple of {GROUP_SIZE}"
-    );
-    let groups = (threads / GROUP_SIZE) as f64;
-    let mut wire = SharedLink::new(TOTAL_LINK_BYTES_PER_SEC / groups, config.link_setup_ps);
-    // DRAM behind the buffers: "4 MCs per chip/buffer" across 4 channels
-    // (Table IV) gives DRAM 204.8 GB/s aggregate — 2.7x the link, so the
-    // off-chip link is the system bottleneck, as in the paper.
-    let mut dram_cfg = *config;
-    dram_cfg.dram_bus_bytes_per_sec = 16.0 * config.dram_bus_bytes_per_sec / groups;
-    let mut dram = DramModel::from_config(&dram_cfg);
+    let (mut wire, mut dram) = group_resources(threads, config);
+    let mut group = build_warmed_group(profile, scheme, warm_accesses, config);
+    run_group_core(&mut group, &mut wire, &mut dram, instructions_per_thread);
+    summarize(threads, &group)
+}
 
-    let mut group: Vec<ThreadSim> = (0..GROUP_SIZE)
-        .map(|i| {
-            let mut t = ThreadSim::new(profile, i as u64, scheme, *config);
-            t.warm(warm_accesses);
-            t
-        })
-        .collect();
+/// [`run_group_warmed`] drawing the warmed group from `arena` so the
+/// warm-up cost is paid once per `(workload, scheme, warm, config)` key
+/// instead of at every sweep point. Bit-identical to [`run_group_warmed`].
+#[must_use]
+pub fn run_group_arena(
+    arena: &mut SimArena,
+    profile: &'static WorkloadProfile,
+    scheme: Scheme,
+    threads: usize,
+    warm_accesses: u64,
+    instructions_per_thread: u64,
+    config: &SystemConfig,
+) -> ThroughputResult {
+    let (mut wire, mut dram) = group_resources(threads, config);
+    let mut group = arena.warmed_group(profile, scheme, warm_accesses, config);
+    run_group_core(&mut group, &mut wire, &mut dram, instructions_per_thread);
+    summarize(threads, &group)
+}
 
-    // Advance the earliest thread until every thread reaches its target
-    // ("kept running until all have finished ... to sustain loads").
+/// The seed linear-scan implementation of [`run_group_warmed`], kept
+/// verbatim as the reference the event-driven scheduler is property-tested
+/// against (`tests/sched_equivalence.rs`) and the `BENCH_sim` baseline.
+/// O(steps × N) per run versus the heap's O(steps × log N).
+#[doc(hidden)]
+#[must_use]
+pub fn run_group_warmed_linear(
+    profile: &'static WorkloadProfile,
+    scheme: Scheme,
+    threads: usize,
+    warm_accesses: u64,
+    instructions_per_thread: u64,
+    config: &SystemConfig,
+) -> ThroughputResult {
+    let (mut wire, mut dram) = group_resources(threads, config);
+    let mut group = build_warmed_group(profile, scheme, warm_accesses, config);
+
     loop {
         let all_done = group.iter().all(|t| t.retired() >= instructions_per_thread);
         if all_done {
@@ -118,17 +227,7 @@ pub fn run_group_warmed(
         next.step(&mut wire, &mut dram);
     }
 
-    let group_instructions: u64 = group.iter().map(ThreadSim::retired).sum();
-    let elapsed_ps = group
-        .iter()
-        .map(ThreadSim::now_ps)
-        .max()
-        .expect("non-empty");
-    ThroughputResult {
-        threads,
-        group_instructions,
-        elapsed_ps,
-    }
+    summarize(threads, &group)
 }
 
 /// Throughput speedup of `scheme` over the uncompressed system at the same
@@ -200,6 +299,44 @@ mod tests {
         assert!(r.group_instructions >= 8 * 5_000);
         assert!(r.system_ips() > r.group_ips());
         assert_eq!(r.threads, 256);
+    }
+
+    #[test]
+    fn zero_instruction_target_is_a_no_op() {
+        // Every thread starts past a zero target; neither loop may step.
+        let cfg = SystemConfig::paper_defaults();
+        let p = by_name("gcc").unwrap();
+        let a = run_group_warmed(p, Scheme::Uncompressed, 256, 100, 0, &cfg);
+        let b = run_group_warmed_linear(p, Scheme::Uncompressed, 256, 100, 0, &cfg);
+        assert_eq!(a.group_instructions, 0);
+        assert_eq!(a.group_instructions, b.group_instructions);
+        assert_eq!(a.elapsed_ps, b.elapsed_ps);
+    }
+
+    #[test]
+    fn arena_path_matches_direct_path() {
+        let cfg = SystemConfig::paper_defaults();
+        let p = by_name("mcf").unwrap();
+        let mut arena = SimArena::new();
+        for threads in [256, 1024] {
+            let a = run_group_arena(
+                &mut arena,
+                p,
+                Scheme::Cable(EngineKind::Lbe),
+                threads,
+                1_000,
+                800,
+                &cfg,
+            );
+            let d = run_group_warmed(p, Scheme::Cable(EngineKind::Lbe), threads, 1_000, 800, &cfg);
+            assert_eq!(a.group_instructions, d.group_instructions);
+            assert_eq!(a.elapsed_ps, d.elapsed_ps);
+        }
+        assert_eq!(
+            arena.stats(),
+            (1, 1),
+            "second thread count reuses warm state"
+        );
     }
 
     #[test]
