@@ -4,12 +4,13 @@
 //! cargo run --release -p cable-bench --bin perf_smoke
 //! ```
 //!
-//! Replays the template-heavy encode workload through every scheme and
-//! sweeps the group timing simulator per scheme; prints accesses/sec and
-//! writes `BENCH_encode.json` and `BENCH_sim.json` in the current
-//! directory. `CABLE_QUICK=1` shrinks the runs for CI.
+//! Replays the template-heavy encode workload through every scheme, sweeps
+//! the group timing simulator per scheme, and sweeps CABLE over rising link
+//! fault rates; prints accesses/sec and writes `BENCH_encode.json`,
+//! `BENCH_sim.json`, and `BENCH_fault.json` in the current directory.
+//! `CABLE_QUICK=1` shrinks the runs for CI.
 
-use cable_bench::perf::{run_encode_bench, run_sim_bench};
+use cable_bench::perf::{run_encode_bench, run_fault_bench, run_sim_bench};
 use cable_bench::print_table;
 use cable_bench::FigureResult;
 
@@ -28,4 +29,5 @@ fn emit(result: &FigureResult<'_>) {
 fn main() {
     emit(&run_encode_bench());
     emit(&run_sim_bench());
+    emit(&run_fault_bench());
 }

@@ -16,7 +16,7 @@ use crate::figs::is_quick;
 use crate::report::FigureResult;
 use crate::runner::{default_schemes, drive, StudyConfig};
 use cable_compress::EngineKind;
-use cable_core::BaselineKind;
+use cable_core::{BaselineKind, FaultConfig};
 use cable_sim::throughput::{run_group_arena, run_group_warmed_linear};
 use cable_sim::{Scheme, SimArena, SystemConfig};
 use cable_trace::WorkloadGen;
@@ -162,6 +162,100 @@ pub fn run_sim_bench() -> FigureResult<'static> {
     }
 }
 
+/// Identifier of the emitted fault-degradation JSON result
+/// (`BENCH_fault.json`).
+pub const FAULT_BENCH_ID: &str = "BENCH_fault";
+
+/// Columns of the emitted fault-degradation figure, in order.
+pub const FAULT_BENCH_COLUMNS: &[&str] = &[
+    "compression_ratio",
+    "accesses_per_sec",
+    "injected_frames",
+    "detected",
+    "recovered",
+    "fallback_raw",
+    "retransmitted_bits",
+    "escalations",
+];
+
+/// Seed of the fault-degradation sweep's schedules.
+pub const FAULT_BENCH_SEED: u64 = 0x000c_ab1e_fa17;
+
+/// Per-bit flip rates swept by [`run_fault_bench`] (each rate also scales
+/// truncation and notice loss, see `FaultConfig::with_rate`).
+pub const FAULT_BENCH_RATES: &[f64] = &[1e-4, 1e-3, 1e-2];
+
+/// Measures how CABLE degrades as link fault rates rise: one fault-free
+/// row (`off`, no guard bits — the reliable operating point), one
+/// CRC-guarded but lossless row, then [`FAULT_BENCH_RATES`]. Reports the
+/// achieved compression ratio, sustained throughput, and the recovery
+/// counters; the quick suite asserts `detected >= injected_frames` and
+/// `recovered == detected` on every row. Honors `CABLE_QUICK`.
+///
+/// # Panics
+///
+/// Panics if the benchmark workload is missing from the profile table.
+#[must_use]
+pub fn run_fault_bench() -> FigureResult<'static> {
+    let cfg = if is_quick() {
+        StudyConfig::quick()
+    } else {
+        StudyConfig::paper_defaults()
+    };
+    let profile = cable_trace::by_name(BENCH_WORKLOAD).expect("benchmark workload exists");
+    let mut points: Vec<(String, Option<FaultConfig>)> = vec![
+        ("off".into(), None),
+        (
+            "lossless".into(),
+            Some(FaultConfig::lossless(FAULT_BENCH_SEED)),
+        ),
+    ];
+    points.extend(FAULT_BENCH_RATES.iter().map(|&rate| {
+        (
+            format!("{rate:.0e}"),
+            Some(FaultConfig::with_rate(FAULT_BENCH_SEED, rate)),
+        )
+    }));
+    let rows = points
+        .into_iter()
+        .map(|(label, fault)| {
+            let mut link = cfg.build_link(Scheme::Cable(EngineKind::Lbe));
+            if let Some(fault_cfg) = fault {
+                link.enable_fault_injection(fault_cfg);
+            }
+            let mut gen = WorkloadGen::new(profile, 0);
+            drive(&mut link, &mut gen, cfg.warmup_accesses);
+            link.reset_stats();
+            let start = Instant::now();
+            drive(&mut link, &mut gen, cfg.accesses);
+            let secs = start.elapsed().as_secs_f64().max(1e-12);
+            let fs = link.fault_stats().copied().unwrap_or_default();
+            (
+                label,
+                vec![
+                    link.stats().compression_ratio(),
+                    cfg.accesses as f64 / secs,
+                    fs.injected_frames as f64,
+                    fs.detected as f64,
+                    fs.recovered as f64,
+                    fs.fallback_raw as f64,
+                    fs.retransmitted_bits as f64,
+                    fs.escalations as f64,
+                ],
+            )
+        })
+        .collect();
+    FigureResult {
+        id: FAULT_BENCH_ID,
+        title: "CABLE degradation vs link fault rate (CRC guard + NACK/retry)",
+        columns: FAULT_BENCH_COLUMNS
+            .iter()
+            .map(|c| (*c).to_string())
+            .collect(),
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +267,7 @@ mod tests {
         assert_eq!(SIM_BENCH_COLUMNS[0], "accesses_per_sec");
         assert_eq!(SIM_BENCH_COLUMNS[2], "speedup");
         assert_eq!(SIM_BENCH_COLUMNS.len(), 5);
+        assert_eq!(FAULT_BENCH_COLUMNS[0], "compression_ratio");
+        assert_eq!(FAULT_BENCH_COLUMNS.len(), 8);
     }
 }

@@ -5,7 +5,8 @@
 //! paying the full measurement cost in every local `cargo test`.
 
 use cable_bench::perf::{
-    run_encode_bench, run_sim_bench, BENCH_COLUMNS, BENCH_ID, SIM_BENCH_COLUMNS, SIM_BENCH_ID,
+    run_encode_bench, run_fault_bench, run_sim_bench, BENCH_COLUMNS, BENCH_ID, FAULT_BENCH_COLUMNS,
+    FAULT_BENCH_ID, FAULT_BENCH_RATES, SIM_BENCH_COLUMNS, SIM_BENCH_ID,
 };
 use cable_bench::report::load_json;
 use cable_bench::runner::default_schemes;
@@ -114,6 +115,88 @@ fn sim_bench_completes_and_roundtrips_schema() {
     assert_eq!(loaded.columns, SIM_BENCH_COLUMNS);
     for (label, values) in &result.rows {
         for (col, v) in SIM_BENCH_COLUMNS.iter().zip(values) {
+            let got = loaded
+                .value(label, col)
+                .unwrap_or_else(|| panic!("{label}/{col} missing after roundtrip"));
+            assert!(
+                (got - v).abs() <= v.abs() * 1e-9,
+                "{label}/{col}: {got} != {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_bench_detects_and_recovers_everything() {
+    if !quick() {
+        eprintln!("skipping: set CABLE_QUICK=1 to run the fault-injection benchmark");
+        return;
+    }
+
+    let result = run_fault_bench();
+    assert_eq!(result.id, FAULT_BENCH_ID);
+    assert_eq!(result.columns, FAULT_BENCH_COLUMNS);
+    assert_eq!(
+        result.rows.len(),
+        2 + FAULT_BENCH_RATES.len(),
+        "off + lossless + one row per swept rate"
+    );
+
+    for (label, values) in &result.rows {
+        assert_eq!(values.len(), FAULT_BENCH_COLUMNS.len(), "{label}: columns");
+        let (ratio, rate, injected, detected, recovered) =
+            (values[0], values[1], values[2], values[3], values[4]);
+        // Heavy fault rates may legitimately push the ratio below 1.0
+        // (retransmissions dominate); it must only stay positive/finite.
+        assert!(ratio.is_finite() && ratio > 0.0, "{label}: ratio {ratio}");
+        assert!(rate.is_finite() && rate > 0.0, "{label}: rate {rate}");
+        // The recovery contract, on every row of the sweep: nothing slips
+        // past the CRC, and everything detected is repaired.
+        assert!(
+            detected >= injected,
+            "{label}: detected {detected} < injected {injected}"
+        );
+        assert_eq!(
+            recovered, detected,
+            "{label}: recovered {recovered} != detected {detected}"
+        );
+    }
+
+    // The fault-free row must stay exactly fault-free; the harshest swept
+    // rate must actually exercise the recovery machinery.
+    let (off_label, off) = &result.rows[0];
+    assert_eq!(off_label, "off");
+    assert!(off[0] > 1.0, "reliable row must compress: {}", off[0]);
+    assert_eq!(off[2], 0.0, "reliable row injected frames");
+    assert_eq!(off[6], 0.0, "reliable row retransmitted bits");
+    assert!(
+        result.rows[1].1[0] > 1.0,
+        "guarded-lossless row must compress: {}",
+        result.rows[1].1[0]
+    );
+    let (_, harshest) = result.rows.last().expect("at least one swept rate");
+    assert!(harshest[2] > 0.0, "harshest rate injected nothing");
+    assert!(harshest[6] > 0.0, "harshest rate retransmitted nothing");
+
+    // Degradation is graceful: the guarded-lossless ratio stays within the
+    // guard overhead of the reliable row, and rising fault rates never
+    // *improve* the ratio.
+    let ratios: Vec<f64> = result.rows.iter().map(|(_, v)| v[0]).collect();
+    assert!(
+        ratios[1] <= ratios[0],
+        "guard bits cannot improve the ratio: {ratios:?}"
+    );
+    assert!(
+        ratios.last().expect("rows") <= &ratios[1],
+        "heavy faults cannot beat lossless: {ratios:?}"
+    );
+
+    // The emitted JSON parses back with the same schema and values.
+    let loaded = load_json(&result.to_json()).expect("emitted JSON parses");
+    assert_eq!(loaded.id, FAULT_BENCH_ID);
+    assert_eq!(loaded.columns, FAULT_BENCH_COLUMNS);
+    for (label, values) in &result.rows {
+        for (col, v) in FAULT_BENCH_COLUMNS.iter().zip(values) {
             let got = loaded
                 .value(label, col)
                 .unwrap_or_else(|| panic!("{label}/{col} missing after roundtrip"));

@@ -165,6 +165,21 @@ impl<'a> BitReader<'a> {
         }
     }
 
+    /// Fallible variant of [`BitReader::new`] for untrusted wire input:
+    /// returns `None` instead of panicking when `len_bits` exceeds the
+    /// capacity of `bytes`.
+    #[must_use]
+    pub fn try_new(bytes: &'a [u8], len_bits: usize) -> Option<Self> {
+        if len_bits > bytes.len() * 8 {
+            return None;
+        }
+        Some(BitReader {
+            bytes,
+            len_bits,
+            pos: 0,
+        })
+    }
+
     /// Reads `count` bits, MSB first. Returns `None` if fewer than `count`
     /// bits remain.
     ///
@@ -269,6 +284,13 @@ mod tests {
     #[should_panic(expected = "exceeds byte capacity")]
     fn reader_len_validation() {
         let _ = BitReader::new(&[0u8], 9);
+    }
+
+    #[test]
+    fn try_new_rejects_overrun_without_panicking() {
+        assert!(BitReader::try_new(&[0u8], 9).is_none());
+        let mut r = BitReader::try_new(&[0b1010_0000], 3).expect("in range");
+        assert_eq!(r.read_bits(3), Some(0b101));
     }
 
     mod proptests {

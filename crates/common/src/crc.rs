@@ -1,0 +1,138 @@
+//! CRC-32 integrity checks for wire frames.
+//!
+//! CABLE's decode correctness depends on the home and remote endpoints
+//! agreeing bit-for-bit on every payload. When the link is modeled as
+//! unreliable (fault injection), each wire frame carries a CRC so the
+//! receiver can *detect* corruption instead of decoding garbage. We use the
+//! reflected CRC-32 (polynomial `0xEDB88320`, the IEEE 802.3 variant) — a
+//! 32-bit check keeps the collision probability negligible across the
+//! millions of frames a bench run transmits, where a 16-bit check would
+//! yield sporadic silent escapes.
+//!
+//! # Examples
+//!
+//! ```
+//! use cable_common::crc::{crc32, Crc32};
+//!
+//! let whole = crc32(b"cable frame");
+//! let mut streaming = Crc32::new();
+//! streaming.update(b"cable ");
+//! streaming.update(b"frame");
+//! assert_eq!(streaming.finish(), whole);
+//! assert_ne!(crc32(b"cable frame"), crc32(b"cable frams"));
+//! ```
+
+/// The reflected IEEE 802.3 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 16-entry nibble table: small enough to build in a `const` without a
+/// table-generation build step, fast enough for frame-sized inputs.
+const NIBBLE_TABLE: [u32; 16] = {
+    let mut table = [0u32; 16];
+    let mut i = 0;
+    while i < 16 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 4 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// A streaming CRC-32 accumulator.
+///
+/// See the [module docs](self) for a usage example.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh accumulation.
+    #[must_use]
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 4) ^ NIBBLE_TABLE[((crc ^ u32::from(b)) & 0xf) as usize];
+            crc = (crc >> 4) ^ NIBBLE_TABLE[((crc ^ u32::from(b >> 4)) & 0xf) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Returns the finished checksum (the accumulator remains usable).
+    #[must_use]
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard CRC-32/ISO-HDLC check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0u16..300).map(|i| (i * 7) as u8).collect();
+        for split in [0, 1, 7, 150, 299, 300] {
+            let mut s = Crc32::new();
+            s.update(&data[..split]);
+            s.update(&data[split..]);
+            assert_eq!(s.finish(), crc32(&data));
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_checksum() {
+        let base = b"cable wire frame payload".to_vec();
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut corrupted = base.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(
+                    crc32(&corrupted),
+                    reference,
+                    "flip at {byte}:{bit} undetected"
+                );
+            }
+        }
+    }
+}

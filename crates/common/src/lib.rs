@@ -28,11 +28,13 @@
 
 pub mod addr;
 pub mod bits;
+pub mod crc;
 pub mod line;
 pub mod rng;
 
 pub use addr::{Address, PAGE_BYTES};
 pub use bits::{BitReader, BitWriter};
+pub use crc::{crc32, Crc32};
 pub use line::{LineData, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
 pub use rng::SplitMix64;
 

@@ -98,22 +98,57 @@ impl Encoded {
     }
 }
 
+/// Broad classification of a [`DecodeError`], used by the fault-recovery
+/// protocol to pick a retry strategy (retransmit the same frame vs. fall
+/// back to a raw transfer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeErrorKind {
+    /// The payload ended before the decoder finished.
+    Truncated,
+    /// The payload parsed but encoded an impossible construct
+    /// (out-of-range offset, over-long copy, unknown code).
+    Malformed,
+    /// A frame-level CRC over the wire bits failed.
+    BadFrameCrc,
+    /// The decoded line failed its end-to-end CRC (reference divergence or
+    /// an undetected wire error surfacing after decode).
+    BadLineCrc,
+    /// A reference named by the payload is missing or stale at the receiver.
+    BadReference,
+}
+
 /// Error returned when a payload cannot be decoded.
 ///
 /// In hardware this would be a protocol violation; in this model it
 /// indicates either corruption or encoder/decoder dictionary divergence.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DecodeError {
+    kind: DecodeErrorKind,
     detail: String,
 }
 
 impl DecodeError {
-    /// Creates an error with a human-readable detail message.
+    /// Creates an error with a human-readable detail message, classified as
+    /// [`DecodeErrorKind::Malformed`].
     #[must_use]
     pub fn new(detail: impl Into<String>) -> Self {
+        Self::with_kind(DecodeErrorKind::Malformed, detail)
+    }
+
+    /// Creates an error with an explicit classification.
+    #[must_use]
+    pub fn with_kind(kind: DecodeErrorKind, detail: impl Into<String>) -> Self {
         DecodeError {
+            kind,
             detail: detail.into(),
         }
+    }
+
+    /// The broad failure classification.
+    #[must_use]
+    pub fn kind(&self) -> DecodeErrorKind {
+        self.kind
     }
 }
 

@@ -13,8 +13,24 @@
 //! transactions, removing the padding loss on wide links.
 
 use crate::DecodeError;
-use cable_common::{div_ceil, BitReader, BitWriter, LineData, LINE_BYTES};
-use cable_compress::Encoded;
+use cable_common::{crc32, div_ceil, BitReader, BitWriter, Crc32, LineData, LINE_BYTES};
+use cable_compress::{DecodeErrorKind, Encoded};
+
+/// Integrity metadata appended to each guarded wire frame: a 32-bit
+/// end-to-end CRC of the decoded line plus a 32-bit CRC of the frame bits
+/// themselves. Only present when the link models an unreliable channel;
+/// reliable-link accounting is unchanged.
+pub const GUARD_BITS: usize = 64;
+
+/// CRC-32 over a bitstream: the bit length (as 8 little-endian bytes) is
+/// folded in first so truncations that land on a byte boundary still change
+/// the checksum.
+fn crc32_bits(bytes: &[u8], len_bits: usize) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(&(len_bits as u64).to_le_bytes());
+    crc.update(&bytes[..div_ceil(len_bits as u64, 8) as usize]);
+    crc.finish()
+}
 
 /// A parsed incoming payload.
 #[derive(Clone, Debug)]
@@ -109,28 +125,27 @@ impl PayloadCodec {
     ///
     /// Returns [`DecodeError`] if the payload is truncated.
     pub fn parse(&self, bytes: &[u8], len_bits: usize) -> Result<ParsedPayload, DecodeError> {
-        let mut r = BitReader::new(bytes, len_bits);
-        let compressed = r
-            .read_bit()
-            .ok_or_else(|| DecodeError::new("empty payload"))?;
+        let truncated = |what: &str| DecodeError::with_kind(DecodeErrorKind::Truncated, what);
+        let mut r = BitReader::try_new(bytes, len_bits)
+            .ok_or_else(|| truncated("payload length exceeds delivered bytes"))?;
+        let compressed = r.read_bit().ok_or_else(|| truncated("empty payload"))?;
         if !compressed {
             let mut raw = [0u8; LINE_BYTES];
             for b in &mut raw {
                 *b = r
                     .read_bits(8)
-                    .ok_or_else(|| DecodeError::new("truncated raw line"))?
-                    as u8;
+                    .ok_or_else(|| truncated("truncated raw line"))? as u8;
             }
             return Ok(ParsedPayload::Raw(LineData::from_bytes(raw)));
         }
         let count = r
             .read_bits(2)
-            .ok_or_else(|| DecodeError::new("truncated reference count"))?;
+            .ok_or_else(|| truncated("truncated reference count"))?;
         let mut ref_lids = Vec::with_capacity(count as usize);
         for _ in 0..count {
             ref_lids.push(
                 r.read_bits(self.lid_bits)
-                    .ok_or_else(|| DecodeError::new("truncated RemoteLID"))?,
+                    .ok_or_else(|| truncated("truncated RemoteLID"))?,
             );
         }
         let mut diff = BitWriter::new();
@@ -141,6 +156,79 @@ impl PayloadCodec {
             ref_lids,
             diff: Encoded::new(diff),
         })
+    }
+
+    /// Wraps an already-framed payload (from [`PayloadCodec::encode_compressed`]
+    /// or [`PayloadCodec::encode_raw`]) in a guarded wire frame:
+    ///
+    /// ```text
+    /// payload bits ‖ line CRC-32 ‖ frame CRC-32
+    /// ```
+    ///
+    /// The line CRC covers the 64 decoded bytes end-to-end (it catches
+    /// reference divergence the frame CRC cannot see); the frame CRC covers
+    /// the payload bits, the line CRC, and the frame's bit length.
+    #[must_use]
+    pub fn encode_guarded(&self, payload: &BitWriter, line: &LineData) -> BitWriter {
+        let mut w = payload.clone();
+        w.write_bits(u64::from(crc32(line.as_bytes())), 32);
+        let frame_crc = crc32_bits(w.as_slice(), w.len_bits());
+        w.write_bits(u64::from(frame_crc), 32);
+        w
+    }
+
+    /// Verifies and unwraps a guarded frame, returning the parsed payload
+    /// and the sender's end-to-end line CRC (to be checked against the
+    /// decoded line).
+    ///
+    /// Never panics on arbitrary input: any truncation, length overrun, or
+    /// corruption surfaces as a typed [`DecodeError`].
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeErrorKind::Truncated`] if the frame is shorter than its
+    /// mandatory fields or claims more bits than `bytes` holds;
+    /// [`DecodeErrorKind::BadFrameCrc`] if the frame checksum fails; any
+    /// [`PayloadCodec::parse`] error for a malformed (but checksum-valid)
+    /// payload.
+    pub fn parse_guarded(
+        &self,
+        bytes: &[u8],
+        len_bits: usize,
+    ) -> Result<(ParsedPayload, u32), DecodeError> {
+        if len_bits <= GUARD_BITS {
+            return Err(DecodeError::with_kind(
+                DecodeErrorKind::Truncated,
+                format!("guarded frame of {len_bits} bits lacks payload"),
+            ));
+        }
+        let mut r = BitReader::try_new(bytes, len_bits).ok_or_else(|| {
+            DecodeError::with_kind(
+                DecodeErrorKind::Truncated,
+                "frame length exceeds delivered bytes",
+            )
+        })?;
+        let payload_bits = len_bits - GUARD_BITS;
+        let mut payload = BitWriter::new();
+        let mut remaining = payload_bits;
+        while remaining > 0 {
+            let take = remaining.min(64) as u32;
+            let chunk = r.read_bits(take).expect("sized by construction");
+            payload.write_bits(chunk, take);
+            remaining -= take as usize;
+        }
+        let line_crc = r.read_bits(32).expect("sized by construction") as u32;
+        let frame_crc = r.read_bits(32).expect("sized by construction") as u32;
+        let mut body = payload.clone();
+        body.write_bits(u64::from(line_crc), 32);
+        if crc32_bits(body.as_slice(), body.len_bits()) != frame_crc {
+            return Err(DecodeError::with_kind(
+                DecodeErrorKind::BadFrameCrc,
+                "frame CRC mismatch",
+            ));
+        }
+        let parsed = self.parse(payload.as_slice(), payload.len_bits())?;
+        Ok((parsed, line_crc))
     }
 
     /// Wire cost in bits of a payload on this link: flit-quantized
@@ -276,6 +364,38 @@ mod tests {
         let _ = c.encode_compressed(&[0, 1, 2, 3], &diff);
     }
 
+    #[test]
+    fn guarded_round_trip_preserves_payload_and_line_crc() {
+        let c = codec();
+        let line = LineData::splat_word(0x0bad_cafe);
+        let framed = c.encode_guarded(&c.encode_raw(&line), &line);
+        assert_eq!(framed.len_bits(), 513 + GUARD_BITS);
+        let (parsed, line_crc) = c
+            .parse_guarded(framed.as_slice(), framed.len_bits())
+            .unwrap();
+        assert_eq!(line_crc, crc32(line.as_bytes()));
+        match parsed {
+            ParsedPayload::Raw(back) => assert_eq!(back, line),
+            other => panic!("expected raw, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_frame_too_short_is_truncated() {
+        let c = codec();
+        let err = c.parse_guarded(&[0u8; 8], GUARD_BITS).unwrap_err();
+        assert_eq!(err.kind(), cable_compress::DecodeErrorKind::Truncated);
+        let err = c.parse_guarded(&[0u8; 2], 200).unwrap_err();
+        assert_eq!(err.kind(), cable_compress::DecodeErrorKind::Truncated);
+    }
+
+    #[test]
+    fn parse_is_fallible_on_oversized_length_claim() {
+        // A length claim beyond the delivered bytes must error, not panic.
+        let err = codec().parse(&[0x00], 600).unwrap_err();
+        assert_eq!(err.kind(), cable_compress::DecodeErrorKind::Truncated);
+    }
+
     proptest! {
         #[test]
         fn prop_compressed_round_trip(
@@ -296,6 +416,48 @@ mod tests {
                 }
                 _ => prop_assert!(false, "expected compressed"),
             }
+        }
+
+        /// Any single-bit corruption of a guarded frame is detected: the
+        /// flip lands in the payload, the line CRC, or the frame CRC, and
+        /// in every case the frame checksum no longer matches.
+        #[test]
+        fn prop_guarded_detects_any_single_bit_flip(
+            lids in proptest::collection::vec(0u64..(1 << 17), 0..4),
+            bits in proptest::collection::vec(any::<bool>(), 0..200),
+            flip_seed in any::<u64>(),
+        ) {
+            let c = codec();
+            let line = LineData::splat_word(0x5a5a_5a5a);
+            let framed = c.encode_guarded(&c.encode_compressed(&lids, &diff_of_bits(&bits)), &line);
+            let flip_at = (flip_seed % framed.len_bits() as u64) as usize;
+            let mut corrupted = framed.as_slice().to_vec();
+            corrupted[flip_at / 8] ^= 0x80 >> (flip_at % 8);
+            prop_assert!(c.parse_guarded(&corrupted, framed.len_bits()).is_err());
+        }
+
+        /// Truncating a guarded frame anywhere is detected.
+        #[test]
+        fn prop_guarded_detects_truncation(
+            bits in proptest::collection::vec(any::<bool>(), 0..200),
+            cut_seed in any::<u64>(),
+        ) {
+            let c = codec();
+            let line = LineData::splat_word(7);
+            let framed = c.encode_guarded(&c.encode_compressed(&[], &diff_of_bits(&bits)), &line);
+            let cut = 1 + (cut_seed % (framed.len_bits() as u64 - 1)) as usize;
+            prop_assert!(c.parse_guarded(framed.as_slice(), cut).is_err());
+        }
+
+        /// Random byte soup never panics the parser — it errors or parses.
+        #[test]
+        fn prop_byte_soup_never_panics(
+            soup in proptest::collection::vec(any::<u8>(), 0..96),
+            len_bits in 0usize..800,
+        ) {
+            let c = codec();
+            let _ = c.parse(&soup, len_bits);
+            let _ = c.parse_guarded(&soup, len_bits);
         }
 
         #[test]

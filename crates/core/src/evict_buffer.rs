@@ -50,6 +50,7 @@ pub struct EvictionBuffer {
     capacity: usize,
     next_seq: u64,
     overflows: u64,
+    acked_up_to: u64,
 }
 
 impl EvictionBuffer {
@@ -68,6 +69,7 @@ impl EvictionBuffer {
             // unambiguously means "nothing acknowledged yet".
             next_seq: 1,
             overflows: 0,
+            acked_up_to: 0,
         }
     }
 
@@ -96,10 +98,31 @@ impl EvictionBuffer {
     /// Processes the home cache's echoed EvictSeq: every eviction with
     /// `seq <= acked` is safe to drop (the home cache will no longer emit
     /// references to those lines).
+    ///
+    /// The acknowledged watermark is monotone: a stale or duplicated ack
+    /// (an out-of-order link may reorder responses) can never regress it,
+    /// and future sequences are clamped to what has actually been issued.
     pub fn acknowledge(&mut self, acked: u64) {
+        let acked = acked.min(self.next_seq - 1);
+        if acked <= self.acked_up_to {
+            return;
+        }
+        self.acked_up_to = acked;
         while self.entries.front().is_some_and(|e| e.seq <= acked) {
             self.entries.pop_front();
         }
+    }
+
+    /// The highest EvictSeq the home cache has acknowledged (0 = none).
+    #[must_use]
+    pub fn acked_up_to(&self) -> u64 {
+        self.acked_up_to
+    }
+
+    /// Configured capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Resolves a stale reference by slot: an in-flight DIFF may name a
@@ -247,7 +270,65 @@ mod tests {
         assert_eq!(buf.lookup_by_addr(Address::new(64)).unwrap().seq, s1);
     }
 
+    #[test]
+    fn ack_watermark_is_monotone_and_clamped() {
+        let mut buf = EvictionBuffer::new(4);
+        let s0 = buf.insert(Address::new(0), LineId::new(0, 0), line(1));
+        let s1 = buf.insert(Address::new(64), LineId::new(1, 0), line(2));
+        buf.acknowledge(s1);
+        assert_eq!(buf.acked_up_to(), s1);
+        // A stale (reordered) ack cannot regress the watermark.
+        buf.acknowledge(s0);
+        assert_eq!(buf.acked_up_to(), s1);
+        // A corrupt ack from the future is clamped to issued sequences.
+        buf.acknowledge(u64::MAX);
+        assert_eq!(buf.acked_up_to(), s1);
+        let s2 = buf.insert(Address::new(128), LineId::new(2, 0), line(3));
+        assert_eq!(
+            buf.len(),
+            1,
+            "future-ack clamp must not pre-drop new entries"
+        );
+        buf.acknowledge(s2);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn overflow_counting_at_capacity_is_exact() {
+        let mut buf = EvictionBuffer::new(3);
+        for i in 0..10u64 {
+            buf.insert(
+                Address::new(i * 64),
+                LineId::new(i as u32, 0),
+                line(i as u32),
+            );
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.overflows(), 7);
+        assert_eq!(buf.capacity(), 3);
+        // The survivors are the newest three, oldest first.
+        let seqs: Vec<u64> = buf.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![8, 9, 10]);
+    }
+
     proptest! {
+        #[test]
+        fn prop_ack_watermark_never_regresses(
+            acks in proptest::collection::vec(0u64..100, 1..50),
+        ) {
+            let mut buf = EvictionBuffer::new(8);
+            for i in 0..40u64 {
+                buf.insert(Address::new(i * 64), LineId::new(i as u32, 0), line(0));
+            }
+            let mut high = 0;
+            for a in acks {
+                buf.acknowledge(a);
+                prop_assert!(buf.acked_up_to() >= high);
+                high = buf.acked_up_to();
+                prop_assert!(high < buf.next_seq());
+            }
+        }
+
         #[test]
         fn prop_len_never_exceeds_capacity(
             inserts in 1usize..100,

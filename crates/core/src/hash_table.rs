@@ -150,6 +150,33 @@ impl SignatureTable {
         }
     }
 
+    /// Retains only the LineIDs for which `keep` returns true, compacting
+    /// each bucket in place (FIFO order preserved). Returns the number of
+    /// entries scrubbed — the resync path of `audit_and_resync` uses this to
+    /// purge signatures left dangling by lost eviction notices.
+    pub fn retain(&mut self, mut keep: impl FnMut(u32) -> bool) -> usize {
+        let mut scrubbed = 0;
+        for bucket in self.slots.chunks_mut(self.depth) {
+            let mut write = 0;
+            for read in 0..bucket.len() {
+                let lid = bucket[read];
+                if lid == EMPTY {
+                    break;
+                }
+                if keep(lid) {
+                    bucket[write] = lid;
+                    write += 1;
+                } else {
+                    scrubbed += 1;
+                }
+            }
+            for slot in bucket[write..].iter_mut() {
+                *slot = EMPTY;
+            }
+        }
+        scrubbed
+    }
+
     /// Iterates the occupied prefix of every bucket (invariant checks).
     pub fn iter_buckets(&self) -> impl Iterator<Item = &[u32]> {
         self.slots.chunks(self.depth).map(|bucket| {
@@ -275,6 +302,21 @@ mod tests {
         let t = SignatureTable::new(lines / 2, 2);
         let overhead = t.storage_bits(18) as f64 / ((16u64 << 20) * 8) as f64;
         assert!((overhead - 0.035).abs() < 0.005, "overhead {overhead}");
+    }
+
+    #[test]
+    fn retain_scrubs_and_compacts() {
+        let mut t = SignatureTable::new(1, 3);
+        let s = sig_of(0x7777_7777);
+        t.insert(s, 1);
+        t.insert(s, 2);
+        t.insert(s, 3);
+        let scrubbed = t.retain(|lid| lid != 2);
+        assert_eq!(scrubbed, 1);
+        assert_eq!(t.lookup(s), &[1, 3], "survivors compacted, order kept");
+        assert_eq!(t.retain(|_| true), 0);
+        assert_eq!(t.retain(|_| false), 2);
+        assert_eq!(t.occupancy(), 0);
     }
 
     proptest! {

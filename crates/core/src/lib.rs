@@ -17,8 +17,10 @@
 //! 6. [`link`] — the [`CableLink`] endpoints tying it together, including
 //!    synchronization (§III-F) and write-back compression (§III-G);
 //! 7. [`evict_buffer`] — the EvictSeq race protocol (§IV-A);
-//! 8. [`baseline`] — the CPACK/BDI/CPACK128/LBE256/gzip comparison links;
-//! 9. [`area`] — the Table III analytic area model.
+//! 8. [`channel`] — deterministic fault injection, CRC-guarded frames, and
+//!    the NACK/retry recovery statistics;
+//! 9. [`baseline`] — the CPACK/BDI/CPACK128/LBE256/gzip comparison links;
+//! 10. [`area`] — the Table III analytic area model.
 //!
 //! # Quickstart
 //!
@@ -44,6 +46,7 @@
 
 pub mod area;
 pub mod baseline;
+pub mod channel;
 pub mod codec;
 pub mod config;
 pub mod evict_buffer;
@@ -58,7 +61,8 @@ pub mod super_wmt;
 pub mod wmt;
 
 pub use baseline::{BaselineKind, BaselineLink};
-pub use cable_compress::DecodeError;
+pub use cable_compress::{DecodeError, DecodeErrorKind};
+pub use channel::{FaultConfig, FaultStats, FaultyChannel, NoticeFate, ResyncReport, Transmission};
 pub use config::CableConfig;
 pub use link::{CableLink, Direction, LinkStats, Transfer, TransferKind};
 pub use ooo::OooLink;

@@ -151,6 +151,22 @@ impl WayMapTable {
         Some(self.denormalize(u64::from(remote_lid.index()), n))
     }
 
+    /// Iterates every valid mapping as `(remote_lid, home_lid)` pairs — the
+    /// resync audit walks this to find mappings that outlived their lines.
+    pub fn iter_mapped(&self) -> impl Iterator<Item = (LineId, LineId)> + '_ {
+        let ways = self.remote.ways() as usize;
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(move |(slot, e)| {
+                e.map(|n| {
+                    let remote_lid = LineId::new((slot / ways) as u32, (slot % ways) as u8);
+                    let home_lid = self.denormalize(u64::from(remote_lid.index()), n);
+                    (remote_lid, home_lid)
+                })
+            })
+    }
+
     /// Bits per WMT entry: `alias + home way` (§IV-D: 4 bits for the
     /// off-chip configuration).
     #[must_use]
@@ -264,6 +280,21 @@ mod tests {
         assert_eq!(wmt.entry_bits(), 3);
         let overhead = wmt.storage_bits() as f64 / ((8u64 << 20) * 8) as f64;
         assert!(overhead < 0.006, "overhead {overhead}");
+    }
+
+    #[test]
+    fn iter_mapped_enumerates_valid_pairs() {
+        let mut wmt = paper_wmt();
+        let pairs = [
+            (LineId::new(10, 0), LineId::new(10, 3)),
+            (LineId::new(20, 5), LineId::new(20 + 16_384, 1)),
+        ];
+        for &(rlid, hlid) in &pairs {
+            wmt.update(rlid, hlid);
+        }
+        let mut seen: Vec<(LineId, LineId)> = wmt.iter_mapped().collect();
+        seen.sort_by_key(|(r, _)| (r.index(), r.way()));
+        assert_eq!(seen, pairs);
     }
 
     proptest! {

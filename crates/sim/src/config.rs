@@ -1,5 +1,7 @@
 //! System configuration (Table IV).
 
+use cable_core::FaultConfig;
+
 /// Picoseconds per core cycle at 2.0 GHz.
 pub const CORE_CYCLE_PS: u64 = 500;
 
@@ -45,6 +47,11 @@ pub struct SystemConfig {
     pub dram_timing_step_ps: u64,
     /// Banks visible to the FCFS controller (two ranks × eight banks).
     pub dram_banks: usize,
+    /// Fault injection on the off-chip link (`None` = reliable wires).
+    /// When set, every CABLE link in the system runs with CRC-guarded
+    /// frames and NACK/retry recovery; retransmissions consume shared-link
+    /// bandwidth like any other wire bits.
+    pub fault: Option<FaultConfig>,
 }
 
 impl SystemConfig {
@@ -71,6 +78,7 @@ impl SystemConfig {
             dram_bus_bytes_per_sec: 12.8e9,
             dram_timing_step_ps: 11_250,
             dram_banks: 16,
+            fault: None,
         }
     }
 

@@ -15,7 +15,8 @@ use cable_cache::{CacheGeometry, SetAssocCache};
 use cable_common::{Address, LineData};
 use cable_compress::EngineKind;
 use cable_core::{
-    BaselineKind, BaselineLink, CableConfig, CableLink, LinkStats, Transfer, TransferKind,
+    BaselineKind, BaselineLink, CableConfig, CableLink, FaultConfig, FaultStats, LinkStats,
+    ResyncReport, Transfer, TransferKind,
 };
 use cable_energy::ActivityCounts;
 use cable_trace::{WorkloadGen, WorkloadProfile};
@@ -160,6 +161,34 @@ impl CompressedLink {
             CompressedLink::Baseline(_) => true,
         }
     }
+
+    /// Arms fault injection on a CABLE link (see
+    /// [`CableLink::enable_fault_injection`]). Baseline links model
+    /// reliable wires and ignore the request — the degradation sweep
+    /// compares CABLE against its own fault-free operating point.
+    pub fn enable_fault_injection(&mut self, cfg: FaultConfig) {
+        if let CompressedLink::Cable(l) = self {
+            l.enable_fault_injection(cfg);
+        }
+    }
+
+    /// Fault-injection statistics, if this is a CABLE link in fault mode.
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        match self {
+            CompressedLink::Cable(l) => l.fault_stats(),
+            CompressedLink::Baseline(_) => None,
+        }
+    }
+
+    /// Audits home/remote synchronization (see
+    /// [`CableLink::audit_and_resync`]); a no-op report for baselines.
+    pub fn audit_and_resync(&mut self) -> ResyncReport {
+        match self {
+            CompressedLink::Cable(l) => l.audit_and_resync(),
+            CompressedLink::Baseline(_) => ResyncReport::default(),
+        }
+    }
 }
 
 /// Per-thread activity counters feeding the energy model.
@@ -208,11 +237,20 @@ impl ThreadSim {
     ) -> Self {
         let home = CacheGeometry::new(config.l4_bytes, config.l4_ways);
         let remote = CacheGeometry::new(config.llc_bytes, config.llc_ways);
+        let mut link = CompressedLink::build(scheme, home, remote, config.link_width_bits);
+        if let Some(fault) = config.fault {
+            // Per-thread links share one schedule shape but decorrelate by
+            // instance, keeping multi-thread runs deterministic.
+            link.enable_fault_injection(FaultConfig {
+                seed: fault.seed ^ instance.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                ..fault
+            });
+        }
         ThreadSim {
             gen: WorkloadGen::new(profile, instance),
             l1: SetAssocCache::new(CacheGeometry::new(config.l1_bytes, config.l1_ways)),
             l2: SetAssocCache::new(CacheGeometry::new(config.l2_bytes, config.l2_ways)),
-            link: CompressedLink::build(scheme, home, remote, config.link_width_bits),
+            link,
             latency: scheme.latency(),
             config,
             now_ps: 0,
@@ -567,6 +605,50 @@ mod tests {
             b.step(&mut wb, &mut db);
         }
         assert!(a.now_ps() <= b.now_ps());
+    }
+
+    #[test]
+    fn fault_injection_prices_retransmissions_into_wire_time() {
+        // Same workload, same scheme, one reliable link and one faulty one:
+        // retransmitted bits land in LinkStats::wire_bits, so the faulty
+        // thread puts strictly more bits on the shared link and (it being
+        // the bottleneck resource) finishes no earlier.
+        let reliable_cfg = SystemConfig::paper_defaults();
+        let faulty_cfg = SystemConfig {
+            fault: Some(cable_core::FaultConfig::with_rate(0xfa17, 5e-3)),
+            ..reliable_cfg
+        };
+        let run_with = |cfg: SystemConfig| {
+            let mut t = ThreadSim::new(
+                by_name("mcf").unwrap(),
+                0,
+                Scheme::Cable(EngineKind::Lbe),
+                cfg,
+            );
+            let mut wire = SharedLink::from_config(&cfg);
+            let mut dram = DramModel::from_config(&cfg);
+            for _ in 0..3000 {
+                t.step(&mut wire, &mut dram);
+            }
+            t
+        };
+        let reliable = run_with(reliable_cfg);
+        let faulty = run_with(faulty_cfg);
+        assert!(reliable.link().fault_stats().is_none());
+        let fstats = faulty.link().fault_stats().expect("fault mode armed");
+        assert!(fstats.injected_frames > 0, "no faults injected");
+        assert_eq!(fstats.recovered, fstats.detected);
+        assert!(fstats.retransmitted_bits > 0);
+        assert!(
+            faulty.link().stats().wire_bits > reliable.link().stats().wire_bits,
+            "retransmissions must show up as wire traffic"
+        );
+        assert!(
+            faulty.now_ps() >= reliable.now_ps(),
+            "faulty {} ps vs reliable {} ps",
+            faulty.now_ps(),
+            reliable.now_ps()
+        );
     }
 
     #[test]
