@@ -5,12 +5,13 @@
 //! ```
 //!
 //! Replays the template-heavy encode workload through every scheme, sweeps
-//! the group timing simulator per scheme, and sweeps CABLE over rising link
-//! fault rates; prints accesses/sec and writes `BENCH_encode.json`,
-//! `BENCH_sim.json`, and `BENCH_fault.json` in the current directory.
-//! `CABLE_QUICK=1` shrinks the runs for CI.
+//! the group timing simulator per scheme, sweeps CABLE over rising link
+//! fault rates (dealII and mcf), and replays the encode workload with
+//! telemetry enabled; prints accesses/sec and writes `BENCH_encode.json`,
+//! `BENCH_sim.json`, `BENCH_fault.json`, and `BENCH_telemetry.json` in the
+//! current directory. `CABLE_QUICK=1` shrinks the runs for CI.
 
-use cable_bench::perf::{run_encode_bench, run_fault_bench, run_sim_bench};
+use cable_bench::perf::{run_encode_bench, run_fault_bench, run_sim_bench, run_telemetry_bench};
 use cable_bench::print_table;
 use cable_bench::FigureResult;
 
@@ -30,4 +31,5 @@ fn main() {
     emit(&run_encode_bench());
     emit(&run_sim_bench());
     emit(&run_fault_bench());
+    emit(&run_telemetry_bench());
 }

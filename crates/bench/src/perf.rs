@@ -19,6 +19,7 @@ use cable_compress::EngineKind;
 use cable_core::{BaselineKind, FaultConfig};
 use cable_sim::throughput::{run_group_arena, run_group_warmed_linear};
 use cable_sim::{Scheme, SimArena, SystemConfig};
+use cable_telemetry::Telemetry;
 use cable_trace::WorkloadGen;
 use std::time::Instant;
 
@@ -185,8 +186,14 @@ pub const FAULT_BENCH_SEED: u64 = 0x000c_ab1e_fa17;
 /// truncation and notice loss, see `FaultConfig::with_rate`).
 pub const FAULT_BENCH_RATES: &[f64] = &[1e-4, 1e-3, 1e-2];
 
-/// Measures how CABLE degrades as link fault rates rise: one fault-free
-/// row (`off`, no guard bits — the reliable operating point), one
+/// Workloads swept by [`run_fault_bench`]: dealII (template-heavy — long
+/// reference chains make reference faults expensive) and mcf (memory-bound
+/// pointer chasing — many unseeded transfers, the other fault exposure).
+pub const FAULT_BENCH_WORKLOADS: &[&str] = &["dealII", "mcf"];
+
+/// Measures how CABLE degrades as link fault rates rise, once per
+/// [`FAULT_BENCH_WORKLOADS`] entry: one fault-free row
+/// (`<workload>/off`, no guard bits — the reliable operating point), one
 /// CRC-guarded but lossless row, then [`FAULT_BENCH_RATES`]. Reports the
 /// achieved compression ratio, sustained throughput, and the recovery
 /// counters; the quick suite asserts `detected >= injected_frames` and
@@ -194,7 +201,7 @@ pub const FAULT_BENCH_RATES: &[f64] = &[1e-4, 1e-3, 1e-2];
 ///
 /// # Panics
 ///
-/// Panics if the benchmark workload is missing from the profile table.
+/// Panics if a benchmark workload is missing from the profile table.
 #[must_use]
 pub fn run_fault_bench() -> FigureResult<'static> {
     let cfg = if is_quick() {
@@ -202,23 +209,23 @@ pub fn run_fault_bench() -> FigureResult<'static> {
     } else {
         StudyConfig::paper_defaults()
     };
-    let profile = cable_trace::by_name(BENCH_WORKLOAD).expect("benchmark workload exists");
-    let mut points: Vec<(String, Option<FaultConfig>)> = vec![
-        ("off".into(), None),
-        (
-            "lossless".into(),
-            Some(FaultConfig::lossless(FAULT_BENCH_SEED)),
-        ),
-    ];
-    points.extend(FAULT_BENCH_RATES.iter().map(|&rate| {
-        (
-            format!("{rate:.0e}"),
-            Some(FaultConfig::with_rate(FAULT_BENCH_SEED, rate)),
-        )
-    }));
-    let rows = points
-        .into_iter()
-        .map(|(label, fault)| {
+    let mut rows = Vec::new();
+    for workload in FAULT_BENCH_WORKLOADS {
+        let profile = cable_trace::by_name(workload).expect("benchmark workload exists");
+        let mut points: Vec<(String, Option<FaultConfig>)> = vec![
+            (format!("{workload}/off"), None),
+            (
+                format!("{workload}/lossless"),
+                Some(FaultConfig::lossless(FAULT_BENCH_SEED)),
+            ),
+        ];
+        points.extend(FAULT_BENCH_RATES.iter().map(|&rate| {
+            (
+                format!("{workload}/{rate:.0e}"),
+                Some(FaultConfig::with_rate(FAULT_BENCH_SEED, rate)),
+            )
+        }));
+        rows.extend(points.into_iter().map(|(label, fault)| {
             let mut link = cfg.build_link(Scheme::Cable(EngineKind::Lbe));
             if let Some(fault_cfg) = fault {
                 link.enable_fault_injection(fault_cfg);
@@ -243,12 +250,87 @@ pub fn run_fault_bench() -> FigureResult<'static> {
                     fs.escalations as f64,
                 ],
             )
-        })
-        .collect();
+        }));
+    }
     FigureResult {
         id: FAULT_BENCH_ID,
         title: "CABLE degradation vs link fault rate (CRC guard + NACK/retry)",
         columns: FAULT_BENCH_COLUMNS
+            .iter()
+            .map(|c| (*c).to_string())
+            .collect(),
+        rows,
+    }
+}
+
+/// Identifier of the emitted telemetry JSON result
+/// (`BENCH_telemetry.json`).
+pub const TELEMETRY_BENCH_ID: &str = "BENCH_telemetry";
+
+/// Columns of the emitted telemetry figure, in order. All values come from
+/// the telemetry registry and tracer — not from `LinkStats` — so the bench
+/// doubles as an end-to-end check that the instrumentation counts real
+/// traffic.
+pub const TELEMETRY_BENCH_COLUMNS: &[&str] = &[
+    "encode_transfers",
+    "remote_hits",
+    "wire_bits",
+    "payload_samples",
+    "trace_events",
+    "dropped_events",
+];
+
+/// Replays the encode workload through every default scheme with an
+/// *enabled* [`Telemetry`] handle attached (after warm-up) and reports the
+/// registry's view of the run: encode transfers by the `link.encode.*`
+/// counters, remote hits, wire bits, payload histogram samples, and the
+/// tracer's retained/dropped event counts. Deterministic — no wall-clock
+/// columns — so the schema test can assert exact cross-checks against
+/// `LinkStats`. Honors `CABLE_QUICK`.
+///
+/// # Panics
+///
+/// Panics if the benchmark workload is missing from the profile table.
+#[must_use]
+pub fn run_telemetry_bench() -> FigureResult<'static> {
+    let cfg = if is_quick() {
+        StudyConfig::quick()
+    } else {
+        StudyConfig::paper_defaults()
+    };
+    let profile = cable_trace::by_name(BENCH_WORKLOAD).expect("benchmark workload exists");
+    let rows = default_schemes()
+        .into_iter()
+        .map(|scheme| {
+            let tel = Telemetry::enabled();
+            let mut link = cfg.build_link(scheme);
+            let mut gen = WorkloadGen::new(profile, 0);
+            drive(&mut link, &mut gen, cfg.warmup_accesses);
+            link.reset_stats();
+            link.set_telemetry(tel.clone());
+            drive(&mut link, &mut gen, cfg.accesses);
+            let snap = tel.snapshot();
+            let encode_transfers = snap.counter("link.encode.raw").unwrap_or(0)
+                + snap.counter("link.encode.unseeded").unwrap_or(0)
+                + snap.counter("link.encode.diff").unwrap_or(0);
+            let payload_samples = snap.histogram("link.payload_bits").map_or(0, |(n, _)| n);
+            (
+                scheme.label().to_string(),
+                vec![
+                    encode_transfers as f64,
+                    snap.counter("link.remote_hits").unwrap_or(0) as f64,
+                    snap.counter("link.wire_bits").unwrap_or(0) as f64,
+                    payload_samples as f64,
+                    tel.events().len() as f64,
+                    tel.dropped_events() as f64,
+                ],
+            )
+        })
+        .collect();
+    FigureResult {
+        id: TELEMETRY_BENCH_ID,
+        title: "Telemetry registry view of the encode workload (per scheme)",
+        columns: TELEMETRY_BENCH_COLUMNS
             .iter()
             .map(|c| (*c).to_string())
             .collect(),
@@ -269,5 +351,8 @@ mod tests {
         assert_eq!(SIM_BENCH_COLUMNS.len(), 5);
         assert_eq!(FAULT_BENCH_COLUMNS[0], "compression_ratio");
         assert_eq!(FAULT_BENCH_COLUMNS.len(), 8);
+        assert_eq!(FAULT_BENCH_WORKLOADS, &["dealII", "mcf"]);
+        assert_eq!(TELEMETRY_BENCH_COLUMNS[0], "encode_transfers");
+        assert_eq!(TELEMETRY_BENCH_COLUMNS.len(), 6);
     }
 }

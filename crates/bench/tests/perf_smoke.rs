@@ -5,8 +5,9 @@
 //! paying the full measurement cost in every local `cargo test`.
 
 use cable_bench::perf::{
-    run_encode_bench, run_fault_bench, run_sim_bench, BENCH_COLUMNS, BENCH_ID, FAULT_BENCH_COLUMNS,
-    FAULT_BENCH_ID, FAULT_BENCH_RATES, SIM_BENCH_COLUMNS, SIM_BENCH_ID,
+    run_encode_bench, run_fault_bench, run_sim_bench, run_telemetry_bench, BENCH_COLUMNS, BENCH_ID,
+    FAULT_BENCH_COLUMNS, FAULT_BENCH_ID, FAULT_BENCH_RATES, FAULT_BENCH_WORKLOADS,
+    SIM_BENCH_COLUMNS, SIM_BENCH_ID, TELEMETRY_BENCH_COLUMNS, TELEMETRY_BENCH_ID,
 };
 use cable_bench::report::load_json;
 use cable_bench::runner::default_schemes;
@@ -136,10 +137,11 @@ fn fault_bench_detects_and_recovers_everything() {
     let result = run_fault_bench();
     assert_eq!(result.id, FAULT_BENCH_ID);
     assert_eq!(result.columns, FAULT_BENCH_COLUMNS);
+    let rows_per_workload = 2 + FAULT_BENCH_RATES.len();
     assert_eq!(
         result.rows.len(),
-        2 + FAULT_BENCH_RATES.len(),
-        "off + lossless + one row per swept rate"
+        FAULT_BENCH_WORKLOADS.len() * rows_per_workload,
+        "per workload: off + lossless + one row per swept rate"
     );
 
     for (label, values) in &result.rows {
@@ -162,34 +164,44 @@ fn fault_bench_detects_and_recovers_everything() {
         );
     }
 
-    // The fault-free row must stay exactly fault-free; the harshest swept
-    // rate must actually exercise the recovery machinery.
-    let (off_label, off) = &result.rows[0];
-    assert_eq!(off_label, "off");
-    assert!(off[0] > 1.0, "reliable row must compress: {}", off[0]);
-    assert_eq!(off[2], 0.0, "reliable row injected frames");
-    assert_eq!(off[6], 0.0, "reliable row retransmitted bits");
-    assert!(
-        result.rows[1].1[0] > 1.0,
-        "guarded-lossless row must compress: {}",
-        result.rows[1].1[0]
-    );
-    let (_, harshest) = result.rows.last().expect("at least one swept rate");
-    assert!(harshest[2] > 0.0, "harshest rate injected nothing");
-    assert!(harshest[6] > 0.0, "harshest rate retransmitted nothing");
+    for (w, workload) in FAULT_BENCH_WORKLOADS.iter().enumerate() {
+        let block = &result.rows[w * rows_per_workload..(w + 1) * rows_per_workload];
 
-    // Degradation is graceful: the guarded-lossless ratio stays within the
-    // guard overhead of the reliable row, and rising fault rates never
-    // *improve* the ratio.
-    let ratios: Vec<f64> = result.rows.iter().map(|(_, v)| v[0]).collect();
-    assert!(
-        ratios[1] <= ratios[0],
-        "guard bits cannot improve the ratio: {ratios:?}"
-    );
-    assert!(
-        ratios.last().expect("rows") <= &ratios[1],
-        "heavy faults cannot beat lossless: {ratios:?}"
-    );
+        // The fault-free row must stay exactly fault-free; the harshest
+        // swept rate must actually exercise the recovery machinery.
+        let (off_label, off) = &block[0];
+        assert_eq!(off_label, &format!("{workload}/off"));
+        assert!(off[0] > 1.0, "{workload}: reliable row must compress");
+        assert_eq!(off[2], 0.0, "{workload}: reliable row injected frames");
+        assert_eq!(off[6], 0.0, "{workload}: reliable row retransmitted bits");
+        assert_eq!(block[1].0, format!("{workload}/lossless"));
+        assert!(
+            block[1].1[0] > 1.0,
+            "{workload}: guarded-lossless row must compress"
+        );
+        let (_, harshest) = block.last().expect("at least one swept rate");
+        assert!(
+            harshest[2] > 0.0,
+            "{workload}: harshest rate injected nothing"
+        );
+        assert!(
+            harshest[6] > 0.0,
+            "{workload}: harshest rate retransmitted nothing"
+        );
+
+        // Degradation is graceful: the guarded-lossless ratio stays within
+        // the guard overhead of the reliable row, and rising fault rates
+        // never *improve* the ratio.
+        let ratios: Vec<f64> = block.iter().map(|(_, v)| v[0]).collect();
+        assert!(
+            ratios[1] <= ratios[0],
+            "{workload}: guard bits cannot improve the ratio: {ratios:?}"
+        );
+        assert!(
+            ratios.last().expect("rows") <= &ratios[1],
+            "{workload}: heavy faults cannot beat lossless: {ratios:?}"
+        );
+    }
 
     // The emitted JSON parses back with the same schema and values.
     let loaded = load_json(&result.to_json()).expect("emitted JSON parses");
@@ -197,6 +209,69 @@ fn fault_bench_detects_and_recovers_everything() {
     assert_eq!(loaded.columns, FAULT_BENCH_COLUMNS);
     for (label, values) in &result.rows {
         for (col, v) in FAULT_BENCH_COLUMNS.iter().zip(values) {
+            let got = loaded
+                .value(label, col)
+                .unwrap_or_else(|| panic!("{label}/{col} missing after roundtrip"));
+            assert!(
+                (got - v).abs() <= v.abs() * 1e-9,
+                "{label}/{col}: {got} != {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn telemetry_bench_counts_real_traffic_and_roundtrips_schema() {
+    if !quick() {
+        eprintln!("skipping: set CABLE_QUICK=1 to run the telemetry benchmark");
+        return;
+    }
+
+    let result = run_telemetry_bench();
+    assert_eq!(result.id, TELEMETRY_BENCH_ID);
+    assert_eq!(result.columns, TELEMETRY_BENCH_COLUMNS);
+    assert_eq!(
+        result.rows.len(),
+        default_schemes().len(),
+        "one row per scheme"
+    );
+
+    for (label, values) in &result.rows {
+        assert_eq!(
+            values.len(),
+            TELEMETRY_BENCH_COLUMNS.len(),
+            "{label}: column count"
+        );
+        let (encodes, wire_bits, payload_samples, events, dropped) =
+            (values[0], values[2], values[3], values[4], values[5]);
+        // The registry must have seen the measured traffic: every scheme
+        // moves wire bits, and every off-chip transfer records exactly one
+        // encode count and one payload histogram sample.
+        assert!(encodes > 0.0, "{label}: no encode transfers counted");
+        assert!(wire_bits > 0.0, "{label}: no wire bits counted");
+        assert_eq!(
+            payload_samples, encodes,
+            "{label}: one payload sample per encode"
+        );
+        // The tracer retained a bounded window; dropped is the overflow.
+        assert!(events > 0.0, "{label}: no trace events retained");
+        assert!(dropped >= 0.0, "{label}: negative drop count");
+    }
+
+    // Determinism: the registry view has no wall-clock columns, so a
+    // second run must reproduce it exactly.
+    let again = run_telemetry_bench();
+    assert_eq!(
+        result.rows, again.rows,
+        "telemetry bench must be deterministic"
+    );
+
+    // The emitted JSON parses back with the same schema and values.
+    let loaded = load_json(&result.to_json()).expect("emitted JSON parses");
+    assert_eq!(loaded.id, TELEMETRY_BENCH_ID);
+    assert_eq!(loaded.columns, TELEMETRY_BENCH_COLUMNS);
+    for (label, values) in &result.rows {
+        for (col, v) in TELEMETRY_BENCH_COLUMNS.iter().zip(values) {
             let got = loaded
                 .value(label, col)
                 .unwrap_or_else(|| panic!("{label}/{col} missing after roundtrip"));

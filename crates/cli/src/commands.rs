@@ -2,9 +2,14 @@
 
 use cable_cache::CacheGeometry;
 use cable_compress::EngineKind;
-use cable_core::area::{home_side_area, paper_offchip_config, remote_side_area, SEARCH_LOGIC_ROWS};
+use cable_core::area::{
+    crc_guard_bits, home_side_area, paper_offchip_config, remote_side_area, CRC_ENGINE_ROWS,
+    SEARCH_LOGIC_ROWS,
+};
 use cable_core::BaselineKind;
-use cable_sim::{run_group, CompressedLink, Scheme, SystemConfig};
+use cable_sim::{run_group, run_single_telemetry, CompressedLink, Scheme, SystemConfig};
+use cable_telemetry::json::{validate_json, validate_jsonl};
+use cable_telemetry::Telemetry;
 use cable_trace::record::{record_synthetic, TraceReader, TraceRecord};
 use cable_trace::WorkloadGen;
 
@@ -21,6 +26,8 @@ commands:
   fabric <workload> [nodes] [GB/s] multi-chip PTP-link throughput (§V-B)
   stats <workload> [lines]         data-pattern statistics of a workload
   area                             Table III-style area overhead report
+  trace <workload> [ins] [prefix]  run with telemetry; write <prefix>.jsonl
+                                   and <prefix>.trace.json (Chrome/Perfetto)
   help                             this text";
 
 /// Parses and runs one invocation.
@@ -83,6 +90,13 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("area") => {
             area();
             Ok(())
+        }
+        Some("trace") => {
+            let name = args.get(1).ok_or("trace needs a workload name")?;
+            let instructions = parse_or(args.get(2), 20_000)?;
+            let default_prefix = name.clone();
+            let prefix = args.get(3).unwrap_or(&default_prefix);
+            trace(name, instructions, prefix)
         }
         Some(other) => Err(format!("unknown command `{other}`")),
     }
@@ -315,6 +329,53 @@ fn stats(name: &str, lines: u64) -> Result<(), String> {
     Ok(())
 }
 
+fn trace(name: &str, instructions: u64, prefix: &str) -> Result<(), String> {
+    let p = profile(name)?;
+    let tel = Telemetry::enabled();
+    let cfg = SystemConfig::paper_defaults();
+    // Warm for half the measured budget; the handle attaches after warm-up,
+    // so the trace window covers exactly the measured instructions.
+    let r = run_single_telemetry(
+        p,
+        Scheme::Cable(EngineKind::Lbe),
+        instructions / 2,
+        instructions,
+        &cfg,
+        &tel,
+    );
+
+    let jsonl = tel.export_jsonl();
+    validate_jsonl(&jsonl).map_err(|e| format!("internal error: JSONL export invalid: {e}"))?;
+    let jsonl_path = format!("{prefix}.jsonl");
+    std::fs::write(&jsonl_path, &jsonl).map_err(|e| format!("cannot write {jsonl_path}: {e}"))?;
+
+    let chrome = tel.export_chrome_trace();
+    validate_json(&chrome).map_err(|e| format!("internal error: Chrome trace invalid: {e}"))?;
+    let chrome_path = format!("{prefix}.trace.json");
+    std::fs::write(&chrome_path, &chrome)
+        .map_err(|e| format!("cannot write {chrome_path}: {e}"))?;
+
+    let snap = tel.snapshot();
+    println!(
+        "{name}: {} instructions in {:.1} us simulated (IPC {:.2})",
+        r.instructions,
+        r.elapsed_ps as f64 * 1e-6,
+        r.ipc()
+    );
+    println!(
+        "  {} metrics, {} trace events retained, {} dropped",
+        snap.metrics.len(),
+        tel.events().len(),
+        tel.dropped_events()
+    );
+    println!("  wrote {jsonl_path} ({} KB)", jsonl.len() / 1024);
+    println!(
+        "  wrote {chrome_path} ({} KB) — open in about://tracing or ui.perfetto.dev",
+        chrome.len() / 1024
+    );
+    Ok(())
+}
+
 fn area() {
     let cfg = paper_offchip_config();
     let home = home_side_area(&cfg);
@@ -335,6 +396,14 @@ fn area() {
     for (label, cells, per_l2, per_tile) in SEARCH_LOGIC_ROWS {
         println!("  {label:18} {cells:>6} cells  {per_l2:>5.2}% /L2  {per_tile:>5.2}% /tile");
     }
+    println!("\nfault-mode CRC guard logic (per link endpoint, same node):");
+    for (label, cells, per_l2, per_tile) in CRC_ENGINE_ROWS {
+        println!("  {label:22} {cells:>6} cells  {per_l2:>5.2}% /L2  {per_tile:>5.2}% /tile");
+    }
+    println!(
+        "  guard state: {} bits SRAM per endpoint (frame buffer + CRC accumulators)",
+        crc_guard_bits(&cfg)
+    );
 }
 
 #[cfg(test)]
@@ -432,5 +501,28 @@ mod tests {
         assert!(run(&["throughput", "gcc", "12"])
             .unwrap_err()
             .contains("multiple of 8"));
+    }
+
+    #[test]
+    fn trace_validates_workload() {
+        assert!(run(&["trace"]).is_err());
+        assert!(run(&["trace", "nonexistent"])
+            .unwrap_err()
+            .contains("unknown workload"));
+    }
+
+    #[test]
+    fn trace_writes_valid_exports() {
+        let prefix = std::env::temp_dir().join("cable_cli_trace_test");
+        let prefix = prefix.to_str().unwrap();
+        assert!(run(&["trace", "mcf", "5000", prefix]).is_ok());
+        let jsonl = std::fs::read_to_string(format!("{prefix}.jsonl")).unwrap();
+        validate_jsonl(&jsonl).expect("emitted JSONL parses");
+        assert!(jsonl.lines().next().unwrap().contains("\"meta\""));
+        let chrome = std::fs::read_to_string(format!("{prefix}.trace.json")).unwrap();
+        validate_json(&chrome).expect("emitted Chrome trace parses");
+        assert!(chrome.contains("\"traceEvents\""));
+        std::fs::remove_file(format!("{prefix}.jsonl")).ok();
+        std::fs::remove_file(format!("{prefix}.trace.json")).ok();
     }
 }

@@ -75,6 +75,30 @@ pub const SEARCH_LOGIC_ROWS: [(&str, u32, f64, f64); 4] = [
     ("Total", 7031, 1.48, 0.58),
 ];
 
+/// Fault-mode CRC-32 guard logic, estimated at the same 32 nm node and
+/// normalized against the search-logic synthesis above: each link endpoint
+/// instantiates **two** byte-parallel CRC-32 engines — one generating and
+/// checking the per-frame guard, one for the end-to-end line CRC (see
+/// [`crate::codec::GUARD_BITS`]). `(label, cell area, per-L2 %, per-tile
+/// %)` rows, appended to Table III when the faulty channel is configured.
+pub const CRC_ENGINE_ROWS: [(&str, u32, f64, f64); 3] = [
+    ("CRC-32 frame guard", 612, 0.13, 0.05),
+    ("CRC-32 line check", 612, 0.13, 0.05),
+    ("CRC total (2 engines)", 1224, 0.26, 0.10),
+];
+
+/// Per-endpoint guard-state SRAM of the recovery protocol: the retry
+/// frame buffer (one in-flight guarded frame) plus CRC accumulators,
+/// in bits.
+#[must_use]
+pub fn crc_guard_bits(config: &CableConfig) -> u64 {
+    // One maximum-sized guarded frame (raw payload: 512 data bits + the
+    // mode flag, plus the guard) staged for retransmission, two 32-bit CRC
+    // accumulators, and one flit's worth of NACK return-path buffering.
+    let frame_bits = (cable_common::LINE_BYTES as u64 * 8 + 1) + crate::codec::GUARD_BITS as u64;
+    frame_bits + 2 * 32 + u64::from(config.link_width_bits)
+}
+
 /// The paper's off-chip Table III configuration: 8-way 8 MB LLC remote,
 /// 8-way 16 MB DRAM buffer home, half-sized buffer table, full-sized
 /// on-chip table.
@@ -136,5 +160,33 @@ mod tests {
     fn search_logic_rows_sum() {
         let total: u32 = SEARCH_LOGIC_ROWS[..3].iter().map(|r| r.1).sum();
         assert_eq!(total, SEARCH_LOGIC_ROWS[3].1);
+    }
+
+    #[test]
+    fn crc_engine_rows_sum_and_stay_small() {
+        let total: u32 = CRC_ENGINE_ROWS[..2].iter().map(|r| r.1).sum();
+        assert_eq!(total, CRC_ENGINE_ROWS[2].1);
+        // The guard engines must stay a small fraction of the search logic
+        // (CRC-32 is far simpler than the pre-rank pipeline).
+        assert!(CRC_ENGINE_ROWS[2].1 * 4 < SEARCH_LOGIC_ROWS[3].1);
+        // Percentages scale with cell area at the same normalization as the
+        // synthesized search rows.
+        let per_cell_l2 = SEARCH_LOGIC_ROWS[3].2 / f64::from(SEARCH_LOGIC_ROWS[3].1);
+        for row in &CRC_ENGINE_ROWS {
+            assert!(
+                (row.2 - per_cell_l2 * f64::from(row.1)).abs() < 0.005,
+                "{} per-L2 {} inconsistent",
+                row.0,
+                row.2
+            );
+        }
+    }
+
+    #[test]
+    fn crc_guard_state_is_under_a_kilobit() {
+        let bits = crc_guard_bits(&paper_offchip_config());
+        // 513 + 64 frame bits, 64 accumulator bits, 16 flit bits.
+        assert_eq!(bits, 513 + 64 + 64 + 16);
+        assert!(bits < 1024);
     }
 }

@@ -10,10 +10,11 @@
 //! — which is exactly what makes gzip strong single-threaded and weak under
 //! multiprogrammed interleaving (Fig. 16's dictionary pollution).
 
-use crate::link::{Direction, LinkStats, Transfer, TransferKind};
+use crate::link::{Direction, LinkStats, LinkTelemetry, Transfer, TransferKind};
 use cable_cache::{CacheGeometry, CoherenceState, SetAssocCache};
 use cable_common::{Address, BitReader, BitWriter, LineData, LINE_BYTES};
 use cable_compress::{Bdi, Compressor, Cpack, Decompressor, Lbe, Lzss};
+use cable_telemetry::{Event, Telemetry};
 use std::fmt;
 
 /// Selects a baseline compression scheme.
@@ -115,6 +116,7 @@ pub struct BaselineLink {
     link_width_bits: u32,
     stats: LinkStats,
     last_flit: u64,
+    tel: LinkTelemetry,
 }
 
 impl BaselineLink {
@@ -144,7 +146,22 @@ impl BaselineLink {
             link_width_bits,
             stats: LinkStats::default(),
             last_flit: 0,
+            tel: LinkTelemetry::default(),
         }
+    }
+
+    /// Attaches a [`Telemetry`] handle; see
+    /// [`crate::CableLink::set_telemetry`]. Baseline links share the same
+    /// metric vocabulary (`link.encode.*`, `link.wire_bits`, …) so schemes
+    /// compare side by side in exported telemetry.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = LinkTelemetry::new(tel);
+    }
+
+    /// The attached telemetry handle.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel.handle
     }
 
     /// The scheme driving this link.
@@ -189,6 +206,7 @@ impl BaselineLink {
         let addr = addr.line_aligned();
         if self.remote.access(addr).is_some() {
             self.stats.remote_hits += 1;
+            self.tel.remote_hits.inc();
             if grant != CoherenceState::Shared {
                 self.remote.set_state(addr, CoherenceState::Modified);
                 self.home.set_state(addr, CoherenceState::Modified);
@@ -305,6 +323,18 @@ impl BaselineLink {
             _ => self.stats.unseeded_transfers += 1,
         }
         self.account_toggles(&payload);
+        if self.tel.handle.is_enabled() {
+            self.tel.count_encode(kind);
+            self.tel.wire_bits.add(wire_bits);
+            self.tel.payload_bits.record(payload_bits as u64);
+            self.tel.handle.record(Event::Encode {
+                kind: kind.label(),
+                direction: direction.label(),
+                payload_bits: payload_bits as u32,
+                wire_bits: wire_bits as u32,
+                refs: 0,
+            });
+        }
         transfer_of(kind, direction, payload_bits, wire_bits)
     }
 

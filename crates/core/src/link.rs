@@ -24,6 +24,7 @@ use crate::wmt::WayMapTable;
 use cable_cache::{CoherenceState, EvictedLine, LineId, SetAssocCache};
 use cable_common::{crc32, Address, BitWriter, LineData, LINE_BYTES};
 use cable_compress::SeededCompressor;
+use cable_telemetry::{Counter, Event, Histogram, Telemetry};
 use std::fmt;
 
 /// How a line crossed the link.
@@ -39,6 +40,19 @@ pub enum TransferKind {
     Diff,
 }
 
+impl TransferKind {
+    /// Stable lowercase label (telemetry event/metric vocabulary).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TransferKind::RemoteHit => "remote_hit",
+            TransferKind::Raw => "raw",
+            TransferKind::Unseeded => "unseeded",
+            TransferKind::Diff => "diff",
+        }
+    }
+}
+
 /// Direction of a transfer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Direction {
@@ -46,6 +60,76 @@ pub enum Direction {
     Fill,
     /// Remote → home (a dirty write-back).
     WriteBack,
+}
+
+impl Direction {
+    /// Stable lowercase label (telemetry event/metric vocabulary).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Fill => "fill",
+            Direction::WriteBack => "writeback",
+        }
+    }
+}
+
+/// Histogram edges for framed payload sizes in bits (a raw frame is 513).
+const PAYLOAD_BITS_EDGES: &[u64] = &[32, 64, 128, 256, 512];
+/// Histogram edges for hash-table candidate counts per search.
+const SEARCH_CANDIDATE_EDGES: &[u64] = &[1, 2, 4, 8, 16, 32];
+
+/// Metric handles resolved once per link, so instrumented hot paths cost
+/// one relaxed atomic op per update — or one `None` branch when the
+/// attached [`Telemetry`] is disabled (the default). Cloning shares the
+/// sink, matching `CableLink`'s clone-for-warm-reuse semantics.
+#[derive(Clone, Default)]
+pub(crate) struct LinkTelemetry {
+    pub(crate) handle: Telemetry,
+    pub(crate) remote_hits: Counter,
+    pub(crate) encode_raw: Counter,
+    pub(crate) encode_unseeded: Counter,
+    pub(crate) encode_diff: Counter,
+    pub(crate) wire_bits: Counter,
+    pub(crate) payload_bits: Histogram,
+    search_candidates: Histogram,
+    nacks: Counter,
+    fallback_raw: Counter,
+    escalations: Counter,
+    retransmitted_bits: Counter,
+    evict_buffer_hits: Counter,
+    resyncs: Counter,
+}
+
+impl LinkTelemetry {
+    pub(crate) fn new(handle: Telemetry) -> Self {
+        LinkTelemetry {
+            remote_hits: handle.counter("link.remote_hits"),
+            encode_raw: handle.counter("link.encode.raw"),
+            encode_unseeded: handle.counter("link.encode.unseeded"),
+            encode_diff: handle.counter("link.encode.diff"),
+            wire_bits: handle.counter("link.wire_bits"),
+            payload_bits: handle.histogram("link.payload_bits", PAYLOAD_BITS_EDGES),
+            search_candidates: handle.histogram("link.search.candidates", SEARCH_CANDIDATE_EDGES),
+            nacks: handle.counter("link.fault.nacks"),
+            fallback_raw: handle.counter("link.fault.fallback_raw"),
+            escalations: handle.counter("link.fault.escalations"),
+            retransmitted_bits: handle.counter("link.fault.retransmitted_bits"),
+            evict_buffer_hits: handle.counter("link.fault.evict_buffer_hits"),
+            resyncs: handle.counter("link.fault.resyncs"),
+            handle,
+        }
+    }
+
+    /// Counts one encode outcome into the kind-specific counter.
+    #[inline]
+    pub(crate) fn count_encode(&self, kind: TransferKind) {
+        match kind {
+            TransferKind::Raw => self.encode_raw.inc(),
+            TransferKind::Unseeded => self.encode_unseeded.inc(),
+            TransferKind::Diff => self.encode_diff.inc(),
+            TransferKind::RemoteHit => {}
+        }
+    }
 }
 
 /// Result of one link operation.
@@ -250,6 +334,8 @@ pub struct CableLink {
     /// Fault-injection state; `None` (the default) models a reliable link
     /// with zero accounting overhead.
     fault: Option<Box<FaultState>>,
+    /// Resolved-once telemetry handles; disabled (free) by default.
+    tel: LinkTelemetry,
 }
 
 /// How a detected delivery failure should be retried.
@@ -309,8 +395,25 @@ impl CableLink {
                 config.insert_signature_count,
             ),
             fault: None,
+            tel: LinkTelemetry::default(),
             config,
         }
+    }
+
+    /// Attaches a [`Telemetry`] handle: metric handles are resolved once
+    /// here, and trace events flow into the handle's shared sink from then
+    /// on. Attaching a disabled handle (the default state) reduces every
+    /// instrumentation point to a single branch, and the simulation outcome
+    /// is identical either way (property-tested in `cable-sim`).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = LinkTelemetry::new(tel);
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`CableLink::set_telemetry`] was called with an enabled one).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel.handle
     }
 
     /// The link configuration.
@@ -426,6 +529,7 @@ impl CableLink {
         let addr = addr.line_aligned();
         if self.remote.access(addr).is_some() {
             self.stats.remote_hits += 1;
+            self.tel.remote_hits.inc();
             if grant != CoherenceState::Shared {
                 // Upgrade on a store hit.
                 self.upgrade(addr);
@@ -662,10 +766,11 @@ impl CableLink {
     fn send_notice(&mut self, notice: Notice, fs: &mut FaultState) {
         match fs.channel.notice_fate() {
             NoticeFate::Deliver => self.apply_notice(notice, fs),
-            NoticeFate::Drop => {}
+            NoticeFate::Drop => self.tel.handle.record(Event::NoticeDropped),
             NoticeFate::Delay => {
                 let due_op = fs.op + fs.channel.config().delay_ops;
                 fs.pending.push_back(PendingNotice { due_op, notice });
+                self.tel.handle.record(Event::NoticeDelayed);
             }
         }
     }
@@ -731,7 +836,14 @@ impl CableLink {
         let mut raw_attempts = 0u32;
         let mut first = true;
         loop {
+            let flips_before = fs.channel.stats().injected_bit_flips;
             let tx = fs.channel.transmit(current.as_slice(), current.len_bits());
+            if tx.corrupted {
+                self.tel.handle.record(Event::FaultInjected {
+                    bit_flips: (fs.channel.stats().injected_bit_flips - flips_before) as u32,
+                    truncated: tx.len_bits < current.len_bits(),
+                });
+            }
             if !first {
                 self.account_retransmission(&current, &mut fs);
             }
@@ -749,6 +861,13 @@ impl CableLink {
                     // The NACK costs one control flit on the return path.
                     self.stats.wire_bits += u64::from(self.config.link_width_bits);
                     self.stats.flits += 1;
+                    self.tel.nacks.inc();
+                    self.tel.handle.record(Event::Nack {
+                        class: match class {
+                            FailureClass::Transient => "transient",
+                            FailureClass::Reference => "reference",
+                        },
+                    });
                     if current_kind == TransferKind::Raw {
                         raw_attempts += 1;
                         if raw_attempts > cfg.raw_retries {
@@ -757,6 +876,8 @@ impl CableLink {
                             // delivery stays bit-exact no matter the fault
                             // rate.
                             fs.channel.stats_mut().escalations += 1;
+                            self.tel.escalations.inc();
+                            self.tel.handle.record(Event::Escalation);
                             break;
                         }
                     } else if class == FailureClass::Transient
@@ -771,6 +892,8 @@ impl CableLink {
                             .encode_guarded(&self.codec.encode_raw(line), line);
                         current_kind = TransferKind::Raw;
                         fs.channel.stats_mut().fallback_raw += 1;
+                        self.tel.fallback_raw.inc();
+                        self.tel.handle.record(Event::FallbackRaw);
                     }
                 }
             }
@@ -790,6 +913,8 @@ impl CableLink {
         self.stats.wire_bits_packed += self.codec.wire_bits_packed(payload_bits);
         self.account_toggles(frame);
         fs.channel.stats_mut().retransmitted_bits += wire_bits;
+        self.tel.retransmitted_bits.add(wire_bits);
+        self.tel.handle.record(Event::Retransmit { wire_bits });
     }
 
     /// Decodes one delivered frame exactly as the receiver would: verify
@@ -828,6 +953,8 @@ impl CableLink {
                             None => match fs.evict_buffer.lookup_by_line_id(rlid) {
                                 Some(e) => {
                                     fs.channel.stats_mut().evict_buffer_hits += 1;
+                                    self.tel.evict_buffer_hits.inc();
+                                    self.tel.handle.record(Event::EvictBufferHit);
                                     e.data
                                 }
                                 None => return Err(FailureClass::Reference),
@@ -1008,6 +1135,10 @@ impl CableLink {
         if let Some(fs) = &mut self.fault {
             fs.channel.stats_mut().resync_repairs += report.total_repairs();
         }
+        self.tel.resyncs.inc();
+        self.tel.handle.record(Event::Resync {
+            repairs: report.total_repairs(),
+        });
         report
     }
 
@@ -1162,6 +1293,14 @@ impl CableLink {
             }
         };
         self.stats.data_array_reads += sstats.data_reads as u64;
+        if self.tel.handle.is_enabled() && self.compression_enabled {
+            self.tel.search_candidates.record(sstats.candidates as u64);
+            self.tel.handle.record(Event::Search {
+                candidates: sstats.candidates as u32,
+                data_reads: sstats.data_reads as u32,
+                selected: scratch.selected().len() as u8,
+            });
+        }
 
         // Unseeded fallback, computed concurrently with the search (§III-E).
         let unseeded = self.engine.compress_seeded(&[], line);
@@ -1195,6 +1334,9 @@ impl CableLink {
         let diff_total = self.codec.compressed_header_bits(nrefs) + diff.len_bits();
 
         if diff_total < unseeded_total && diff_total < raw_bits {
+            self.tel.handle.record(Event::DiffSize {
+                bits: diff.len_bits() as u32,
+            });
             let mut wire_lids = [0u64; 3];
             for (slot, r) in wire_lids.iter_mut().zip(refs) {
                 *slot = r.wire_lid.pack(self.remote.geometry());
@@ -1236,6 +1378,18 @@ impl CableLink {
             TransferKind::RemoteHit => {}
         }
         self.account_toggles(payload);
+        if self.tel.handle.is_enabled() {
+            self.tel.count_encode(kind);
+            self.tel.wire_bits.add(wire_bits);
+            self.tel.payload_bits.record(payload_bits as u64);
+            self.tel.handle.record(Event::Encode {
+                kind: kind.label(),
+                direction: direction.label(),
+                payload_bits: payload_bits as u32,
+                wire_bits: wire_bits as u32,
+                refs: refs as u8,
+            });
+        }
         Transfer {
             kind,
             direction,

@@ -26,6 +26,14 @@ pub struct ActivityCounts {
     /// Extra data-array reads performed by the CABLE search/decode path
     /// (the Fig. 18 "COMPRESSION SRAM" component).
     pub search_reads: u64,
+    /// NACK control flits sent on the return path (fault mode only; fed
+    /// from `FaultStats::nacks`, zero on reliable links).
+    pub nack_flits: u64,
+    /// Bytes of `link_bytes` that were retransmissions — NACK-triggered
+    /// retries and escalations (`FaultStats::retransmitted_bits / 8`).
+    /// These bytes are *included* in `link_bytes`; the model splits their
+    /// energy into the fault-recovery component instead of the link's.
+    pub retransmitted_bytes: u64,
     /// Simulated wall-clock seconds (for static energy).
     pub runtime_s: f64,
 }
@@ -45,6 +53,10 @@ pub struct EnergyBreakdown {
     pub engine: f64,
     /// Extra cache reads for search/decode ("COMPRESSION SRAM").
     pub compression_sram: f64,
+    /// Fault-recovery overhead: NACK return flits plus retransmitted link
+    /// traffic (zero on reliable links, so fault-free breakdowns are
+    /// unchanged by this component's existence).
+    pub fault_recovery: f64,
 }
 
 impl EnergyBreakdown {
@@ -57,6 +69,7 @@ impl EnergyBreakdown {
             + self.link
             + self.engine
             + self.compression_sram
+            + self.fault_recovery
     }
 
     /// This breakdown's total normalized to `baseline`'s total.
@@ -75,8 +88,8 @@ impl fmt::Display for EnergyBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "static {:.2e} J, dynamic {:.2e} J, dram {:.2e} J, link {:.2e} J, engine {:.2e} J, comp-sram {:.2e} J",
-            self.sram_static, self.sram_dynamic, self.dram, self.link, self.engine, self.compression_sram
+            "static {:.2e} J, dynamic {:.2e} J, dram {:.2e} J, link {:.2e} J, engine {:.2e} J, comp-sram {:.2e} J, fault {:.2e} J",
+            self.sram_static, self.sram_dynamic, self.dram, self.link, self.engine, self.compression_sram, self.fault_recovery
         )
     }
 }
@@ -116,14 +129,20 @@ impl EnergyModel {
             + counts.l2_accesses as f64 * p.l2_dynamic_j
             + counts.llc_accesses as f64 * p.llc_dynamic_j
             + counts.buffer_accesses as f64 * p.buffer_dynamic_j;
+        // Retransmitted bytes ride inside `link_bytes`; carve their energy
+        // out of the link component so fault recovery is priced separately
+        // without double counting.
+        let first_tx_bytes = counts.link_bytes.saturating_sub(counts.retransmitted_bytes);
         EnergyBreakdown {
             sram_static,
             sram_dynamic,
             dram: counts.dram_accesses as f64 * p.dram_access_j,
-            link: counts.link_bytes as f64 * p.link_j_per_64b / 64.0,
+            link: first_tx_bytes as f64 * p.link_j_per_64b / 64.0,
             engine: counts.compressions as f64 * p.compress_j
                 + counts.decompressions as f64 * p.decompress_j,
             compression_sram: counts.search_reads as f64 * p.llc_dynamic_j,
+            fault_recovery: counts.retransmitted_bytes as f64 * p.link_j_per_64b / 64.0
+                + counts.nack_flits as f64 * p.nack_flit_j,
         }
     }
 }
@@ -143,6 +162,8 @@ mod tests {
             compressions: 0,
             decompressions: 0,
             search_reads: 0,
+            nack_flits: 0,
+            retransmitted_bytes: 0,
             runtime_s: 1e-3,
         }
     }
@@ -189,7 +210,45 @@ mod tests {
     fn breakdown_total_sums_components() {
         let model = EnergyModel::new();
         let e = model.breakdown(&memory_bound_counts(1024));
-        let sum = e.sram_static + e.sram_dynamic + e.dram + e.link + e.engine + e.compression_sram;
+        let sum = e.sram_static
+            + e.sram_dynamic
+            + e.dram
+            + e.link
+            + e.engine
+            + e.compression_sram
+            + e.fault_recovery;
         assert!((e.total() - sum).abs() < 1e-18);
+    }
+
+    #[test]
+    fn fault_recovery_is_carved_out_of_link_energy_not_added() {
+        // Retransmitted bytes already sit inside link_bytes, so pricing
+        // them separately must leave the link + fault total equal to the
+        // reliable link bill for the same traffic, plus only the NACK
+        // flits' return-path energy.
+        let model = EnergyModel::new();
+        let reliable = model.breakdown(&memory_bound_counts(100_000 * 64));
+        let mut faulty_counts = memory_bound_counts(100_000 * 64);
+        faulty_counts.retransmitted_bytes = 5_000 * 64;
+        faulty_counts.nack_flits = 5_000;
+        let faulty = model.breakdown(&faulty_counts);
+        assert!(faulty.fault_recovery > 0.0);
+        assert!(faulty.link < reliable.link);
+        let wire_total = faulty.link + faulty.fault_recovery
+            - faulty_counts.nack_flits as f64 * model.params().nack_flit_j;
+        assert!((wire_total - reliable.link).abs() < reliable.link * 1e-12);
+        // NACK flits are small: far below the retransmissions they answer.
+        let nack_j = faulty_counts.nack_flits as f64 * model.params().nack_flit_j;
+        assert!(nack_j < faulty.fault_recovery / 10.0);
+    }
+
+    #[test]
+    fn zero_fault_counts_change_nothing() {
+        // Fault-free runs must produce bit-identical breakdowns whether or
+        // not the fault fields exist — the Fig. 18 regression guard.
+        let model = EnergyModel::new();
+        let e = model.breakdown(&memory_bound_counts(4096));
+        assert_eq!(e.fault_recovery, 0.0);
+        assert_eq!(e.link, 4096.0 * model.params().link_j_per_64b / 64.0);
     }
 }

@@ -32,6 +32,10 @@ pub struct EnergyParams {
     pub link_j_per_64b: f64,
     /// DRAM access energy, joules (50.6 nJ, Table II).
     pub dram_access_j: f64,
+    /// Energy of one NACK control flit on the return path, joules. A NACK
+    /// is one 16-bit flit against the link's 512-bit reference transfer, so
+    /// the default scales `link_j_per_64b` by 16/512 (~0.78 nJ).
+    pub nack_flit_j: f64,
 }
 
 impl EnergyParams {
@@ -51,6 +55,7 @@ impl EnergyParams {
             decompress_j: 200.0e-12,
             link_j_per_64b: 25.0e-9,
             dram_access_j: 50.6e-9,
+            nack_flit_j: 25.0e-9 * 16.0 / 512.0,
         }
     }
 

@@ -20,6 +20,7 @@ use crate::thread::{CompressedLink, Scheme};
 use cable_cache::{CacheGeometry, SetAssocCache};
 use cable_common::LineData;
 use cable_core::{LinkStats, TransferKind};
+use cable_telemetry::Telemetry;
 use cable_trace::{WorkloadGen, WorkloadProfile};
 use std::fmt;
 
@@ -65,6 +66,7 @@ pub struct FabricSim {
     latency: CompressionLatency,
     /// PTP link bandwidth in bytes/s.
     ptp_bytes_per_sec: f64,
+    tel: Telemetry,
 }
 
 impl FabricSim {
@@ -123,7 +125,28 @@ impl FabricSim {
             config,
             latency: scheme.latency(),
             ptp_bytes_per_sec,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a [`Telemetry`] handle to every coherence pipeline, local
+    /// link, PTP wire, and DRAM channel in the fabric. The stepping chip
+    /// advances the handle's sim-time clock, so events carry the clock of
+    /// whichever chip generated them.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        for p in &mut self.pipelines {
+            p.set_telemetry(tel.clone());
+        }
+        for l in &mut self.local_links {
+            l.set_telemetry(tel.clone());
+        }
+        for w in self.wires.iter_mut().chain(&mut self.local_wires) {
+            w.set_telemetry(tel.clone());
+        }
+        for d in &mut self.drams {
+            d.set_telemetry(tel.clone());
+        }
+        self.tel = tel;
     }
 
     fn pipeline_index(&self, requester: usize, home: usize) -> usize {
@@ -193,6 +216,7 @@ impl FabricSim {
         let access = self.chips[idx].gen.next_access();
         self.chips[idx].retired += u64::from(access.compute_gap) + 1;
         self.chips[idx].now_ps += c.cycles_to_ps(u64::from(access.compute_gap));
+        self.tel.set_now_ps(self.chips[idx].now_ps);
 
         // Private L1/L2.
         self.chips[idx].now_ps += c.cycles_to_ps(c.l1_latency_cy);

@@ -52,6 +52,8 @@ pub use fabric::{FabricResult, FabricSim};
 pub use numa::NumaSim;
 pub use resources::{DramModel, SharedLink};
 pub use sched::{DoneTracker, Scheduler};
-pub use single::{run_single, run_single_warmed, SingleResult};
+pub use single::{run_single, run_single_telemetry, run_single_warmed, SingleResult};
 pub use thread::{CompressedLink, Scheme, ThreadSim};
-pub use throughput::{run_group, run_group_arena, speedup, ThroughputResult, GROUP_SIZE};
+pub use throughput::{
+    run_group, run_group_arena, run_group_telemetry, speedup, ThroughputResult, GROUP_SIZE,
+};

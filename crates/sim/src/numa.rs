@@ -12,6 +12,7 @@ use crate::thread::{CompressedLink, Scheme};
 use cable_cache::CacheGeometry;
 use cable_common::Address;
 use cable_core::LinkStats;
+use cable_telemetry::Telemetry;
 use cable_trace::{WorkloadGen, WorkloadProfile};
 
 /// A NUMA compression study over one benchmark.
@@ -50,6 +51,15 @@ impl NumaSim {
             links,
             local_accesses: 0,
             remote_accesses: 0,
+        }
+    }
+
+    /// Attaches a [`Telemetry`] handle to every coherence link. `NumaSim`
+    /// is functional (untimed), so events stamp at whatever the handle's
+    /// clock reads — zero unless the caller drives it.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        for link in &mut self.links {
+            link.set_telemetry(tel.clone());
         }
     }
 

@@ -7,6 +7,7 @@
 
 use crate::config::SystemConfig;
 use cable_common::Address;
+use cable_telemetry::{Event, Telemetry};
 
 /// A serialized, FCFS off-chip link with a configurable bandwidth share.
 ///
@@ -20,6 +21,7 @@ pub struct SharedLink {
     busy_until_ps: u64,
     bits_sent: u64,
     busy_ps_total: u64,
+    tel: Telemetry,
 }
 
 impl SharedLink {
@@ -38,7 +40,15 @@ impl SharedLink {
             busy_until_ps: 0,
             bits_sent: 0,
             busy_ps_total: 0,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a [`Telemetry`] handle; every subsequent occupancy interval
+    /// is recorded as an [`Event::LinkBusy`] stamped at its own start time.
+    /// Timing is unaffected (disabled handles cost one branch).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// Full-channel link from the Table IV configuration.
@@ -55,6 +65,15 @@ impl SharedLink {
         self.busy_until_ps = start + duration;
         self.bits_sent += wire_bits;
         self.busy_ps_total += duration;
+        if wire_bits > 0 {
+            self.tel.record_at(
+                start,
+                Event::LinkBusy {
+                    start_ps: start,
+                    dur_ps: duration,
+                },
+            );
+        }
         self.busy_until_ps + self.setup_ps
     }
 
@@ -102,6 +121,7 @@ pub struct DramModel {
     bank_busy_until: Vec<u64>,
     bus_busy_until: u64,
     accesses: u64,
+    tel: Telemetry,
 }
 
 impl DramModel {
@@ -115,7 +135,15 @@ impl DramModel {
             bank_busy_until: vec![0; config.dram_banks],
             bus_busy_until: 0,
             accesses: 0,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a [`Telemetry`] handle; every subsequent access is recorded
+    /// as an [`Event::DramBusy`] covering its bank occupancy. Timing is
+    /// unaffected.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// Performs one 64-byte access at `now_ps`; returns data-ready time.
@@ -130,6 +158,13 @@ impl DramModel {
         self.bus_busy_until = bus_start + self.burst_ps;
         // Precharge occupies the bank afterwards.
         self.bank_busy_until[bank] = bus_start + self.burst_ps + self.timing_step_ps;
+        self.tel.record_at(
+            start,
+            Event::DramBusy {
+                start_ps: start,
+                dur_ps: self.bank_busy_until[bank] - start,
+            },
+        );
         bus_start + self.burst_ps
     }
 

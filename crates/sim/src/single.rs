@@ -9,6 +9,7 @@ use crate::resources::{DramModel, SharedLink};
 use crate::thread::{Scheme, ThreadSim};
 use cable_core::LinkStats;
 use cable_energy::ActivityCounts;
+use cable_telemetry::Telemetry;
 use cable_trace::WorkloadProfile;
 
 /// Result of one single-threaded run.
@@ -62,12 +63,38 @@ pub fn run_single_warmed(
     instructions: u64,
     config: &SystemConfig,
 ) -> SingleResult {
+    run_single_telemetry(
+        profile,
+        scheme,
+        warmup,
+        instructions,
+        config,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_single_warmed`] with a [`Telemetry`] handle attached to the
+/// thread, wire, and DRAM channel *after* the warm-up phase, so the trace
+/// covers exactly the measured instructions. Timing and statistics are
+/// identical to [`run_single_warmed`] whether the handle is enabled or not.
+#[must_use]
+pub fn run_single_telemetry(
+    profile: &'static WorkloadProfile,
+    scheme: Scheme,
+    warmup: u64,
+    instructions: u64,
+    config: &SystemConfig,
+    tel: &Telemetry,
+) -> SingleResult {
     let mut thread = ThreadSim::new(profile, 0, scheme, *config);
     let mut wire = SharedLink::from_config(config);
     let mut dram = DramModel::from_config(config);
     while thread.retired() < warmup {
         thread.step(&mut wire, &mut dram);
     }
+    thread.set_telemetry(tel.clone());
+    wire.set_telemetry(tel.clone());
+    dram.set_telemetry(tel.clone());
     let t0 = thread.now_ps();
     let i0 = thread.retired();
     thread.link_mut().reset_stats();

@@ -19,6 +19,7 @@ use cable_core::{
     ResyncReport, Transfer, TransferKind,
 };
 use cable_energy::ActivityCounts;
+use cable_telemetry::Telemetry;
 use cable_trace::{WorkloadGen, WorkloadProfile};
 use std::fmt;
 
@@ -189,6 +190,24 @@ impl CompressedLink {
             CompressedLink::Baseline(_) => ResyncReport::default(),
         }
     }
+
+    /// Attaches a [`Telemetry`] handle to the link endpoints (see
+    /// [`CableLink::set_telemetry`]).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        match self {
+            CompressedLink::Cable(l) => l.set_telemetry(tel),
+            CompressedLink::Baseline(l) => l.set_telemetry(tel),
+        }
+    }
+
+    /// The link's telemetry handle (disabled unless attached).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        match self {
+            CompressedLink::Cable(l) => l.telemetry(),
+            CompressedLink::Baseline(l) => l.telemetry(),
+        }
+    }
 }
 
 /// Per-thread activity counters feeding the energy model.
@@ -223,6 +242,7 @@ pub struct ThreadSim {
     now_ps: u64,
     retired: u64,
     counts: ThreadCounts,
+    tel: Telemetry,
 }
 
 impl ThreadSim {
@@ -256,7 +276,24 @@ impl ThreadSim {
             now_ps: 0,
             retired: 0,
             counts: ThreadCounts::default(),
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a [`Telemetry`] handle: the thread advances the handle's
+    /// sim-time clock as it executes, and the same handle is propagated to
+    /// the link endpoints so their events carry this thread's timestamps.
+    ///
+    /// Attach *after* [`ThreadSim::warm`] so warm-up traffic is not traced.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.link.set_telemetry(tel.clone());
+        self.tel = tel;
+    }
+
+    /// The thread's telemetry handle (disabled unless attached).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Current local time in picoseconds.
@@ -310,6 +347,7 @@ impl ThreadSim {
         let c = &self.config;
         self.retired += u64::from(access.compute_gap) + 1;
         self.now_ps += c.cycles_to_ps(u64::from(access.compute_gap));
+        self.tel.set_now_ps(self.now_ps);
 
         // L1.
         self.counts.l1 += 1;
@@ -351,6 +389,7 @@ impl ThreadSim {
     ) -> LineData {
         self.counts.llc += 1;
         self.now_ps += self.config.cycles_to_ps(self.config.llc_latency_cy);
+        self.tel.set_now_ps(self.now_ps);
         let memory = self.gen.content(addr);
         let bits_before = self.link.stats().wire_bits;
         let transfer = if is_write {
@@ -376,6 +415,7 @@ impl ThreadSim {
         let delta_bits = self.link.stats().wire_bits - bits_before;
         ready = wire.transfer(ready, delta_bits);
         self.now_ps = ready;
+        self.tel.set_now_ps(self.now_ps);
         memory
     }
 
@@ -431,10 +471,13 @@ impl ThreadSim {
         }
     }
 
-    /// Activity counts for the energy model.
+    /// Activity counts for the energy model. In fault mode the recovery
+    /// traffic (NACK flits, retransmitted bytes) is reported so the model
+    /// can price it separately; on reliable links those fields stay zero.
     #[must_use]
     pub fn activity(&self) -> ActivityCounts {
         let ls = self.link.stats();
+        let fs = self.link.fault_stats().copied().unwrap_or_default();
         ActivityCounts {
             l1_accesses: self.counts.l1,
             l2_accesses: self.counts.l2,
@@ -445,6 +488,8 @@ impl ThreadSim {
             compressions: ls.compression_ops,
             decompressions: ls.diff_transfers + ls.unseeded_transfers,
             search_reads: ls.data_array_reads,
+            nack_flits: fs.nacks,
+            retransmitted_bytes: fs.retransmitted_bits / 8,
             runtime_s: self.now_ps as f64 * 1e-12,
         }
     }
@@ -649,6 +694,15 @@ mod tests {
             faulty.now_ps(),
             reliable.now_ps()
         );
+        // The energy feed: recovery traffic lands in the activity counts of
+        // the faulty thread only, mirroring FaultStats exactly.
+        let fa = faulty.activity();
+        assert_eq!(fa.nack_flits, fstats.nacks);
+        assert_eq!(fa.retransmitted_bytes, fstats.retransmitted_bits / 8);
+        assert!(fa.retransmitted_bytes <= fa.link_bytes);
+        let ra = reliable.activity();
+        assert_eq!(ra.nack_flits, 0);
+        assert_eq!(ra.retransmitted_bytes, 0);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::config::SystemConfig;
 use crate::resources::{DramModel, SharedLink};
 use crate::sched::{DoneTracker, Scheduler};
 use crate::thread::{Scheme, ThreadSim};
+use cable_telemetry::{Event, Telemetry};
 use cable_trace::WorkloadProfile;
 
 /// Threads that share bandwidth competitively (§VI-A).
@@ -127,6 +128,11 @@ pub(crate) fn run_group_core(
     while !done.all_done() {
         let (_, idx) = sched.pop().expect("undone threads remain scheduled");
         let t = &mut group[idx];
+        if t.telemetry().is_enabled() {
+            // Stamped at pop time: the heap yields non-decreasing wake times.
+            t.telemetry()
+                .record_at(t.now_ps(), Event::SchedWake { actor: idx as u32 });
+        }
         let before = t.retired();
         t.step(wire, dram);
         if before < instructions_per_thread && t.retired() >= instructions_per_thread {
@@ -194,6 +200,32 @@ pub fn run_group_arena(
 ) -> ThroughputResult {
     let (mut wire, mut dram) = group_resources(threads, config);
     let mut group = arena.warmed_group(profile, scheme, warm_accesses, config);
+    run_group_core(&mut group, &mut wire, &mut dram, instructions_per_thread);
+    summarize(threads, &group)
+}
+
+/// [`run_group_warmed`] with a [`Telemetry`] handle attached to every
+/// thread, the shared wire, and the DRAM channel *after* warm-up — warm
+/// traffic is neither counted nor traced, so the trace window covers
+/// exactly the measured region. Timing and statistics are identical to
+/// [`run_group_warmed`] whether the handle is enabled or not.
+#[must_use]
+pub fn run_group_telemetry(
+    profile: &'static WorkloadProfile,
+    scheme: Scheme,
+    threads: usize,
+    warm_accesses: u64,
+    instructions_per_thread: u64,
+    config: &SystemConfig,
+    tel: &Telemetry,
+) -> ThroughputResult {
+    let (mut wire, mut dram) = group_resources(threads, config);
+    let mut group = build_warmed_group(profile, scheme, warm_accesses, config);
+    for t in &mut group {
+        t.set_telemetry(tel.clone());
+    }
+    wire.set_telemetry(tel.clone());
+    dram.set_telemetry(tel.clone());
     run_group_core(&mut group, &mut wire, &mut dram, instructions_per_thread);
     summarize(threads, &group)
 }

@@ -1,0 +1,150 @@
+//! Telemetry ⇔ no-telemetry outcome equivalence.
+//!
+//! The observability layer must be a pure observer: attaching an enabled
+//! [`Telemetry`] handle may record metrics and events but must not change
+//! a single simulation outcome — elapsed time, instruction counts, link
+//! statistics, or activity counts all stay bit-identical. These tests run
+//! instrumented and uninstrumented simulations side by side and demand
+//! exact equality, and pin the tracer's sim-time discipline: a
+//! single-thread trace is monotone in `now_ps` and densely sequenced.
+
+use cable_compress::EngineKind;
+use cable_core::{BaselineKind, FaultConfig};
+use cable_sim::throughput::{run_group_telemetry, run_group_warmed};
+use cable_sim::{run_single_telemetry, run_single_warmed, Scheme, SystemConfig};
+use cable_telemetry::{Event, Telemetry};
+use cable_trace::{by_name, ALL_WORKLOADS};
+
+fn spot_schemes() -> [Scheme; 3] {
+    [
+        Scheme::Uncompressed,
+        Scheme::Baseline(BaselineKind::Cpack),
+        Scheme::Cable(EngineKind::Lbe),
+    ]
+}
+
+#[test]
+fn enabled_telemetry_changes_no_single_thread_outcome() {
+    let cfg = SystemConfig::paper_defaults();
+    for profile in ALL_WORKLOADS {
+        for scheme in spot_schemes() {
+            let plain = run_single_warmed(profile, scheme, 400, 1_500, &cfg);
+            let tel = Telemetry::enabled();
+            let traced = run_single_telemetry(profile, scheme, 400, 1_500, &cfg, &tel);
+            assert_eq!(
+                plain.elapsed_ps, traced.elapsed_ps,
+                "{}/{scheme:?}: elapsed time diverges under telemetry",
+                profile.name
+            );
+            assert_eq!(plain.instructions, traced.instructions);
+            assert_eq!(plain.link, traced.link, "{}/{scheme:?}", profile.name);
+            assert_eq!(plain.activity, traced.activity);
+        }
+    }
+}
+
+#[test]
+fn enabled_telemetry_changes_no_group_outcome() {
+    // The group path adds the scheduler and shared wire/DRAM resources —
+    // the instrumented run must reproduce the heap schedule exactly.
+    let cfg = SystemConfig::paper_defaults();
+    let profile = by_name("mcf").expect("workload");
+    for scheme in spot_schemes() {
+        let plain = run_group_warmed(profile, scheme, 256, 64, 96, &cfg);
+        let tel = Telemetry::enabled();
+        let traced = run_group_telemetry(profile, scheme, 256, 64, 96, &cfg, &tel);
+        assert_eq!(plain.group_instructions, traced.group_instructions);
+        assert_eq!(plain.elapsed_ps, traced.elapsed_ps, "{scheme:?}");
+        assert_eq!(plain.threads, traced.threads);
+        assert!(
+            !tel.events().is_empty(),
+            "{scheme:?}: group run traced nothing"
+        );
+    }
+}
+
+#[test]
+fn enabled_telemetry_changes_no_faulty_link_outcome() {
+    // Fault injection adds the NACK/retry/resync machinery and its own
+    // event family; the observer rule holds there too.
+    let mut cfg = SystemConfig::paper_defaults();
+    cfg.fault = Some(FaultConfig::with_rate(0xfa17, 5e-3));
+    let profile = by_name("dealII").expect("workload");
+    let scheme = Scheme::Cable(EngineKind::Lbe);
+    let plain = run_single_warmed(profile, scheme, 400, 2_000, &cfg);
+    let tel = Telemetry::enabled();
+    let traced = run_single_telemetry(profile, scheme, 400, 2_000, &cfg, &tel);
+    assert_eq!(plain.elapsed_ps, traced.elapsed_ps);
+    assert_eq!(plain.link, traced.link);
+    assert_eq!(plain.activity, traced.activity);
+    assert!(
+        tel.events()
+            .iter()
+            .any(|e| matches!(e.event, Event::FaultInjected { .. })),
+        "5e-3 BER over 2k instructions should inject at least one fault"
+    );
+}
+
+#[test]
+fn single_thread_trace_is_monotone_in_sim_time() {
+    // One thread advances one clock, so its event stream must be
+    // non-decreasing in now_ps and densely sequenced from zero. (Group
+    // traces interleave per-thread clocks and only the SchedWake events
+    // are globally ordered, so this discipline is single-thread only.)
+    let cfg = SystemConfig::paper_defaults();
+    let profile = by_name("dealII").expect("workload");
+    let tel = Telemetry::enabled();
+    let r = run_single_telemetry(
+        profile,
+        Scheme::Cable(EngineKind::Lbe),
+        400,
+        2_000,
+        &cfg,
+        &tel,
+    );
+    assert!(r.instructions > 0);
+    let events = tel.events();
+    assert!(!events.is_empty(), "single run traced nothing");
+    assert_eq!(tel.dropped_events(), 0, "default ring should not drop here");
+    for (i, pair) in events.windows(2).enumerate() {
+        assert!(
+            pair[1].now_ps >= pair[0].now_ps,
+            "event {} at {} ps precedes event {} at {} ps",
+            pair[1].seq,
+            pair[1].now_ps,
+            pair[0].seq,
+            pair[0].now_ps
+        );
+        assert_eq!(pair[1].seq, pair[0].seq + 1, "sequence gap at index {i}");
+    }
+    assert_eq!(events[0].seq, 0);
+}
+
+#[test]
+fn sched_wake_events_are_monotone_within_a_group_trace() {
+    // The heap scheduler pops non-decreasing wake times, so the SchedWake
+    // subsequence is ordered even though per-thread events interleave.
+    let cfg = SystemConfig::paper_defaults();
+    let profile = by_name("mcf").expect("workload");
+    let tel = Telemetry::enabled();
+    let _ = run_group_telemetry(
+        profile,
+        Scheme::Cable(EngineKind::Lbe),
+        256,
+        64,
+        96,
+        &cfg,
+        &tel,
+    );
+    let wakes: Vec<u64> = tel
+        .events()
+        .iter()
+        .filter(|e| matches!(e.event, Event::SchedWake { .. }))
+        .map(|e| e.now_ps)
+        .collect();
+    assert!(wakes.len() > 8, "expected one wake per scheduling decision");
+    assert!(
+        wakes.windows(2).all(|w| w[1] >= w[0]),
+        "scheduler wake stamps regressed"
+    );
+}

@@ -1,0 +1,240 @@
+//! Structured trace events.
+//!
+//! Events are plain data — no references into the emitting subsystem — so
+//! the tracer can buffer them without lifetimes and the exporters can
+//! serialize them without callbacks. Category strings are `&'static str`
+//! to keep event construction allocation-free.
+
+/// One structured occurrence inside the CABLE stack.
+///
+/// Variants mirror the things the paper's evaluation reasons about:
+/// per-line encode outcomes, search pipeline depth, recovery-protocol
+/// actions, resync sweeps, scheduler activity, and shared-resource busy
+/// intervals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// One line crossed the link (or hit remotely).
+    Encode {
+        /// Outcome: `"remote_hit"`, `"raw"`, `"unseeded"`, or `"diff"`.
+        kind: &'static str,
+        /// `"fill"` or `"writeback"`.
+        direction: &'static str,
+        /// Exact framed payload bits.
+        payload_bits: u32,
+        /// Flit-quantized wire bits.
+        wire_bits: u32,
+        /// References named in the payload.
+        refs: u8,
+    },
+    /// One signature search ran (§III-C pipeline depth).
+    Search {
+        /// Hash-table candidates before pre-ranking.
+        candidates: u32,
+        /// Data-array reads performed (post-pre-rank).
+        data_reads: u32,
+        /// References selected.
+        selected: u8,
+    },
+    /// A DIFF payload was built against references.
+    DiffSize {
+        /// The DIFF body size in bits (before framing).
+        bits: u32,
+    },
+    /// The receiver NACKed a delivery.
+    Nack {
+        /// Failure class: `"transient"` or `"reference"`.
+        class: &'static str,
+    },
+    /// A delivery degraded to a raw retransmission.
+    FallbackRaw,
+    /// A delivery exhausted the raw budget and escalated to the reliable
+    /// path.
+    Escalation,
+    /// One retransmission crossed the wire.
+    Retransmit {
+        /// Flit-quantized wire bits of the retransmitted frame.
+        wire_bits: u64,
+    },
+    /// The channel corrupted a frame in flight.
+    FaultInjected {
+        /// Bits flipped in this frame.
+        bit_flips: u32,
+        /// Whether the frame was truncated.
+        truncated: bool,
+    },
+    /// The channel dropped a synchronization notice.
+    NoticeDropped,
+    /// The channel delayed a synchronization notice.
+    NoticeDelayed,
+    /// `audit_and_resync()` completed.
+    Resync {
+        /// Total repairs performed.
+        repairs: u64,
+    },
+    /// A stale fill reference resolved from the §IV-A eviction buffer.
+    EvictBufferHit,
+    /// The event-driven scheduler woke an actor.
+    SchedWake {
+        /// Actor index within its group.
+        actor: u32,
+    },
+    /// The shared off-chip link was occupied.
+    LinkBusy {
+        /// Interval start, picoseconds.
+        start_ps: u64,
+        /// Interval duration, picoseconds.
+        dur_ps: u64,
+    },
+    /// A DRAM access occupied bank + bus.
+    DramBusy {
+        /// Interval start, picoseconds.
+        start_ps: u64,
+        /// Interval duration, picoseconds.
+        dur_ps: u64,
+    },
+    /// A free-form named marker.
+    Marker {
+        /// Marker name.
+        name: &'static str,
+        /// Attached value.
+        value: u64,
+    },
+}
+
+impl Event {
+    /// Stable name used by the exporters.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::Encode { .. } => "encode",
+            Event::Search { .. } => "search",
+            Event::DiffSize { .. } => "diff_size",
+            Event::Nack { .. } => "nack",
+            Event::FallbackRaw => "fallback_raw",
+            Event::Escalation => "escalation",
+            Event::Retransmit { .. } => "retransmit",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::NoticeDropped => "notice_dropped",
+            Event::NoticeDelayed => "notice_delayed",
+            Event::Resync { .. } => "resync",
+            Event::EvictBufferHit => "evict_buffer_hit",
+            Event::SchedWake { .. } => "sched_wake",
+            Event::LinkBusy { .. } => "link_busy",
+            Event::DramBusy { .. } => "dram_busy",
+            Event::Marker { .. } => "marker",
+        }
+    }
+
+    /// The Chrome-trace track (thread name) this event renders on.
+    #[must_use]
+    pub fn track(&self) -> &'static str {
+        match self {
+            Event::Encode { .. } | Event::Search { .. } | Event::DiffSize { .. } => "encode",
+            Event::Nack { .. }
+            | Event::FallbackRaw
+            | Event::Escalation
+            | Event::Retransmit { .. }
+            | Event::FaultInjected { .. }
+            | Event::NoticeDropped
+            | Event::NoticeDelayed
+            | Event::Resync { .. }
+            | Event::EvictBufferHit => "fault",
+            Event::SchedWake { .. } => "sched",
+            Event::LinkBusy { .. } => "link",
+            Event::DramBusy { .. } => "dram",
+            Event::Marker { .. } => "marker",
+        }
+    }
+
+    /// The event's arguments as a JSON object body (no surrounding
+    /// braces), built from static keys and integer values only.
+    #[must_use]
+    pub fn args_json(&self) -> String {
+        match *self {
+            Event::Encode {
+                kind,
+                direction,
+                payload_bits,
+                wire_bits,
+                refs,
+            } => format!(
+                "\"kind\":\"{kind}\",\"direction\":\"{direction}\",\"payload_bits\":{payload_bits},\"wire_bits\":{wire_bits},\"refs\":{refs}"
+            ),
+            Event::Search {
+                candidates,
+                data_reads,
+                selected,
+            } => format!(
+                "\"candidates\":{candidates},\"data_reads\":{data_reads},\"selected\":{selected}"
+            ),
+            Event::DiffSize { bits } => format!("\"bits\":{bits}"),
+            Event::Nack { class } => format!("\"class\":\"{class}\""),
+            Event::FallbackRaw
+            | Event::Escalation
+            | Event::NoticeDropped
+            | Event::NoticeDelayed
+            | Event::EvictBufferHit => String::new(),
+            Event::Retransmit { wire_bits } => format!("\"wire_bits\":{wire_bits}"),
+            Event::FaultInjected {
+                bit_flips,
+                truncated,
+            } => format!("\"bit_flips\":{bit_flips},\"truncated\":{truncated}"),
+            Event::Resync { repairs } => format!("\"repairs\":{repairs}"),
+            Event::SchedWake { actor } => format!("\"actor\":{actor}"),
+            Event::LinkBusy { start_ps, dur_ps } | Event::DramBusy { start_ps, dur_ps } => {
+                format!("\"start_ps\":{start_ps},\"dur_ps\":{dur_ps}")
+            }
+            Event::Marker { name, value } => format!("\"name\":\"{name}\",\"value\":{value}"),
+        }
+    }
+}
+
+/// An [`Event`] stamped with simulated time and a dense sequence number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated timestamp in picoseconds (never wallclock).
+    pub now_ps: u64,
+    /// Dense per-tracer sequence number (survives ring-buffer drops: the
+    /// first retained event's `seq` equals the drop count).
+    pub seq: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_tracks_are_stable() {
+        assert_eq!(Event::FallbackRaw.name(), "fallback_raw");
+        assert_eq!(Event::FallbackRaw.track(), "fault");
+        assert_eq!(
+            Event::LinkBusy {
+                start_ps: 0,
+                dur_ps: 1
+            }
+            .track(),
+            "link"
+        );
+        assert_eq!(Event::SchedWake { actor: 3 }.name(), "sched_wake");
+    }
+
+    #[test]
+    fn args_are_json_object_bodies() {
+        let body = Event::Encode {
+            kind: "diff",
+            direction: "fill",
+            payload_bits: 100,
+            wire_bits: 112,
+            refs: 2,
+        }
+        .args_json();
+        assert!(body.contains("\"kind\":\"diff\""));
+        assert!(body.contains("\"refs\":2"));
+        assert!(!body.starts_with('{'));
+        assert_eq!(Event::Escalation.args_json(), "");
+        let wrapped = format!("{{{}}}", body);
+        crate::json::validate_json(&wrapped).expect("args body forms a valid object");
+    }
+}

@@ -1,0 +1,237 @@
+//! Exporters: JSONL and Chrome `trace_event` JSON.
+//!
+//! Both formats are hand-rolled (the workspace takes no external crates)
+//! and fully deterministic: metrics are id-sorted by the registry, events
+//! keep tracer order, and timestamps derive from the simulated clock via
+//! integer math — two seeded runs byte-match.
+
+use crate::event::Event;
+use crate::registry::MetricValue;
+use crate::{json, Telemetry};
+use std::fmt::Write as _;
+
+/// Exports `tel` as JSONL: one meta line, one line per metric, then one
+/// line per trace event (oldest first).
+///
+/// Line shapes:
+///
+/// ```text
+/// {"type":"meta","version":1,"events":N,"dropped_events":N}
+/// {"type":"counter","id":"...","value":N}
+/// {"type":"gauge","id":"...","value":N}
+/// {"type":"histogram","id":"...","edges":[..],"buckets":[..],"count":N,"sum":N}
+/// {"type":"event","name":"...","track":"...","now_ps":N,"seq":N, ...args}
+/// ```
+#[must_use]
+pub fn jsonl(tel: &Telemetry) -> String {
+    let events = tel.events();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"version\":1,\"events\":{},\"dropped_events\":{}}}",
+        events.len(),
+        tel.dropped_events()
+    );
+    for metric in tel.snapshot().metrics {
+        match metric {
+            MetricValue::Counter { id, value } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"counter\",\"id\":\"{}\",\"value\":{value}}}",
+                    json::escape(id)
+                );
+            }
+            MetricValue::Gauge { id, value } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"gauge\",\"id\":\"{}\",\"value\":{value}}}",
+                    json::escape(id)
+                );
+            }
+            MetricValue::Histogram {
+                id,
+                edges,
+                buckets,
+                count,
+                sum,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"histogram\",\"id\":\"{}\",\"edges\":{},\"buckets\":{},\"count\":{count},\"sum\":{sum}}}",
+                    json::escape(id),
+                    int_array(&edges),
+                    int_array(&buckets)
+                );
+            }
+        }
+    }
+    for te in events {
+        let args = te.event.args_json();
+        let sep = if args.is_empty() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"event\",\"name\":\"{}\",\"track\":\"{}\",\"now_ps\":{},\"seq\":{}{sep}{args}}}",
+            te.event.name(),
+            te.event.track(),
+            te.now_ps,
+            te.seq
+        );
+    }
+    out
+}
+
+/// Chrome-trace thread ids, one per [`Event::track`] name.
+const TRACKS: [&str; 6] = ["encode", "fault", "sched", "link", "dram", "marker"];
+
+fn tid_of(track: &str) -> usize {
+    TRACKS.iter().position(|t| *t == track).unwrap_or(0) + 1
+}
+
+/// Formats picoseconds as Chrome-trace microseconds (`ps / 1e6`) using
+/// integer math so the output is deterministic and exact.
+fn ps_to_us(ps: u64) -> String {
+    let whole = ps / 1_000_000;
+    let frac = ps % 1_000_000;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        let digits = format!("{frac:06}");
+        format!("{whole}.{}", digits.trim_end_matches('0'))
+    }
+}
+
+/// Exports the trace as a Chrome `trace_event` JSON object, viewable in
+/// `about://tracing` or <https://ui.perfetto.dev>.
+///
+/// Busy intervals ([`Event::LinkBusy`], [`Event::DramBusy`]) become
+/// complete (`"ph":"X"`) duration events anchored at their own start
+/// time; everything else becomes a thread-scoped instant (`"ph":"i"`).
+/// Each [`Event::track`] renders as its own named thread.
+#[must_use]
+pub fn chrome_trace(tel: &Telemetry) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    for (tid, track) in TRACKS.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"{track}\"}}}}",
+            if first { "" } else { "," },
+            tid + 1
+        );
+        first = false;
+    }
+    for te in tel.events() {
+        let args = te.event.args_json();
+        let args = if args.is_empty() {
+            format!("\"seq\":{}", te.seq)
+        } else {
+            format!("\"seq\":{},{args}", te.seq)
+        };
+        let tid = tid_of(te.event.track());
+        match te.event {
+            Event::LinkBusy { start_ps, dur_ps } | Event::DramBusy { start_ps, dur_ps } => {
+                let _ = write!(
+                    out,
+                    ",{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"name\":\"{}\",\"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
+                    te.event.name(),
+                    ps_to_us(start_ps),
+                    ps_to_us(dur_ps)
+                );
+            }
+            _ => {
+                let _ = write!(
+                    out,
+                    ",{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"name\":\"{}\",\"ts\":{},\"args\":{{{args}}}}}",
+                    te.event.name(),
+                    ps_to_us(te.now_ps)
+                );
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn int_array(values: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+
+    fn sample() -> Telemetry {
+        let tel = Telemetry::enabled();
+        tel.counter("encode.diff").add(3);
+        tel.gauge("clock").set(42);
+        tel.histogram("wire_bits", &[128, 256, 512]).record(130);
+        tel.set_now_ps(1_000);
+        tel.record(Event::Encode {
+            kind: "diff",
+            direction: "fill",
+            payload_bits: 100,
+            wire_bits: 128,
+            refs: 1,
+        });
+        tel.record_at(
+            2_500_000,
+            Event::LinkBusy {
+                start_ps: 2_500_000,
+                dur_ps: 500_000,
+            },
+        );
+        tel.set_now_ps(3_000_000);
+        tel.record(Event::FallbackRaw);
+        tel
+    }
+
+    #[test]
+    fn jsonl_lines_all_parse() {
+        let text = jsonl(&sample());
+        json::validate_jsonl(&text).expect("every line parses");
+        assert!(text.starts_with("{\"type\":\"meta\""));
+        assert!(text.contains("\"type\":\"counter\",\"id\":\"encode.diff\",\"value\":3"));
+        assert!(text.contains("\"type\":\"histogram\",\"id\":\"wire_bits\""));
+        assert!(text.contains("\"type\":\"event\",\"name\":\"fallback_raw\""));
+        assert_eq!(text.lines().count(), 1 + 3 + 3);
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_maps_phases() {
+        let text = chrome_trace(&sample());
+        json::validate_json(&text).expect("chrome trace parses");
+        assert!(text.contains("\"displayTimeUnit\":\"ns\""));
+        assert!(text.contains("\"ph\":\"X\""), "busy interval is a duration");
+        assert!(text.contains("\"ph\":\"i\""), "outcomes are instants");
+        assert!(text.contains("\"name\":\"thread_name\""));
+        assert!(text.contains("\"ts\":2.5,\"dur\":0.5"));
+    }
+
+    #[test]
+    fn empty_telemetry_exports_are_valid() {
+        let tel = Telemetry::enabled();
+        json::validate_jsonl(&jsonl(&tel)).expect("empty jsonl");
+        json::validate_json(&chrome_trace(&tel)).expect("empty chrome trace");
+        let off = Telemetry::disabled();
+        json::validate_jsonl(&jsonl(&off)).expect("disabled jsonl");
+        json::validate_json(&chrome_trace(&off)).expect("disabled trace");
+    }
+
+    #[test]
+    fn ps_to_us_is_exact_integer_math() {
+        assert_eq!(ps_to_us(0), "0");
+        assert_eq!(ps_to_us(1_000_000), "1");
+        assert_eq!(ps_to_us(1_500_000), "1.5");
+        assert_eq!(ps_to_us(1_000_001), "1.000001");
+        assert_eq!(ps_to_us(123), "0.000123");
+    }
+}

@@ -1,0 +1,145 @@
+//! The bounded sim-time event tracer.
+//!
+//! A fixed-capacity ring buffer of [`TraceEvent`]s: pushes past capacity
+//! evict the oldest event and count it as dropped, so a long run keeps
+//! the *most recent* window of activity at a bounded memory cost. Events
+//! carry a dense sequence number, letting consumers detect the eviction
+//! horizon (`events[0].seq == dropped`).
+
+use crate::event::{Event, TraceEvent};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Tracer sizing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TracerConfig {
+    /// Maximum buffered events; pushes beyond it evict the oldest.
+    pub capacity: usize,
+}
+
+impl Default for TracerConfig {
+    fn default() -> Self {
+        TracerConfig { capacity: 1 << 16 }
+    }
+}
+
+struct Ring {
+    buf: VecDeque<TraceEvent>,
+    seq: u64,
+    dropped: u64,
+}
+
+/// A bounded, thread-safe trace buffer.
+pub struct Tracer {
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl Tracer {
+    /// Creates an empty tracer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.capacity` is zero.
+    #[must_use]
+    pub fn new(cfg: TracerConfig) -> Self {
+        assert!(cfg.capacity > 0, "tracer capacity must be at least 1");
+        Tracer {
+            capacity: cfg.capacity,
+            ring: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(cfg.capacity.min(1 << 12)),
+                seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Appends `event` stamped `now_ps`, evicting the oldest event when
+    /// full.
+    pub fn push(&self, now_ps: u64, event: Event) {
+        let mut ring = self.ring.lock().expect("tracer poisoned");
+        if ring.buf.len() == self.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        let seq = ring.seq;
+        ring.seq += 1;
+        ring.buf.push_back(TraceEvent { now_ps, seq, event });
+    }
+
+    /// Buffered events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let ring = self.ring.lock().expect("tracer poisoned");
+        ring.buf.iter().copied().collect()
+    }
+
+    /// Events evicted so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().expect("tracer poisoned").dropped
+    }
+
+    /// Buffered event count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("tracer poisoned").buf.len()
+    }
+
+    /// Whether no events are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Tracer({}/{} events, {} dropped)",
+            self.len(),
+            self.capacity,
+            self.dropped()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_window() {
+        let t = Tracer::new(TracerConfig { capacity: 3 });
+        for i in 0..5u64 {
+            t.push(
+                i * 10,
+                Event::Marker {
+                    name: "m",
+                    value: i,
+                },
+            );
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(events[0].seq, 2, "first retained seq equals drop count");
+        assert_eq!(events[0].now_ps, 20);
+        assert_eq!(events[2].now_ps, 40);
+    }
+
+    #[test]
+    fn empty_tracer_reports_empty() {
+        let t = Tracer::new(TracerConfig::default());
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = Tracer::new(TracerConfig { capacity: 0 });
+    }
+}
