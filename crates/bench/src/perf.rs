@@ -19,7 +19,7 @@ use cable_compress::EngineKind;
 use cable_core::{BaselineKind, FaultConfig};
 use cable_sim::throughput::{run_group_arena, run_group_warmed_linear};
 use cable_sim::{Scheme, SimArena, SystemConfig};
-use cable_telemetry::Telemetry;
+use cable_telemetry::{JsonlSink, Telemetry, TracerConfig};
 use cable_trace::WorkloadGen;
 use std::time::Instant;
 
@@ -278,15 +278,19 @@ pub const TELEMETRY_BENCH_COLUMNS: &[&str] = &[
     "payload_samples",
     "trace_events",
     "dropped_events",
+    "stream_events_per_sec",
 ];
 
 /// Replays the encode workload through every default scheme with an
 /// *enabled* [`Telemetry`] handle attached (after warm-up) and reports the
 /// registry's view of the run: encode transfers by the `link.encode.*`
 /// counters, remote hits, wire bits, payload histogram samples, and the
-/// tracer's retained/dropped event counts. Deterministic — no wall-clock
-/// columns — so the schema test can assert exact cross-checks against
-/// `LinkStats`. Honors `CABLE_QUICK`.
+/// tracer's retained/dropped event counts, plus the streaming-export
+/// drain rate. All columns but the last are deterministic, so the schema
+/// test asserts exact cross-checks against `LinkStats`;
+/// `stream_events_per_sec` is wall-clock (events drained through a
+/// streaming `JsonlSink` into a null writer per second). Honors
+/// `CABLE_QUICK`.
 ///
 /// # Panics
 ///
@@ -323,6 +327,7 @@ pub fn run_telemetry_bench() -> FigureResult<'static> {
                     payload_samples as f64,
                     tel.events().len() as f64,
                     tel.dropped_events() as f64,
+                    stream_drain_rate(&tel),
                 ],
             )
         })
@@ -336,6 +341,28 @@ pub fn run_telemetry_bench() -> FigureResult<'static> {
             .collect(),
         rows,
     }
+}
+
+/// Streaming-export throughput: replays the run's retained events
+/// through a fresh streaming tracer (small rings, drain-on-threshold)
+/// whose `JsonlSink` serializes into a null writer, and reports events
+/// drained per wall-clock second — the cost of the serialize+drain path
+/// alone, with I/O factored out.
+fn stream_drain_rate(tel: &Telemetry) -> f64 {
+    let events = tel.events();
+    if events.is_empty() {
+        return 0.0;
+    }
+    let sink = JsonlSink::streaming(std::io::sink()).expect("null writer cannot fail");
+    let mut tcfg = TracerConfig::with_capacity(1 << 10);
+    tcfg.drain_threshold = Some(1 << 11);
+    let streaming = Telemetry::streaming(tcfg, Box::new(sink));
+    let start = Instant::now();
+    for te in &events {
+        streaming.record_at(te.now_ps, te.event);
+    }
+    let (written, _) = streaming.finish_stream().expect("null writer cannot fail");
+    written as f64 / start.elapsed().as_secs_f64().max(1e-9)
 }
 
 #[cfg(test)]
@@ -353,6 +380,7 @@ mod tests {
         assert_eq!(FAULT_BENCH_COLUMNS.len(), 8);
         assert_eq!(FAULT_BENCH_WORKLOADS, &["dealII", "mcf"]);
         assert_eq!(TELEMETRY_BENCH_COLUMNS[0], "encode_transfers");
-        assert_eq!(TELEMETRY_BENCH_COLUMNS.len(), 6);
+        assert_eq!(TELEMETRY_BENCH_COLUMNS.len(), 7);
+        assert_eq!(TELEMETRY_BENCH_COLUMNS[6], "stream_events_per_sec");
     }
 }

@@ -9,7 +9,7 @@ use cable_core::area::{
 use cable_core::BaselineKind;
 use cable_sim::{run_group, run_single_telemetry, CompressedLink, Scheme, SystemConfig};
 use cable_telemetry::json::{validate_json, validate_jsonl};
-use cable_telemetry::Telemetry;
+use cable_telemetry::{JsonlSink, Report, Telemetry, TracerConfig};
 use cable_trace::record::{record_synthetic, TraceReader, TraceRecord};
 use cable_trace::WorkloadGen;
 
@@ -27,7 +27,12 @@ commands:
   stats <workload> [lines]         data-pattern statistics of a workload
   area                             Table III-style area overhead report
   trace <workload> [ins] [prefix]  run with telemetry; write <prefix>.jsonl
-                                   and <prefix>.trace.json (Chrome/Perfetto)
+                                   and <prefix>.trace.json (Chrome/Perfetto);
+                                   --stream drains the JSONL incrementally so
+                                   any region length runs in O(ring) memory
+  report <trace.jsonl> [out.json]  analyse a trace: per-phase link/DRAM/mesh
+                                   utilization, encode mix, NACK rates, and
+                                   histogram p50/p90/p99 (tables + JSON)
   help                             this text";
 
 /// Parses and runs one invocation.
@@ -92,11 +97,16 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("trace") => {
-            let name = args.get(1).ok_or("trace needs a workload name")?;
-            let instructions = parse_or(args.get(2), 20_000)?;
-            let default_prefix = name.clone();
-            let prefix = args.get(3).unwrap_or(&default_prefix);
-            trace(name, instructions, prefix)
+            let stream = args[1..].iter().any(|a| a == "--stream");
+            let rest: Vec<&String> = args[1..].iter().filter(|a| *a != "--stream").collect();
+            let name = rest.first().copied().ok_or("trace needs a workload name")?;
+            let instructions = parse_or(rest.get(1).copied(), 20_000)?;
+            let prefix = rest.get(2).copied().unwrap_or(name);
+            trace(name, instructions, prefix, stream)
+        }
+        Some("report") => {
+            let trace_path = args.get(1).ok_or("report needs a trace.jsonl file")?;
+            report(trace_path, args.get(2).map(String::as_str))
         }
         Some(other) => Err(format!("unknown command `{other}`")),
     }
@@ -329,9 +339,27 @@ fn stats(name: &str, lines: u64) -> Result<(), String> {
     Ok(())
 }
 
-fn trace(name: &str, instructions: u64, prefix: &str) -> Result<(), String> {
+/// Streaming-mode ring capacity per track — deliberately small so the
+/// drain path carries the trace and memory stays bounded regardless of
+/// how long the measured region runs.
+const STREAM_TRACK_CAPACITY: usize = 1 << 10;
+/// Buffered-event threshold that triggers an incremental drain.
+const STREAM_DRAIN_THRESHOLD: usize = 2 * STREAM_TRACK_CAPACITY;
+
+fn trace(name: &str, instructions: u64, prefix: &str, stream: bool) -> Result<(), String> {
     let p = profile(name)?;
-    let tel = Telemetry::enabled();
+    let jsonl_path = format!("{prefix}.jsonl");
+    let tel = if stream {
+        let file = std::fs::File::create(&jsonl_path)
+            .map_err(|e| format!("cannot create {jsonl_path}: {e}"))?;
+        let sink = JsonlSink::streaming(std::io::BufWriter::new(file))
+            .map_err(|e| format!("cannot write {jsonl_path}: {e}"))?;
+        let mut tcfg = TracerConfig::with_capacity(STREAM_TRACK_CAPACITY);
+        tcfg.drain_threshold = Some(STREAM_DRAIN_THRESHOLD);
+        Telemetry::streaming(tcfg, Box::new(sink))
+    } else {
+        Telemetry::enabled()
+    };
     let cfg = SystemConfig::paper_defaults();
     // Warm for half the measured budget; the handle attaches after warm-up,
     // so the trace window covers exactly the measured instructions.
@@ -344,16 +372,31 @@ fn trace(name: &str, instructions: u64, prefix: &str) -> Result<(), String> {
         &tel,
     );
 
-    let jsonl = tel.export_jsonl();
-    validate_jsonl(&jsonl).map_err(|e| format!("internal error: JSONL export invalid: {e}"))?;
-    let jsonl_path = format!("{prefix}.jsonl");
-    std::fs::write(&jsonl_path, &jsonl).map_err(|e| format!("cannot write {jsonl_path}: {e}"))?;
-
+    // The Chrome view renders from the retained ring — in streaming mode
+    // that is the most recent window (the full stream lives in the JSONL).
+    // Must render before `finish_stream` takes the events out.
     let chrome = tel.export_chrome_trace();
     validate_json(&chrome).map_err(|e| format!("internal error: Chrome trace invalid: {e}"))?;
     let chrome_path = format!("{prefix}.trace.json");
     std::fs::write(&chrome_path, &chrome)
         .map_err(|e| format!("cannot write {chrome_path}: {e}"))?;
+
+    let (written, dropped, jsonl_len) = if stream {
+        let (events, dropped) = tel
+            .finish_stream()
+            .map_err(|e| format!("cannot finish {jsonl_path}: {e}"))?;
+        let jsonl = std::fs::read_to_string(&jsonl_path)
+            .map_err(|e| format!("cannot read back {jsonl_path}: {e}"))?;
+        validate_jsonl(&jsonl)
+            .map_err(|e| format!("internal error: streamed JSONL invalid: {e}"))?;
+        (events, dropped, jsonl.len())
+    } else {
+        let jsonl = tel.export_jsonl();
+        validate_jsonl(&jsonl).map_err(|e| format!("internal error: JSONL export invalid: {e}"))?;
+        std::fs::write(&jsonl_path, &jsonl)
+            .map_err(|e| format!("cannot write {jsonl_path}: {e}"))?;
+        (tel.events().len() as u64, tel.dropped_events(), jsonl.len())
+    };
 
     let snap = tel.snapshot();
     println!(
@@ -363,16 +406,37 @@ fn trace(name: &str, instructions: u64, prefix: &str) -> Result<(), String> {
         r.ipc()
     );
     println!(
-        "  {} metrics, {} trace events retained, {} dropped",
+        "  {} metrics, {} trace events {}, {} dropped",
         snap.metrics.len(),
-        tel.events().len(),
-        tel.dropped_events()
+        written,
+        if stream { "streamed" } else { "retained" },
+        dropped
     );
-    println!("  wrote {jsonl_path} ({} KB)", jsonl.len() / 1024);
+    println!("  wrote {jsonl_path} ({} KB)", jsonl_len / 1024);
     println!(
         "  wrote {chrome_path} ({} KB) — open in about://tracing or ui.perfetto.dev",
         chrome.len() / 1024
     );
+    println!("  next: `cable report {jsonl_path}`");
+    Ok(())
+}
+
+fn report(trace_path: &str, out: Option<&str>) -> Result<(), String> {
+    let text = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let rep = Report::from_jsonl(&text).map_err(|e| format!("cannot parse {trace_path}: {e}"))?;
+    let json = rep.to_json();
+    validate_json(&json).map_err(|e| format!("internal error: report JSON invalid: {e}"))?;
+    let out_path = match out {
+        Some(p) => p.to_string(),
+        None => format!(
+            "{}.report.json",
+            trace_path.strip_suffix(".jsonl").unwrap_or(trace_path)
+        ),
+    };
+    std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    print!("{}", rep.render_text());
+    println!("\nwrote {out_path} ({} bytes)", json.len());
     Ok(())
 }
 
@@ -509,6 +573,69 @@ mod tests {
         assert!(run(&["trace", "nonexistent"])
             .unwrap_err()
             .contains("unknown workload"));
+    }
+
+    #[test]
+    fn streaming_trace_covers_regions_far_beyond_the_ring() {
+        // The bounded-memory acceptance check: the region traces far
+        // more events than the streaming ring retains, yet every event
+        // reaches the file and none are dropped.
+        let prefix = std::env::temp_dir().join("cable_cli_stream_test");
+        let prefix = prefix.to_str().unwrap();
+        assert!(run(&["trace", "mcf", "20000", prefix, "--stream"]).is_ok());
+        let jsonl = std::fs::read_to_string(format!("{prefix}.jsonl")).unwrap();
+        validate_jsonl(&jsonl).expect("streamed JSONL parses");
+        assert!(jsonl.lines().next().unwrap().contains("\"streaming\":true"));
+        let summary = jsonl
+            .lines()
+            .rev()
+            .find(|l| l.contains("\"type\":\"summary\""))
+            .expect("streamed trace ends with a summary line");
+        assert!(summary.contains("\"dropped_events\":0"));
+        let event_lines = jsonl
+            .lines()
+            .filter(|l| l.contains("\"type\":\"event\""))
+            .count();
+        assert!(
+            event_lines >= 10 * super::STREAM_TRACK_CAPACITY,
+            "region must stream ≥10x the ring capacity ({event_lines} events)"
+        );
+        std::fs::remove_file(format!("{prefix}.jsonl")).ok();
+        std::fs::remove_file(format!("{prefix}.trace.json")).ok();
+    }
+
+    #[test]
+    fn report_analyses_a_trace_end_to_end() {
+        let prefix = std::env::temp_dir().join("cable_cli_report_test");
+        let prefix = prefix.to_str().unwrap();
+        assert!(run(&["trace", "mcf", "5000", prefix]).is_ok());
+        let jsonl_path = format!("{prefix}.jsonl");
+        assert!(run(&["report", &jsonl_path]).is_ok());
+        let out_path = format!("{prefix}.report.json");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        validate_json(&json).expect("report artifact parses");
+        for key in [
+            "\"type\":\"cable_report\"",
+            "\"phases\"",
+            "\"measure\"",
+            "\"encodes\"",
+            "\"nacks_per_1k_encodes\"",
+            "\"link_util_permille\"",
+            "\"p99\"",
+        ] {
+            assert!(json.contains(key), "report JSON must carry {key}");
+        }
+        std::fs::remove_file(jsonl_path).ok();
+        std::fs::remove_file(out_path).ok();
+        std::fs::remove_file(format!("{prefix}.trace.json")).ok();
+    }
+
+    #[test]
+    fn report_validates_inputs() {
+        assert!(run(&["report"]).is_err());
+        assert!(run(&["report", "/nonexistent/trace.jsonl"])
+            .unwrap_err()
+            .contains("cannot read"));
     }
 
     #[test]

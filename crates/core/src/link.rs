@@ -467,6 +467,9 @@ impl CableLink {
     ///
     /// Panics if `cfg.validate()` fails.
     pub fn enable_fault_injection(&mut self, cfg: FaultConfig) {
+        if self.fault.is_none() {
+            self.tel.handle.record(Event::Phase { name: "fault_on" });
+        }
         self.fault = Some(Box::new(FaultState::new(cfg)));
     }
 
@@ -476,6 +479,7 @@ impl CableLink {
     pub fn disable_fault_injection(&mut self) {
         if self.fault.is_some() {
             self.audit_and_resync();
+            self.tel.handle.record(Event::Phase { name: "fault_off" });
         }
         self.fault = None;
     }
@@ -493,7 +497,18 @@ impl CableLink {
     }
 
     /// Enables/disables compression (the §VI-D on/off control knob).
+    /// Actual transitions mark a trace phase boundary, so `cable report`
+    /// splits its per-phase stats at each controller decision.
     pub fn set_compression_enabled(&mut self, enabled: bool) {
+        if enabled != self.compression_enabled {
+            self.tel.handle.record(Event::Phase {
+                name: if enabled {
+                    "compression_on"
+                } else {
+                    "compression_off"
+                },
+            });
+        }
         self.compression_enabled = enabled;
     }
 

@@ -13,6 +13,7 @@
 //! system would oscillate — precisely what the demand metric avoids.
 
 use crate::thread::CompressedLink;
+use cable_telemetry::{Counter, Gauge, Telemetry};
 
 /// Sampling period (1 ms in picoseconds).
 pub const SAMPLE_PERIOD_PS: u64 = 1_000_000_000;
@@ -28,6 +29,16 @@ pub struct OnOffController {
     window_start_demand_bits: u64,
     enabled: bool,
     toggles: u64,
+    /// Window baselines for the observability deltas (wire traffic and
+    /// NACK count at the previous sample boundary).
+    window_start_wire_bits: u64,
+    window_start_nacks: u64,
+    tel_usage: Gauge,
+    tel_ratio: Gauge,
+    tel_nacks: Gauge,
+    tel_enabled: Gauge,
+    tel_windows: Counter,
+    tel_toggles: Counter,
 }
 
 impl OnOffController {
@@ -71,7 +82,38 @@ impl OnOffController {
             window_start_demand_bits: 0,
             enabled: true,
             toggles: 0,
+            window_start_wire_bits: 0,
+            window_start_nacks: 0,
+            tel_usage: Gauge::default(),
+            tel_ratio: Gauge::default(),
+            tel_nacks: Gauge::default(),
+            tel_enabled: Gauge::default(),
+            tel_windows: Counter::default(),
+            tel_toggles: Counter::default(),
         }
+    }
+
+    /// Wires the controller's per-window observables through `tel`'s
+    /// metrics registry. Pure observation: the decision logic and its
+    /// outcomes are bit-identical with telemetry on or off.
+    ///
+    /// Published at each sample boundary:
+    /// - `adaptive.usage_permille` (gauge) — effective bandwidth usage,
+    ///   the quantity the hysteresis thresholds compare against;
+    /// - `adaptive.window_ratio_permille` (gauge) — the window's
+    ///   compression ratio (uncompressed-equivalent bits over wire
+    ///   bits), 1000 = no compression benefit;
+    /// - `adaptive.window_nacks` (gauge) — NACKs observed this window;
+    /// - `adaptive.compression_enabled` (gauge) — the decision, 0/1;
+    /// - `adaptive.windows` / `adaptive.toggles` (counters).
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel_usage = tel.gauge("adaptive.usage_permille");
+        self.tel_ratio = tel.gauge("adaptive.window_ratio_permille");
+        self.tel_nacks = tel.gauge("adaptive.window_nacks");
+        self.tel_enabled = tel.gauge("adaptive.compression_enabled");
+        self.tel_windows = tel.counter("adaptive.windows");
+        self.tel_toggles = tel.counter("adaptive.toggles");
+        self.tel_enabled.set(u64::from(self.enabled));
     }
 
     /// Whether compression is currently enabled.
@@ -93,11 +135,11 @@ impl OnOffController {
             return;
         }
         let elapsed_s = (now_ps - self.window_start_ps) as f64 * 1e-12;
-        let demand_bits = link
+        let demand_delta = link
             .stats()
             .uncompressed_bits
-            .saturating_sub(self.window_start_demand_bits) as f64;
-        let usage = demand_bits / (self.capacity_bits_per_sec * elapsed_s);
+            .saturating_sub(self.window_start_demand_bits);
+        let usage = demand_delta as f64 / (self.capacity_bits_per_sec * elapsed_s);
         let next = if usage < self.off_below {
             false
         } else if usage > self.on_above {
@@ -109,9 +151,28 @@ impl OnOffController {
             self.enabled = next;
             self.toggles += 1;
             link.set_compression_enabled(next);
+            self.tel_toggles.inc();
         }
+        // Observability: publish the window's view before resetting the
+        // baselines. One saturating_sub + stores per millisecond-scale
+        // window; the decision above never reads these.
+        let wire_delta = link
+            .stats()
+            .wire_bits
+            .saturating_sub(self.window_start_wire_bits);
+        let nacks_now = link.fault_stats().map_or(0, |fs| fs.nacks);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        self.tel_usage.set((usage.max(0.0) * 1000.0) as u64);
+        self.tel_ratio
+            .set((demand_delta * 1000).checked_div(wire_delta).unwrap_or(0));
+        self.tel_nacks
+            .set(nacks_now.saturating_sub(self.window_start_nacks));
+        self.tel_enabled.set(u64::from(self.enabled));
+        self.tel_windows.inc();
         self.window_start_ps = now_ps;
         self.window_start_demand_bits = link.stats().uncompressed_bits;
+        self.window_start_wire_bits = link.stats().wire_bits;
+        self.window_start_nacks = nacks_now;
     }
 }
 
@@ -200,6 +261,52 @@ mod tests {
         ctl.observe(now, thread.link_mut());
         assert!(ctl.enabled(), "in-band demand keeps the current state");
         assert_eq!(ctl.toggles(), 0);
+    }
+
+    #[test]
+    fn telemetry_observation_is_pure() {
+        // Two identical runs, one observed through the registry: the
+        // controller's decisions must match bit for bit, and the
+        // observed run must publish its window metrics.
+        let run = |tel: Option<&Telemetry>| {
+            let cfg = SystemConfig::paper_defaults();
+            let mut thread = ThreadSim::new(
+                by_name("povray").unwrap(),
+                0,
+                Scheme::Cable(EngineKind::Lbe),
+                cfg,
+            );
+            let mut wire = SharedLink::from_config(&cfg);
+            let mut dram = DramModel::from_config(&cfg);
+            let mut ctl = OnOffController::with_thresholds(19.2e9, 1_000_000, 0.8, 0.9);
+            if let Some(tel) = tel {
+                ctl.set_telemetry(tel);
+            }
+            for _ in 0..10_000 {
+                thread.step(&mut wire, &mut dram);
+                let now = thread.now_ps();
+                ctl.observe(now, thread.link_mut());
+            }
+            (
+                ctl.enabled(),
+                ctl.toggles(),
+                thread.link().stats().wire_bits,
+            )
+        };
+        let tel = Telemetry::enabled();
+        let plain = run(None);
+        let observed = run(Some(&tel));
+        assert_eq!(plain, observed, "observation must not change outcomes");
+        let snap = tel.snapshot();
+        assert!(snap.counter("adaptive.windows").unwrap() > 0);
+        assert_eq!(
+            snap.gauge("adaptive.compression_enabled").unwrap(),
+            u64::from(observed.0)
+        );
+        assert_eq!(snap.counter("adaptive.toggles").unwrap(), observed.1);
+        assert!(snap.gauge("adaptive.window_ratio_permille").is_some());
+        assert!(snap.gauge("adaptive.window_nacks").is_some());
+        assert!(snap.gauge("adaptive.usage_permille").is_some());
     }
 
     #[test]

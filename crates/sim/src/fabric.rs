@@ -140,7 +140,14 @@ impl FabricSim {
         for l in &mut self.local_links {
             l.set_telemetry(tel.clone());
         }
-        for w in self.wires.iter_mut().chain(&mut self.local_wires) {
+        for (hop, w) in self.wires.iter_mut().enumerate() {
+            // PTP mesh wires carry a hop id (their triangular pair
+            // index), so their occupancy traces as per-hop mesh slices
+            // with queue depth rather than generic link-busy intervals.
+            w.set_hop(hop as u32);
+            w.set_telemetry(tel.clone());
+        }
+        for w in &mut self.local_wires {
             w.set_telemetry(tel.clone());
         }
         for d in &mut self.drams {
@@ -431,6 +438,32 @@ mod tests {
         let rc = cable.run(15_000);
         let speedup = rc.ips() / rb.ips();
         assert!(speedup > 1.3, "speedup {speedup}");
+    }
+
+    #[test]
+    fn traced_fabric_emits_per_hop_mesh_slices() {
+        let mut f = FabricSim::new(
+            by_name("mcf").unwrap(),
+            Scheme::Cable(EngineKind::Lbe),
+            4,
+            19.2e9,
+        );
+        let tel = Telemetry::enabled();
+        f.set_telemetry(tel.clone());
+        f.run(5_000);
+        let hops: std::collections::HashSet<u32> = tel
+            .events()
+            .iter()
+            .filter_map(|te| match te.event {
+                cable_telemetry::Event::MeshHop { hop, .. } => Some(hop),
+                _ => None,
+            })
+            .collect();
+        assert!(!hops.is_empty(), "PTP traffic must trace mesh-hop slices");
+        assert!(
+            hops.iter().all(|&h| h < 6),
+            "hop ids index the six PTP wires of a 4-chip mesh: {hops:?}"
+        );
     }
 
     #[test]

@@ -15,6 +15,12 @@ use cable_core::LinkStats;
 use cable_telemetry::Telemetry;
 use cable_trace::{WorkloadGen, WorkloadProfile};
 
+/// Simulated time charged per access by the NUMA study's coarse clock
+/// (1 ns — roughly one LLC-miss initiation interval). The study stays
+/// functional; the clock only spreads trace timestamps so `cable
+/// report` timelines and phase windows are meaningful.
+pub const NUMA_OP_PITCH_PS: u64 = 1_000;
+
 /// A NUMA compression study over one benchmark.
 pub struct NumaSim {
     gen: WorkloadGen,
@@ -23,6 +29,9 @@ pub struct NumaSim {
     links: Vec<CompressedLink>,
     local_accesses: u64,
     remote_accesses: u64,
+    /// Coarse operation clock: advances [`NUMA_OP_PITCH_PS`] per access.
+    now_ps: u64,
+    tel: Telemetry,
 }
 
 impl NumaSim {
@@ -51,16 +60,26 @@ impl NumaSim {
             links,
             local_accesses: 0,
             remote_accesses: 0,
+            now_ps: 0,
+            tel: Telemetry::disabled(),
         }
     }
 
-    /// Attaches a [`Telemetry`] handle to every coherence link. `NumaSim`
-    /// is functional (untimed), so events stamp at whatever the handle's
-    /// clock reads — zero unless the caller drives it.
+    /// Attaches a [`Telemetry`] handle to every coherence link and syncs
+    /// the handle's clock to this study's coarse operation clock, so
+    /// link events stamp at a monotone simulated time instead of zero.
     pub fn set_telemetry(&mut self, tel: Telemetry) {
+        tel.set_now_ps(self.now_ps);
         for link in &mut self.links {
             link.set_telemetry(tel.clone());
         }
+        self.tel = tel;
+    }
+
+    /// The coarse operation clock, in picoseconds.
+    #[must_use]
+    pub fn now_ps(&self) -> u64 {
+        self.now_ps
     }
 
     /// Which node homes `addr` (round-robin page allocation, Table IV).
@@ -79,6 +98,8 @@ impl NumaSim {
     pub fn run(&mut self, accesses: u64) {
         for _ in 0..accesses {
             let access = self.gen.next_access();
+            self.now_ps += NUMA_OP_PITCH_PS;
+            self.tel.set_now_ps(self.now_ps);
             let node = self.home_node(access.addr);
             if node == 0 {
                 self.local_accesses += 1;
@@ -183,6 +204,26 @@ mod tests {
         let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
         let max = ratios.iter().cloned().fold(0.0, f64::max);
         assert!(max / min < 1.6, "ratios vary too much: {ratios:?}");
+    }
+
+    #[test]
+    fn coarse_clock_stamps_trace_events_monotonically() {
+        use cable_telemetry::Telemetry;
+        let mut sim = NumaSim::new(by_name("gcc").unwrap(), Scheme::Cable(EngineKind::Lbe), 4);
+        let tel = Telemetry::enabled();
+        sim.set_telemetry(tel.clone());
+        sim.run(2_000);
+        assert_eq!(sim.now_ps(), 2_000 * NUMA_OP_PITCH_PS);
+        let events = tel.events();
+        assert!(!events.is_empty(), "remote traffic must trace events");
+        assert!(
+            events.iter().all(|te| te.now_ps > 0),
+            "no event may stamp at clock zero once the study is running"
+        );
+        assert!(
+            events.windows(2).all(|w| w[0].now_ps <= w[1].now_ps),
+            "stamps must be monotone in trace order"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::config::SystemConfig;
 use cable_common::Address;
 use cable_telemetry::{Event, Telemetry};
+use std::collections::VecDeque;
 
 /// A serialized, FCFS off-chip link with a configurable bandwidth share.
 ///
@@ -22,6 +23,13 @@ pub struct SharedLink {
     bits_sent: u64,
     busy_ps_total: u64,
     tel: Telemetry,
+    /// Mesh-hop id, when this link models one point-to-point mesh wire.
+    /// Set by `FabricSim`; hop links trace [`Event::MeshHop`] slices
+    /// (with queue depth) instead of [`Event::LinkBusy`].
+    hop: Option<u32>,
+    /// Completion times of in-flight transfers, maintained only while a
+    /// hop id is set AND telemetry is enabled (queue-depth observation).
+    pending: VecDeque<u64>,
 }
 
 impl SharedLink {
@@ -41,6 +49,8 @@ impl SharedLink {
             bits_sent: 0,
             busy_ps_total: 0,
             tel: Telemetry::disabled(),
+            hop: None,
+            pending: VecDeque::new(),
         }
     }
 
@@ -49,6 +59,14 @@ impl SharedLink {
     /// Timing is unaffected (disabled handles cost one branch).
     pub fn set_telemetry(&mut self, tel: Telemetry) {
         self.tel = tel;
+    }
+
+    /// Marks this link as mesh hop `hop`. Occupancy intervals are then
+    /// traced as [`Event::MeshHop`] carrying the instantaneous queue
+    /// depth, so per-hop contention is visible in `cable report`'s mesh
+    /// lane. Timing is unchanged.
+    pub fn set_hop(&mut self, hop: u32) {
+        self.hop = Some(hop);
     }
 
     /// Full-channel link from the Table IV configuration.
@@ -66,13 +84,33 @@ impl SharedLink {
         self.bits_sent += wire_bits;
         self.busy_ps_total += duration;
         if wire_bits > 0 {
-            self.tel.record_at(
-                start,
-                Event::LinkBusy {
-                    start_ps: start,
-                    dur_ps: duration,
-                },
-            );
+            match self.hop {
+                Some(hop) if self.tel.is_enabled() => {
+                    // Queue depth observed at arrival: transfers still in
+                    // flight when this one was issued.
+                    while self.pending.front().is_some_and(|&done| done <= now_ps) {
+                        self.pending.pop_front();
+                    }
+                    self.tel.record_at(
+                        start,
+                        Event::MeshHop {
+                            hop,
+                            depth: self.pending.len() as u32,
+                            start_ps: start,
+                            dur_ps: duration,
+                        },
+                    );
+                    self.pending.push_back(self.busy_until_ps);
+                }
+                Some(_) => {}
+                None => self.tel.record_at(
+                    start,
+                    Event::LinkBusy {
+                        start_ps: start,
+                        dur_ps: duration,
+                    },
+                ),
+            }
         }
         self.busy_until_ps + self.setup_ps
     }
@@ -204,6 +242,39 @@ mod tests {
         link.transfer(0, 19_200); // 1e12 * 19200/(19.2e9*8) = 125000 ps
         assert!((link.utilization(250_000) - 0.5).abs() < 0.01);
         assert_eq!(link.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn hop_links_trace_mesh_slices_with_queue_depth() {
+        let mut link = SharedLink::new(19.2e9, 0);
+        let tel = Telemetry::enabled();
+        link.set_telemetry(tel.clone());
+        link.set_hop(7);
+        let plain_done = {
+            let mut plain = SharedLink::new(19.2e9, 0);
+            plain.transfer(0, 528);
+            plain.transfer(0, 528);
+            plain.transfer(10_000, 528)
+        };
+        link.transfer(0, 528);
+        link.transfer(0, 528); // queues behind the first: depth 1
+        let done = link.transfer(10_000, 528); // both expired by now: depth 0
+        assert_eq!(done, plain_done, "hop tagging must not change timing");
+        let depths: Vec<(u32, u32)> = tel
+            .events()
+            .iter()
+            .filter_map(|te| match te.event {
+                Event::MeshHop { hop, depth, .. } => Some((hop, depth)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(depths, vec![(7, 0), (7, 1), (7, 0)]);
+        assert!(
+            !tel.events()
+                .iter()
+                .any(|te| matches!(te.event, Event::LinkBusy { .. })),
+            "hop links must not double-trace as link_busy"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::resources::{DramModel, SharedLink};
 use crate::thread::{Scheme, ThreadSim};
 use cable_core::LinkStats;
 use cable_energy::ActivityCounts;
-use cable_telemetry::Telemetry;
+use cable_telemetry::{Event, Telemetry};
 use cable_trace::WorkloadProfile;
 
 /// Result of one single-threaded run.
@@ -97,6 +97,9 @@ pub fn run_single_telemetry(
     dram.set_telemetry(tel.clone());
     let t0 = thread.now_ps();
     let i0 = thread.retired();
+    // Phase boundary: everything traced from here is the measured
+    // region, so `cable report` groups it under "measure".
+    tel.record_at(t0, Event::Phase { name: "measure" });
     thread.link_mut().reset_stats();
     while thread.retired() < warmup + instructions {
         thread.step(&mut wire, &mut dram);

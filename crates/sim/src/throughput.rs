@@ -226,6 +226,8 @@ pub fn run_group_telemetry(
     }
     wire.set_telemetry(tel.clone());
     dram.set_telemetry(tel.clone());
+    let t0 = group.iter().map(ThreadSim::now_ps).min().unwrap_or(0);
+    tel.record_at(t0, Event::Phase { name: "measure" });
     run_group_core(&mut group, &mut wire, &mut dram, instructions_per_thread);
     summarize(threads, &group)
 }

@@ -92,6 +92,23 @@ pub enum Event {
         /// Interval duration, picoseconds.
         dur_ps: u64,
     },
+    /// A transfer occupied one mesh-hop PTP wire (per-hop contention).
+    MeshHop {
+        /// Hop (unordered chip-pair wire) index within the fabric.
+        hop: u32,
+        /// Transfers still queued ahead when this one arrived.
+        depth: u32,
+        /// Interval start, picoseconds.
+        start_ps: u64,
+        /// Interval duration, picoseconds.
+        dur_ps: u64,
+    },
+    /// A named phase boundary (`cable report` groups its timelines
+    /// between consecutive phase events).
+    Phase {
+        /// Phase name, e.g. `"measure"` or `"compression_off"`.
+        name: &'static str,
+    },
     /// A free-form named marker.
     Marker {
         /// Marker name.
@@ -100,6 +117,11 @@ pub enum Event {
         value: u64,
     },
 }
+
+/// Exporter tracks (Chrome-trace thread names), one per [`Event::track`]
+/// value. Ring capacities in [`crate::TracerConfig`] are indexed by
+/// position in this table.
+pub const TRACKS: [&str; 7] = ["encode", "fault", "sched", "link", "dram", "mesh", "marker"];
 
 impl Event {
     /// Stable name used by the exporters.
@@ -121,6 +143,8 @@ impl Event {
             Event::SchedWake { .. } => "sched_wake",
             Event::LinkBusy { .. } => "link_busy",
             Event::DramBusy { .. } => "dram_busy",
+            Event::MeshHop { .. } => "mesh_hop",
+            Event::Phase { .. } => "phase",
             Event::Marker { .. } => "marker",
         }
     }
@@ -142,8 +166,19 @@ impl Event {
             Event::SchedWake { .. } => "sched",
             Event::LinkBusy { .. } => "link",
             Event::DramBusy { .. } => "dram",
-            Event::Marker { .. } => "marker",
+            Event::MeshHop { .. } => "mesh",
+            Event::Phase { .. } | Event::Marker { .. } => "marker",
         }
+    }
+
+    /// The event's position in [`TRACKS`] (per-track ring selection).
+    #[must_use]
+    pub fn track_index(&self) -> usize {
+        let track = self.track();
+        TRACKS
+            .iter()
+            .position(|t| *t == track)
+            .expect("every track name appears in TRACKS")
     }
 
     /// The event's arguments as a JSON object body (no surrounding
@@ -184,6 +219,15 @@ impl Event {
             Event::LinkBusy { start_ps, dur_ps } | Event::DramBusy { start_ps, dur_ps } => {
                 format!("\"start_ps\":{start_ps},\"dur_ps\":{dur_ps}")
             }
+            Event::MeshHop {
+                hop,
+                depth,
+                start_ps,
+                dur_ps,
+            } => format!(
+                "\"hop\":{hop},\"depth\":{depth},\"start_ps\":{start_ps},\"dur_ps\":{dur_ps}"
+            ),
+            Event::Phase { name } => format!("\"phase\":\"{name}\""),
             Event::Marker { name, value } => format!("\"name\":\"{name}\",\"value\":{value}"),
         }
     }
@@ -218,6 +262,44 @@ mod tests {
             "link"
         );
         assert_eq!(Event::SchedWake { actor: 3 }.name(), "sched_wake");
+        assert_eq!(
+            Event::MeshHop {
+                hop: 2,
+                depth: 1,
+                start_ps: 0,
+                dur_ps: 5
+            }
+            .track(),
+            "mesh"
+        );
+        assert_eq!(Event::Phase { name: "measure" }.track(), "marker");
+    }
+
+    #[test]
+    fn track_index_covers_every_variant() {
+        for (i, track) in TRACKS.iter().enumerate() {
+            assert_eq!(TRACKS.iter().position(|t| t == track), Some(i));
+        }
+        assert_eq!(Event::FallbackRaw.track_index(), 1);
+        assert_eq!(
+            Event::MeshHop {
+                hop: 0,
+                depth: 0,
+                start_ps: 0,
+                dur_ps: 0
+            }
+            .track_index(),
+            5
+        );
+        assert_eq!(Event::Phase { name: "p" }.track_index(), 6);
+    }
+
+    #[test]
+    fn phase_args_avoid_the_name_key() {
+        // The exporter's event lines already carry a "name" key (the event
+        // name), so phase labels ride under "phase" to stay unambiguous.
+        let body = Event::Phase { name: "measure" }.args_json();
+        assert_eq!(body, "\"phase\":\"measure\"");
     }
 
     #[test]

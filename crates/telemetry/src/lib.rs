@@ -54,14 +54,19 @@ pub mod event;
 pub mod export;
 pub mod json;
 pub mod registry;
+pub mod report;
+pub mod sink;
 pub mod tracer;
 
-pub use event::{Event, TraceEvent};
-pub use export::{chrome_trace, jsonl};
+pub use event::{Event, TraceEvent, TRACKS};
+pub use export::{chrome_trace, jsonl, ChromeTraceSink, JsonlSink};
 pub use registry::{Counter, Gauge, Histogram, MetricValue, Registry, Snapshot};
-pub use tracer::{Tracer, TracerConfig};
+pub use report::Report;
+pub use sink::{EventSink, SharedBuf};
+pub use tracer::{Tracer, TracerConfig, NUM_TRACKS};
 
 use std::fmt;
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -105,6 +110,22 @@ impl Telemetry {
             inner: Some(Arc::new(Inner {
                 registry: Registry::new(),
                 tracer: Tracer::new(cfg),
+                now_ps: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// An enabled handle in streaming mode: the tracer owns `sink` and
+    /// drains buffered events into it instead of dropping them (see
+    /// [`Tracer::with_sink`]). Call [`Self::finish_stream`] at the end
+    /// of the run to flush the tail, write the metrics snapshot, and
+    /// surface any I/O error.
+    #[must_use]
+    pub fn streaming(cfg: TracerConfig, sink: Box<dyn EventSink>) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                registry: Registry::new(),
+                tracer: Tracer::with_sink(cfg, sink),
                 now_ps: AtomicU64::new(0),
             })),
         }
@@ -216,6 +237,49 @@ impl Telemetry {
         match &self.inner {
             Some(inner) => inner.tracer.dropped(),
             None => 0,
+        }
+    }
+
+    /// Events drained to the streaming sink so far.
+    #[must_use]
+    pub fn drained_events(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.tracer.drained(),
+            None => 0,
+        }
+    }
+
+    /// Total events ever recorded (buffered + drained + dropped).
+    #[must_use]
+    pub fn recorded_events(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.tracer.recorded(),
+            None => 0,
+        }
+    }
+
+    /// Forces a drain of buffered events to the streaming sink; returns
+    /// how many were written (0 without a sink).
+    pub fn drain_events(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.tracer.drain(),
+            None => 0,
+        }
+    }
+
+    /// Ends a streaming export: drains the remaining events, hands the
+    /// sink the final metrics snapshot, and releases it. Returns
+    /// `(events_total, dropped)`. A no-op `Ok((0, 0))` on disabled or
+    /// non-streaming handles.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the first I/O error encountered by any drain or by the
+    /// sink's finish.
+    pub fn finish_stream(&self) -> io::Result<(u64, u64)> {
+        match &self.inner {
+            Some(inner) => inner.tracer.finish(&inner.registry.snapshot()),
+            None => Ok((0, 0)),
         }
     }
 

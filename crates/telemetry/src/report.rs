@@ -1,0 +1,1199 @@
+//! The `cable report` analysis layer.
+//!
+//! Consumes a JSONL trace (classic or streaming layout — the consumer is
+//! order-agnostic) or a live [`Telemetry`] handle, and aggregates it into
+//! the per-phase view the paper's evaluation reasons about: link /
+//! DRAM / mesh-hop utilization timelines, the encode-kind mix, NACK and
+//! retransmission rates, and histogram percentiles (p50/p90/p99).
+//! Renders as human-readable tables ([`Report::render_text`]) and as a
+//! machine-readable JSON artifact ([`Report::to_json`], integer-only so
+//! two runs byte-match).
+//!
+//! Phases come from [`Event::Phase`] boundary events: the timeline
+//! between consecutive phase events is one phase; events before the
+//! first boundary form a synthetic `(pre)` phase, and a trace with no
+//! boundaries gets a single `(all)` phase.
+
+use crate::event::Event;
+use crate::json;
+use crate::registry::MetricValue;
+use crate::Telemetry;
+use std::fmt::Write as _;
+
+/// Buckets per phase-utilization timeline.
+pub const TIMELINE_BUCKETS: usize = 20;
+
+/// Encode-outcome mix of one phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EncodeMix {
+    /// RAW transfers.
+    pub raw: u64,
+    /// UNSEEDED transfers.
+    pub unseeded: u64,
+    /// DIFF transfers.
+    pub diff: u64,
+    /// Remote hits (no wire traffic).
+    pub remote_hit: u64,
+}
+
+impl EncodeMix {
+    /// Transfers that crossed the wire (everything but remote hits).
+    #[must_use]
+    pub fn encodes(&self) -> u64 {
+        self.raw + self.unseeded + self.diff
+    }
+}
+
+/// One occupancy lane (link, DRAM, or mesh) of one phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Lane {
+    /// Busy picoseconds clipped to the phase span.
+    pub busy_ps: u64,
+    /// Per-bucket occupancy in permille of the bucket span
+    /// ([`TIMELINE_BUCKETS`] entries; empty for a zero-width phase).
+    /// Values above 1000 mean parallel occupancy (overlapping DRAM
+    /// banks, multiple mesh hops).
+    pub util_permille: Vec<u64>,
+}
+
+/// Aggregates of one phase of the trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseReport {
+    /// Phase name (from the boundary event, or `(pre)` / `(all)`).
+    pub name: String,
+    /// Phase start, picoseconds.
+    pub start_ps: u64,
+    /// Phase end, picoseconds.
+    pub end_ps: u64,
+    /// Encode-outcome mix.
+    pub encodes: EncodeMix,
+    /// Receiver NACKs.
+    pub nacks: u64,
+    /// Retransmissions.
+    pub retransmits: u64,
+    /// Raw fallbacks.
+    pub fallback_raw: u64,
+    /// Reliable-path escalations.
+    pub escalations: u64,
+    /// Shared off-chip link occupancy.
+    pub link: Lane,
+    /// DRAM bank + bus occupancy.
+    pub dram: Lane,
+    /// Mesh-hop PTP wire occupancy.
+    pub mesh: Lane,
+}
+
+impl PhaseReport {
+    /// NACKs per thousand wire-crossing encodes, rounded to nearest
+    /// (integer so the JSON artifact stays byte-deterministic).
+    #[must_use]
+    pub fn nacks_per_1k_encodes(&self) -> u64 {
+        let encodes = self.encodes.encodes();
+        (self.nacks * 1000 + encodes / 2)
+            .checked_div(encodes)
+            .unwrap_or(0)
+    }
+}
+
+/// Percentile summary of one histogram metric.
+///
+/// Percentiles resolve to the upper edge of the bucket containing the
+/// target rank; samples in the overflow bucket saturate to the last
+/// edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramReport {
+    /// Metric id.
+    pub id: String,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// 50th percentile (bucket upper edge).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// The aggregated analysis of one trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    /// Earliest timestamp seen (event stamps and busy-interval starts).
+    pub span_start_ps: u64,
+    /// Latest timestamp seen (event stamps and busy-interval ends).
+    pub span_end_ps: u64,
+    /// Event lines analyzed (for a live handle: buffered events).
+    pub events: u64,
+    /// Events dropped by the tracer before export.
+    pub dropped_events: u64,
+    /// Per-phase aggregates, in trace order.
+    pub phases: Vec<PhaseReport>,
+    /// Percentile summaries, one per histogram metric, id-sorted.
+    pub histograms: Vec<HistogramReport>,
+    /// Counter metrics, id-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge metrics, id-sorted.
+    pub gauges: Vec<(String, u64)>,
+}
+
+/// A normalized event the aggregator consumes (shared between the live
+/// and parsed paths).
+#[derive(Clone, Debug)]
+enum Sample {
+    Encode(EncodeKind),
+    Nack,
+    Retransmit,
+    FallbackRaw,
+    Escalation,
+    Busy {
+        lane: LaneKind,
+        start_ps: u64,
+        dur_ps: u64,
+    },
+    PhaseMark(String),
+    Other,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum EncodeKind {
+    Raw,
+    Unseeded,
+    Diff,
+    RemoteHit,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum LaneKind {
+    Link,
+    Dram,
+    Mesh,
+}
+
+#[derive(Clone, Debug)]
+struct Stamped {
+    now_ps: u64,
+    sample: Sample,
+}
+
+#[derive(Clone, Debug)]
+struct HistData {
+    id: String,
+    edges: Vec<u64>,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Report {
+    /// Builds a report from a live handle's buffered events and metrics
+    /// snapshot. (Events already drained to a streaming sink are not
+    /// buffered — analyze the written trace with [`Report::from_jsonl`]
+    /// for full coverage.)
+    #[must_use]
+    pub fn from_telemetry(tel: &Telemetry) -> Self {
+        let mut samples = Vec::new();
+        for te in tel.events() {
+            let sample = match te.event {
+                Event::Encode { kind, .. } => Sample::Encode(match kind {
+                    "raw" => EncodeKind::Raw,
+                    "unseeded" => EncodeKind::Unseeded,
+                    "diff" => EncodeKind::Diff,
+                    _ => EncodeKind::RemoteHit,
+                }),
+                Event::Nack { .. } => Sample::Nack,
+                Event::Retransmit { .. } => Sample::Retransmit,
+                Event::FallbackRaw => Sample::FallbackRaw,
+                Event::Escalation => Sample::Escalation,
+                Event::LinkBusy { start_ps, dur_ps } => Sample::Busy {
+                    lane: LaneKind::Link,
+                    start_ps,
+                    dur_ps,
+                },
+                Event::DramBusy { start_ps, dur_ps } => Sample::Busy {
+                    lane: LaneKind::Dram,
+                    start_ps,
+                    dur_ps,
+                },
+                Event::MeshHop {
+                    start_ps, dur_ps, ..
+                } => Sample::Busy {
+                    lane: LaneKind::Mesh,
+                    start_ps,
+                    dur_ps,
+                },
+                Event::Phase { name } => Sample::PhaseMark(name.to_string()),
+                _ => Sample::Other,
+            };
+            samples.push(Stamped {
+                now_ps: te.now_ps,
+                sample,
+            });
+        }
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut hists = Vec::new();
+        for metric in tel.snapshot().metrics {
+            match metric {
+                MetricValue::Counter { id, value } => counters.push((id.to_string(), value)),
+                MetricValue::Gauge { id, value } => gauges.push((id.to_string(), value)),
+                MetricValue::Histogram {
+                    id,
+                    edges,
+                    buckets,
+                    count,
+                    sum,
+                } => hists.push(HistData {
+                    id: id.to_string(),
+                    edges,
+                    buckets,
+                    count,
+                    sum,
+                }),
+            }
+        }
+        aggregate(samples, counters, gauges, hists, tel.dropped_events())
+    }
+
+    /// Parses and aggregates a JSONL trace (classic or streaming
+    /// layout).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed JSON or
+    /// on a line whose shape does not match the export schema.
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut samples = Vec::new();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut hists = Vec::new();
+        let mut dropped = 0u64;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let val = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let fail = |what: &str| format!("line {}: {what}", lineno + 1);
+            let ty = val
+                .get("type")
+                .and_then(Value::as_str)
+                .ok_or_else(|| fail("missing \"type\""))?;
+            match ty {
+                "meta" | "summary" => {
+                    if let Some(d) = val.get("dropped_events").and_then(Value::as_u64) {
+                        dropped = d;
+                    }
+                }
+                "counter" => counters.push((
+                    val.get("id")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| fail("counter without id"))?
+                        .to_string(),
+                    val.get("value").and_then(Value::as_u64).unwrap_or(0),
+                )),
+                "gauge" => gauges.push((
+                    val.get("id")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| fail("gauge without id"))?
+                        .to_string(),
+                    val.get("value").and_then(Value::as_u64).unwrap_or(0),
+                )),
+                "histogram" => {
+                    let id = val
+                        .get("id")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| fail("histogram without id"))?
+                        .to_string();
+                    let edges = val
+                        .get("edges")
+                        .and_then(Value::as_u64_array)
+                        .ok_or_else(|| fail("histogram without edges"))?;
+                    let buckets = val
+                        .get("buckets")
+                        .and_then(Value::as_u64_array)
+                        .ok_or_else(|| fail("histogram without buckets"))?;
+                    hists.push(HistData {
+                        id,
+                        edges,
+                        buckets,
+                        count: val.get("count").and_then(Value::as_u64).unwrap_or(0),
+                        sum: val.get("sum").and_then(Value::as_u64).unwrap_or(0),
+                    });
+                }
+                "event" => {
+                    let name = val
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| fail("event without name"))?;
+                    let now_ps = val
+                        .get("now_ps")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| fail("event without now_ps"))?;
+                    let busy = |lane: LaneKind| -> Sample {
+                        Sample::Busy {
+                            lane,
+                            start_ps: val
+                                .get("start_ps")
+                                .and_then(Value::as_u64)
+                                .unwrap_or(now_ps),
+                            dur_ps: val.get("dur_ps").and_then(Value::as_u64).unwrap_or(0),
+                        }
+                    };
+                    let sample = match name {
+                        "encode" => Sample::Encode(match val.get("kind").and_then(Value::as_str) {
+                            Some("raw") => EncodeKind::Raw,
+                            Some("unseeded") => EncodeKind::Unseeded,
+                            Some("diff") => EncodeKind::Diff,
+                            _ => EncodeKind::RemoteHit,
+                        }),
+                        "nack" => Sample::Nack,
+                        "retransmit" => Sample::Retransmit,
+                        "fallback_raw" => Sample::FallbackRaw,
+                        "escalation" => Sample::Escalation,
+                        "link_busy" => busy(LaneKind::Link),
+                        "dram_busy" => busy(LaneKind::Dram),
+                        "mesh_hop" => busy(LaneKind::Mesh),
+                        "phase" => Sample::PhaseMark(
+                            val.get("phase")
+                                .and_then(Value::as_str)
+                                .unwrap_or("")
+                                .to_string(),
+                        ),
+                        _ => Sample::Other,
+                    };
+                    samples.push(Stamped { now_ps, sample });
+                }
+                other => return Err(fail(&format!("unknown line type `{other}`"))),
+            }
+        }
+        Ok(aggregate(samples, counters, gauges, hists, dropped))
+    }
+
+    /// Renders the report as human-readable tables.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace span {} .. {} ps  ({} events, {} dropped)",
+            self.span_start_ps, self.span_end_ps, self.events, self.dropped_events
+        );
+        let _ = writeln!(
+            out,
+            "\n{:12} {:>12} {:>12} {:>8} {:>9} {:>7} {:>8} {:>8}",
+            "phase", "start_ps", "end_ps", "raw", "unseeded", "diff", "rem_hit", "nack/1k"
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "{:12} {:>12} {:>12} {:>8} {:>9} {:>7} {:>8} {:>8}",
+                p.name,
+                p.start_ps,
+                p.end_ps,
+                p.encodes.raw,
+                p.encodes.unseeded,
+                p.encodes.diff,
+                p.encodes.remote_hit,
+                p.nacks_per_1k_encodes()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n{:12} {:>6} {:>11} {:>8} {:>12} {:>12} {:>12}",
+            "phase", "nacks", "retransmits", "fallback", "link_busy", "dram_busy", "mesh_busy"
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "{:12} {:>6} {:>11} {:>8} {:>9} ps {:>9} ps {:>9} ps",
+                p.name,
+                p.nacks,
+                p.retransmits,
+                p.fallback_raw,
+                p.link.busy_ps,
+                p.dram.busy_ps,
+                p.mesh.busy_ps
+            );
+        }
+        for p in &self.phases {
+            for (label, lane) in [("link", &p.link), ("dram", &p.dram), ("mesh", &p.mesh)] {
+                if lane.busy_ps == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "\n{} / {} utilization (permille per 1/{} of the phase):",
+                    p.name, label, TIMELINE_BUCKETS
+                );
+                let _ = writeln!(out, "  {}", spark_line(&lane.util_permille));
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n{:28} {:>10} {:>10} {:>10} {:>10}",
+                "histogram", "count", "p50", "p90", "p99"
+            );
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{:28} {:>10} {:>10} {:>10} {:>10}",
+                    h.id, h.count, h.p50, h.p90, h.p99
+                );
+            }
+        }
+        out
+    }
+
+    /// Serializes the report as a single-line, integer-only JSON object
+    /// (the machine-readable artifact `cable report` writes).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"type\":\"cable_report\",\"version\":1");
+        let _ = write!(
+            out,
+            ",\"span_start_ps\":{},\"span_end_ps\":{},\"events\":{},\"dropped_events\":{}",
+            self.span_start_ps, self.span_end_ps, self.events, self.dropped_events
+        );
+        out.push_str(",\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"start_ps\":{},\"end_ps\":{}",
+                json::escape(&p.name),
+                p.start_ps,
+                p.end_ps
+            );
+            let _ = write!(
+                out,
+                ",\"encodes\":{{\"raw\":{},\"unseeded\":{},\"diff\":{},\"remote_hit\":{}}}",
+                p.encodes.raw, p.encodes.unseeded, p.encodes.diff, p.encodes.remote_hit
+            );
+            let _ = write!(
+                out,
+                ",\"nacks\":{},\"retransmits\":{},\"fallback_raw\":{},\"escalations\":{},\"nacks_per_1k_encodes\":{}",
+                p.nacks,
+                p.retransmits,
+                p.fallback_raw,
+                p.escalations,
+                p.nacks_per_1k_encodes()
+            );
+            for (label, lane) in [("link", &p.link), ("dram", &p.dram), ("mesh", &p.mesh)] {
+                let _ = write!(
+                    out,
+                    ",\"{label}_busy_ps\":{},\"{label}_util_permille\":{}",
+                    lane.busy_ps,
+                    int_array(&lane.util_permille)
+                );
+            }
+            out.push('}');
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":\"{}\",\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                json::escape(&h.id),
+                h.count,
+                h.sum,
+                h.p50,
+                h.p90,
+                h.p99
+            );
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (id, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{value}", json::escape(id));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (id, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{value}", json::escape(id));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Renders a permille timeline as a compact digit strip (`.` 0, `9`
+/// ≥900, `+` above 1000 — parallel occupancy).
+fn spark_line(permille: &[u64]) -> String {
+    permille
+        .iter()
+        .map(|&v| {
+            if v == 0 {
+                '.'
+            } else if v > 1000 {
+                '+'
+            } else {
+                char::from_digit((v / 100).min(9) as u32, 10).unwrap_or('?')
+            }
+        })
+        .collect()
+}
+
+fn int_array(values: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+fn aggregate(
+    samples: Vec<Stamped>,
+    mut counters: Vec<(String, u64)>,
+    mut gauges: Vec<(String, u64)>,
+    hists: Vec<HistData>,
+    dropped: u64,
+) -> Report {
+    // Span: event stamps plus busy-interval extents.
+    let mut span_start = u64::MAX;
+    let mut span_end = 0u64;
+    for s in &samples {
+        span_start = span_start.min(s.now_ps);
+        span_end = span_end.max(s.now_ps);
+        if let Sample::Busy {
+            start_ps, dur_ps, ..
+        } = s.sample
+        {
+            span_start = span_start.min(start_ps);
+            span_end = span_end.max(start_ps + dur_ps);
+        }
+    }
+    if span_start == u64::MAX {
+        span_start = 0;
+    }
+
+    // Phase boundaries, in trace order.
+    let mut bounds: Vec<(u64, String)> = samples
+        .iter()
+        .filter_map(|s| match &s.sample {
+            Sample::PhaseMark(name) => Some((s.now_ps, name.clone())),
+            _ => None,
+        })
+        .collect();
+    bounds.sort_by_key(|(ps, _)| *ps);
+    let mut phases: Vec<PhaseReport> = Vec::new();
+    if bounds.is_empty() {
+        phases.push(PhaseReport {
+            name: "(all)".to_string(),
+            start_ps: span_start,
+            end_ps: span_end,
+            ..PhaseReport::default()
+        });
+    } else {
+        if span_start < bounds[0].0 {
+            phases.push(PhaseReport {
+                name: "(pre)".to_string(),
+                start_ps: span_start,
+                end_ps: bounds[0].0,
+                ..PhaseReport::default()
+            });
+        }
+        for (i, (start, name)) in bounds.iter().enumerate() {
+            let end = bounds.get(i + 1).map_or(span_end, |(ps, _)| *ps);
+            phases.push(PhaseReport {
+                name: name.clone(),
+                start_ps: *start,
+                end_ps: end.max(*start),
+                ..PhaseReport::default()
+            });
+        }
+    }
+
+    // Attribute events to phases: instants by stamp, busy intervals by
+    // clipping against each phase span.
+    let last = phases.len() - 1;
+    for s in &samples {
+        if let Sample::Busy {
+            lane,
+            start_ps,
+            dur_ps,
+        } = s.sample
+        {
+            for p in &mut phases {
+                let lo = start_ps.max(p.start_ps);
+                let hi = (start_ps + dur_ps).min(p.end_ps);
+                if hi > lo {
+                    let lane_ref = match lane {
+                        LaneKind::Link => &mut p.link,
+                        LaneKind::Dram => &mut p.dram,
+                        LaneKind::Mesh => &mut p.mesh,
+                    };
+                    lane_ref.busy_ps += hi - lo;
+                }
+            }
+            continue;
+        }
+        // Stamps at or past the last phase's start (including the very
+        // end of the span) land in the last phase; earlier stamps in
+        // their half-open [start, end) window.
+        let idx = if s.now_ps >= phases[last].start_ps {
+            last
+        } else {
+            match phases
+                .iter()
+                .position(|p| s.now_ps >= p.start_ps && s.now_ps < p.end_ps)
+            {
+                Some(i) => i,
+                None => continue,
+            }
+        };
+        let p = &mut phases[idx];
+        match &s.sample {
+            Sample::Encode(kind) => match kind {
+                EncodeKind::Raw => p.encodes.raw += 1,
+                EncodeKind::Unseeded => p.encodes.unseeded += 1,
+                EncodeKind::Diff => p.encodes.diff += 1,
+                EncodeKind::RemoteHit => p.encodes.remote_hit += 1,
+            },
+            Sample::Nack => p.nacks += 1,
+            Sample::Retransmit => p.retransmits += 1,
+            Sample::FallbackRaw => p.fallback_raw += 1,
+            Sample::Escalation => p.escalations += 1,
+            _ => {}
+        }
+    }
+
+    // Utilization timelines: clip each busy interval against each
+    // phase's bucket grid.
+    for p in &mut phases {
+        let width = p.end_ps - p.start_ps;
+        if width == 0 {
+            continue;
+        }
+        for lane in [LaneKind::Link, LaneKind::Dram, LaneKind::Mesh] {
+            let mut buckets = [0u64; TIMELINE_BUCKETS];
+            for s in &samples {
+                let Sample::Busy {
+                    lane: l,
+                    start_ps,
+                    dur_ps,
+                } = s.sample
+                else {
+                    continue;
+                };
+                if !matches!(
+                    (l, lane),
+                    (LaneKind::Link, LaneKind::Link)
+                        | (LaneKind::Dram, LaneKind::Dram)
+                        | (LaneKind::Mesh, LaneKind::Mesh)
+                ) {
+                    continue;
+                }
+                for (b, bucket) in buckets.iter_mut().enumerate() {
+                    let b_lo = p.start_ps + width * b as u64 / TIMELINE_BUCKETS as u64;
+                    let b_hi = p.start_ps + width * (b as u64 + 1) / TIMELINE_BUCKETS as u64;
+                    let lo = start_ps.max(b_lo);
+                    let hi = (start_ps + dur_ps).min(b_hi);
+                    if hi > lo {
+                        *bucket += hi - lo;
+                    }
+                }
+            }
+            let lane_ref = match lane {
+                LaneKind::Link => &mut p.link,
+                LaneKind::Dram => &mut p.dram,
+                LaneKind::Mesh => &mut p.mesh,
+            };
+            lane_ref.util_permille = buckets
+                .iter()
+                .enumerate()
+                .map(|(b, &busy)| {
+                    let b_lo = p.start_ps + width * b as u64 / TIMELINE_BUCKETS as u64;
+                    let b_hi = p.start_ps + width * (b as u64 + 1) / TIMELINE_BUCKETS as u64;
+                    (busy * 1000).checked_div(b_hi - b_lo).unwrap_or(0)
+                })
+                .collect();
+        }
+    }
+
+    counters.sort();
+    gauges.sort();
+    let mut histograms: Vec<HistogramReport> = hists
+        .into_iter()
+        .map(|h| HistogramReport {
+            p50: percentile(&h, 50),
+            p90: percentile(&h, 90),
+            p99: percentile(&h, 99),
+            id: h.id,
+            count: h.count,
+            sum: h.sum,
+        })
+        .collect();
+    histograms.sort_by(|a, b| a.id.cmp(&b.id));
+
+    let events = samples.len() as u64;
+    Report {
+        span_start_ps: span_start,
+        span_end_ps: span_end,
+        events,
+        dropped_events: dropped,
+        phases,
+        histograms,
+        counters,
+        gauges,
+    }
+}
+
+/// The smallest bucket upper edge whose cumulative count reaches the
+/// `q`-th percentile rank. Overflow-bucket hits saturate to the last
+/// edge; an empty histogram reports 0.
+fn percentile(h: &HistData, q: u64) -> u64 {
+    if h.count == 0 || h.edges.is_empty() {
+        return 0;
+    }
+    let target = (h.count * q).div_ceil(100);
+    let mut cum = 0u64;
+    for (i, &b) in h.buckets.iter().enumerate() {
+        cum += b;
+        if cum >= target {
+            return h
+                .edges
+                .get(i)
+                .copied()
+                .unwrap_or(*h.edges.last().expect("non-empty"));
+        }
+    }
+    *h.edges.last().expect("non-empty")
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON value parser (the export schema is integer/string-heavy,
+// but the parser accepts full JSON so foreign tooling output parses
+// too). The workspace takes no external crates.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Int(u64),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// First value under `key` (exported event lines can legally repeat
+    /// a key — e.g. marker events carry their own `"name"` argument —
+    /// and the schema field always comes first).
+    fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Float(f) if *f >= 0.0 => Some(*f as u64),
+            _ => None,
+        }
+    }
+
+    fn as_u64_array(&self) -> Option<Vec<u64>> {
+        match self {
+            Value::Arr(items) => items.iter().map(Value::as_u64).collect(),
+            _ => None,
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, text: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8")?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number bytes")?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Int(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| format!("bad number at offset {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tel() -> Telemetry {
+        let tel = Telemetry::enabled();
+        tel.record(Event::Phase { name: "measure" });
+        tel.set_now_ps(1_000);
+        tel.record(Event::Encode {
+            kind: "diff",
+            direction: "fill",
+            payload_bits: 100,
+            wire_bits: 128,
+            refs: 1,
+        });
+        tel.record_at(
+            1_000,
+            Event::LinkBusy {
+                start_ps: 1_000,
+                dur_ps: 500,
+            },
+        );
+        tel.set_now_ps(2_000);
+        tel.record(Event::Encode {
+            kind: "raw",
+            direction: "fill",
+            payload_bits: 512,
+            wire_bits: 528,
+            refs: 0,
+        });
+        tel.set_now_ps(2_500);
+        tel.record(Event::Nack { class: "transient" });
+        tel.histogram("lat", &[10, 100]).record(5);
+        tel.histogram("lat", &[10, 100]).record(50);
+        tel.histogram("lat", &[10, 100]).record(500);
+        tel
+    }
+
+    #[test]
+    fn parser_handles_schema_lines() {
+        let v = parse_json(
+            "{\"type\":\"event\",\"name\":\"marker\",\"track\":\"marker\",\"now_ps\":5,\"seq\":0,\"name\":\"m\",\"value\":2}",
+        )
+        .unwrap();
+        // First-wins lookup: the schema's event name, not the marker arg.
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("marker"));
+        assert_eq!(v.get("now_ps").and_then(Value::as_u64), Some(5));
+        let v = parse_json("{\"a\":[1,2,3],\"b\":-1.5e2,\"c\":null,\"d\":true}").unwrap();
+        assert_eq!(
+            v.get("a").and_then(Value::as_u64_array),
+            Some(vec![1, 2, 3])
+        );
+        assert_eq!(v.get("b"), Some(&Value::Float(-150.0)));
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn live_and_parsed_reports_agree() {
+        let tel = sample_tel();
+        let live = Report::from_telemetry(&tel);
+        let parsed = Report::from_jsonl(&crate::export::jsonl(&tel)).expect("trace parses");
+        assert_eq!(live, parsed);
+    }
+
+    #[test]
+    fn report_aggregates_the_sample_trace() {
+        let r = Report::from_telemetry(&sample_tel());
+        assert_eq!((r.span_start_ps, r.span_end_ps), (0, 2_500));
+        assert_eq!(r.events, 5);
+        assert_eq!(r.phases.len(), 1);
+        let p = &r.phases[0];
+        assert_eq!(p.name, "measure");
+        assert_eq!((p.encodes.raw, p.encodes.diff), (1, 1));
+        assert_eq!(p.nacks, 1);
+        assert_eq!(p.nacks_per_1k_encodes(), 500);
+        assert_eq!(p.link.busy_ps, 500);
+        // [1000, 1500) fully covers buckets 8..12 of the 20-bucket grid.
+        let expect: Vec<u64> = (0..TIMELINE_BUCKETS as u64)
+            .map(|b| u64::from((8..12).contains(&b)) * 1000)
+            .collect();
+        assert_eq!(p.link.util_permille, expect);
+        assert_eq!(p.dram.busy_ps, 0);
+        let h = &r.histograms[0];
+        assert_eq!((h.count, h.sum), (3, 555));
+        assert_eq!((h.p50, h.p90, h.p99), (100, 100, 100));
+    }
+
+    #[test]
+    fn report_json_is_valid_and_deterministic() {
+        let r = Report::from_telemetry(&sample_tel());
+        let a = r.to_json();
+        json::validate_json(&a).expect("report JSON parses");
+        assert!(a.starts_with("{\"type\":\"cable_report\",\"version\":1"));
+        assert!(a.contains("\"nacks_per_1k_encodes\":500"));
+        assert!(a.contains("\"p99\":100"));
+        let b = Report::from_telemetry(&sample_tel()).to_json();
+        assert_eq!(a, b, "same trace must serialize identically");
+    }
+
+    #[test]
+    fn percentiles_walk_the_cdf() {
+        let h = HistData {
+            id: "h".into(),
+            edges: vec![10, 20, 40],
+            buckets: vec![50, 30, 15, 5],
+            count: 100,
+            sum: 0,
+        };
+        assert_eq!(percentile(&h, 50), 10);
+        assert_eq!(percentile(&h, 90), 40);
+        assert_eq!(percentile(&h, 99), 40, "overflow saturates to last edge");
+        assert_eq!(percentile(&h, 80), 20);
+        let empty = HistData {
+            id: "e".into(),
+            edges: vec![1],
+            buckets: vec![0, 0],
+            count: 0,
+            sum: 0,
+        };
+        assert_eq!(percentile(&empty, 50), 0);
+    }
+
+    #[test]
+    fn traces_without_phase_markers_get_one_phase() {
+        let tel = Telemetry::enabled();
+        tel.set_now_ps(10);
+        tel.record(Event::FallbackRaw);
+        tel.set_now_ps(20);
+        tel.record(Event::Escalation);
+        let r = Report::from_telemetry(&tel);
+        assert_eq!(r.phases.len(), 1);
+        assert_eq!(r.phases[0].name, "(all)");
+        assert_eq!(r.phases[0].fallback_raw, 1);
+        assert_eq!(r.phases[0].escalations, 1);
+    }
+
+    #[test]
+    fn events_before_the_first_marker_form_a_pre_phase() {
+        let tel = Telemetry::enabled();
+        tel.set_now_ps(5);
+        tel.record(Event::Nack { class: "transient" });
+        tel.set_now_ps(100);
+        tel.record(Event::Phase { name: "measure" });
+        tel.set_now_ps(200);
+        tel.record(Event::Nack { class: "reference" });
+        let r = Report::from_telemetry(&tel);
+        assert_eq!(r.phases.len(), 2);
+        assert_eq!(r.phases[0].name, "(pre)");
+        assert_eq!(r.phases[0].nacks, 1);
+        assert_eq!(r.phases[1].name, "measure");
+        assert_eq!(r.phases[1].nacks, 1);
+    }
+
+    #[test]
+    fn render_text_mentions_every_phase_and_histogram() {
+        let r = Report::from_telemetry(&sample_tel());
+        let text = r.render_text();
+        assert!(text.contains("measure"));
+        assert!(text.contains("lat"));
+        assert!(text.contains("p99"));
+        assert!(text.contains("trace span 0 .. 2500 ps"));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_numbers() {
+        let err = Report::from_jsonl("{\"type\":\"meta\"}\nnot json").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = Report::from_jsonl("{\"no_type\":1}").unwrap_err();
+        assert!(err.contains("missing \"type\""), "{err}");
+    }
+}
