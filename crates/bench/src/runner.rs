@@ -1,7 +1,7 @@
 //! Study runners: trace replay through compressed links.
 
 use cable_compress::EngineKind;
-use cable_core::{BaselineKind, LinkStats};
+use cable_core::{BaselineKind, BatchAccess, LinkStats, Transfer};
 use cable_sim::{CompressedLink, Scheme};
 use cable_trace::{MixSpec, WorkloadGen, WorkloadProfile};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -82,9 +82,30 @@ pub fn default_schemes() -> Vec<Scheme> {
     ]
 }
 
+/// Accesses pushed through [`CompressedLink::request_batch`] per call in
+/// [`drive`]. Large enough to amortize per-call dispatch, small enough that
+/// the staging buffers stay cache-resident.
+const DRIVE_BATCH: usize = 64;
+
 pub(crate) fn drive(link: &mut CompressedLink, gen: &mut WorkloadGen, accesses: u64) {
-    for _ in 0..accesses {
-        drive_one(link, gen);
+    let mut batch: Vec<BatchAccess> = Vec::with_capacity(DRIVE_BATCH);
+    let mut xfers: Vec<Transfer> = Vec::with_capacity(DRIVE_BATCH);
+    let mut left = accesses;
+    while left > 0 {
+        let n = left.min(DRIVE_BATCH as u64);
+        batch.clear();
+        for _ in 0..n {
+            let access = gen.next_access();
+            let memory = gen.content(access.addr);
+            batch.push(if access.is_write {
+                BatchAccess::write(access.addr, memory, gen.store_data(access.addr))
+            } else {
+                BatchAccess::read(access.addr, memory)
+            });
+        }
+        xfers.clear();
+        link.request_batch(&batch, &mut xfers);
+        left -= n;
     }
 }
 

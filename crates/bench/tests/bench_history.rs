@@ -1,0 +1,106 @@
+//! Regression gate over the committed `results/bench_history/` snapshots.
+//!
+//! Each PR that changes encode throughput commits its `BENCH_encode.json`
+//! as `results/bench_history/prNNNN.json` (iocost-database style: the
+//! history lives in the tree, so CI needs no external state). These tests
+//! are pure file checks — no measurement runs — so they are deterministic
+//! and cheap enough to run unconditionally.
+
+use cable_bench::report::{load_json, LoadedFigure};
+use std::fs;
+use std::path::PathBuf;
+
+/// The scheme whose throughput the gate tracks — the paper's headline
+/// configuration and the target of every encode-path optimization.
+const GATED_SCHEME: &str = "CABLE+LBE";
+const RATE_COLUMN: &str = "accesses_per_sec";
+
+/// Largest tolerated drop vs the previous committed snapshot (CI runners
+/// jitter a few percent run-to-run; 15% means a real regression).
+const MAX_REGRESSION: f64 = 0.15;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+/// History entries as `(file name, parsed figure)`, sorted by file name —
+/// `prNNNN.json` names are zero-padded, so lexicographic order is PR order.
+fn history() -> Vec<(String, LoadedFigure)> {
+    let dir = repo_root().join("results/bench_history");
+    let mut names: Vec<String> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .map(|entry| entry.expect("readable dir entry").file_name())
+        .map(|n| n.to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("pr") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|name| {
+            let text = fs::read_to_string(dir.join(&name)).expect("snapshot readable");
+            let fig = load_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            (name, fig)
+        })
+        .collect()
+}
+
+fn gated_rate(name: &str, fig: &LoadedFigure) -> f64 {
+    let rate = fig
+        .value(GATED_SCHEME, RATE_COLUMN)
+        .unwrap_or_else(|| panic!("{name}: no {GATED_SCHEME}/{RATE_COLUMN} entry"));
+    assert!(rate.is_finite() && rate > 0.0, "{name}: bad rate {rate}");
+    rate
+}
+
+#[test]
+fn history_snapshots_are_well_formed() {
+    let entries = history();
+    assert!(!entries.is_empty(), "bench_history must hold >= 1 snapshot");
+    for (name, fig) in &entries {
+        assert_eq!(fig.id, "BENCH_encode", "{name}: wrong figure id");
+        assert!(
+            fig.columns.iter().any(|c| c == RATE_COLUMN),
+            "{name}: missing {RATE_COLUMN} column"
+        );
+        gated_rate(name, fig);
+    }
+}
+
+#[test]
+fn newest_snapshot_matches_committed_bench_result() {
+    // The root BENCH_encode.json is the result the README quotes; the
+    // newest history entry must be the same measurement, or the snapshot
+    // step was forgotten.
+    let entries = history();
+    let (name, newest) = entries.last().expect("non-empty history");
+    let root_text =
+        fs::read_to_string(repo_root().join("BENCH_encode.json")).expect("committed bench result");
+    let root = load_json(&root_text).expect("committed bench result parses");
+    let snap = gated_rate(name, newest);
+    let published = gated_rate("BENCH_encode.json", &root);
+    assert!(
+        (snap - published).abs() <= published * 1e-9,
+        "{name} ({snap}) != published BENCH_encode.json ({published}); \
+         re-copy the snapshot"
+    );
+}
+
+#[test]
+fn throughput_never_regresses_more_than_15_percent() {
+    let entries = history();
+    for pair in entries.windows(2) {
+        let (prev_name, prev) = &pair[0];
+        let (next_name, next) = &pair[1];
+        let before = gated_rate(prev_name, prev);
+        let after = gated_rate(next_name, next);
+        assert!(
+            after >= before * (1.0 - MAX_REGRESSION),
+            "{next_name}: {GATED_SCHEME} fell to {after:.0} accesses/sec from \
+             {before:.0} in {prev_name} (> {:.0}% regression)",
+            MAX_REGRESSION * 100.0
+        );
+    }
+}

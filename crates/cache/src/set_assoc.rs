@@ -116,6 +116,19 @@ impl SetAssocCache {
         index as usize * self.geometry.ways() as usize + way as usize
     }
 
+    /// Touches every slot of `addr`'s set so the set's (random, usually
+    /// cold) cache lines are fetched with overlapping misses before a
+    /// subsequent lookup/insert walk serializes on them. Pure cache
+    /// warming: LRU order, statistics, and contents are untouched.
+    pub fn warm(&self, addr: Address) {
+        let index = self.geometry.index_of(addr) as u32;
+        let mut touched = 0u64;
+        for way in 0..self.geometry.ways() as u8 {
+            touched ^= self.slots[self.slot_pos(index, way)].tag;
+        }
+        std::hint::black_box(touched);
+    }
+
     fn slot(&self, lid: LineId) -> &Slot {
         &self.slots[self.slot_pos(lid.index(), lid.way())]
     }

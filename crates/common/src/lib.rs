@@ -11,6 +11,10 @@
 //!   codecs, which must account for payloads that are not byte-aligned.
 //! - [`SplitMix64`]: a tiny deterministic RNG used where a full `rand`
 //!   dependency would be overkill (e.g. H3 matrix generation).
+//! - [`lanes`]: SWAR kernels (broadcast-compare, movemask) that the encode
+//!   hot path uses to process whole lines lane-parallel. Gated behind the
+//!   `vectorized` cargo feature (default on); with the feature off, every
+//!   caller falls back to its scalar oracle loop.
 //!
 //! # Examples
 //!
@@ -29,6 +33,7 @@
 pub mod addr;
 pub mod bits;
 pub mod crc;
+pub mod lanes;
 pub mod line;
 pub mod rng;
 

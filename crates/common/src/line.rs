@@ -102,6 +102,19 @@ impl LineData {
         out
     }
 
+    /// Returns the line as eight little-endian `u64` lane blocks: word `2k`
+    /// occupies the low 32-bit lane of block `k`, word `2k + 1` the high
+    /// lane. This is the layout the [`crate::lanes`] SWAR kernels operate on.
+    #[must_use]
+    pub fn as_lanes(&self) -> [u64; LINE_BYTES / 8] {
+        let mut out = [0u64; LINE_BYTES / 8];
+        for (k, block) in out.iter_mut().enumerate() {
+            let b = &self.0[k * 8..(k + 1) * 8];
+            *block = u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
+        }
+        out
+    }
+
     /// True if every byte of the line is zero.
     #[must_use]
     pub fn is_zero(&self) -> bool {
@@ -112,15 +125,29 @@ impl LineData {
     /// word of `other` (the "coverage" metric of §III-C, before combining).
     #[must_use]
     pub fn matching_words(&self, other: &LineData) -> u32 {
-        (0..WORDS_PER_LINE)
-            .filter(|&i| self.word(i) == other.word(i))
-            .count() as u32
+        self.coverage_vector(other).count_ones()
     }
 
     /// Computes the 16-bit coverage bit vector (CBV) of `candidate` against
     /// `self`: bit `i` is set when word `i` matches exactly (§III-C).
+    ///
+    /// With the `vectorized` feature (default), the comparison runs over
+    /// `u64` lane blocks via [`crate::lanes::line_eq_mask`]; the scalar
+    /// per-word loop stays available as [`LineData::coverage_vector_scalar`]
+    /// and the two are bit-identical by construction.
     #[must_use]
     pub fn coverage_vector(&self, candidate: &LineData) -> u16 {
+        if cfg!(feature = "vectorized") {
+            crate::lanes::line_eq_mask(&self.as_lanes(), &candidate.as_lanes())
+        } else {
+            self.coverage_vector_scalar(candidate)
+        }
+    }
+
+    /// Scalar oracle for [`LineData::coverage_vector`]: the per-word
+    /// comparison loop the lane kernel is verified against.
+    #[must_use]
+    pub fn coverage_vector_scalar(&self, candidate: &LineData) -> u16 {
         let mut cbv = 0u16;
         for i in 0..WORDS_PER_LINE {
             if self.word(i) == candidate.word(i) {
@@ -220,6 +247,32 @@ mod tests {
     fn coverage_vector_of_self_is_full() {
         let a = LineData::splat_word(0xdead_beef);
         assert_eq!(a.coverage_vector(&a), 0xffff);
+    }
+
+    #[test]
+    fn as_lanes_packs_words_little_endian() {
+        let mut line = LineData::zeroed();
+        line.set_word(0, 0x1111_2222);
+        line.set_word(1, 0x3333_4444);
+        let lanes = line.as_lanes();
+        assert_eq!(lanes[0], 0x3333_4444_1111_2222);
+        assert_eq!(lanes[1], 0);
+    }
+
+    #[test]
+    fn coverage_vector_matches_scalar_oracle() {
+        let mut rng = crate::SplitMix64::new(99);
+        for _ in 0..256 {
+            let mut a = [0u32; WORDS_PER_LINE];
+            let mut b = [0u32; WORDS_PER_LINE];
+            for i in 0..WORDS_PER_LINE {
+                // Bias toward collisions so matching words actually occur.
+                a[i] = rng.next_u32() & 0x8000_0003;
+                b[i] = rng.next_u32() & 0x8000_0003;
+            }
+            let (a, b) = (LineData::from_words(a), LineData::from_words(b));
+            assert_eq!(a.coverage_vector(&b), a.coverage_vector_scalar(&b));
+        }
     }
 
     #[test]

@@ -24,9 +24,21 @@
 //!
 //! Unmatched and partially matched words are pushed into the FIFO
 //! dictionary, on both the encoder and decoder, keeping them in lockstep.
+//!
+//! # Vectorized dictionary probe
+//!
+//! The per-word encoder cost is dominated by the dictionary scan, which
+//! classifies every entry against three patterns (`mmmm`, `mmmx`, `mmxx`).
+//! The vectorized path computes all three match masks for the whole
+//! dictionary in one pass ([`cable_common::lanes::cpack_match_masks`]) and
+//! picks the first match of each class with `trailing_zeros`. The original
+//! branchy scan stays in-tree as the scalar oracle
+//! ([`Cpack::compress_seeded_scalar`], [`Cpack::compress_scalar`]); both
+//! produce byte-identical payloads, and the scalar probe is the only one
+//! compiled when the `vectorized` feature is off.
 
 use crate::{Compressor, DecodeError, Decompressor, Encoded, SeededCompressor};
-use cable_common::{bits_for, BitReader, BitWriter, LineData, WORDS_PER_LINE, WORD_BYTES};
+use cable_common::{bits_for, lanes, BitReader, BitWriter, LineData, WORDS_PER_LINE, WORD_BYTES};
 use std::collections::{HashMap, VecDeque};
 
 const CODE_ZZZZ: u64 = 0b00;
@@ -61,7 +73,9 @@ const CODE_MMMX: u64 = 0b1110;
 pub struct Cpack {
     capacity_words: usize,
     persist: bool,
-    dict: VecDeque<u32>,
+    /// FIFO dictionary, kept contiguous (a `Vec`, not a ring) so the lane
+    /// probe can movemask over it directly.
+    dict: Vec<u32>,
 }
 
 impl Cpack {
@@ -71,7 +85,7 @@ impl Cpack {
         Cpack {
             capacity_words: WORDS_PER_LINE,
             persist: false,
-            dict: VecDeque::new(),
+            dict: Vec::new(),
         }
     }
 
@@ -90,7 +104,7 @@ impl Cpack {
         Cpack {
             capacity_words: dict_bytes / WORD_BYTES,
             persist: true,
-            dict: VecDeque::new(),
+            dict: Vec::new(),
         }
     }
 
@@ -102,7 +116,7 @@ impl Cpack {
         Cpack {
             capacity_words: 32,
             persist: false,
-            dict: VecDeque::new(),
+            dict: Vec::new(),
         }
     }
 
@@ -118,9 +132,9 @@ impl Cpack {
 
     fn push(&mut self, word: u32) {
         if self.dict.len() == self.capacity_words {
-            self.dict.pop_front();
+            self.dict.remove(0);
         }
-        self.dict.push_back(word);
+        self.dict.push(word);
     }
 
     fn seed_dict(&mut self, refs: &[LineData]) {
@@ -133,6 +147,13 @@ impl Cpack {
     }
 
     fn encode_line(&mut self, line: &LineData, out: &mut BitWriter) {
+        self.encode_line_impl(line, out, cfg!(feature = "vectorized"));
+    }
+
+    /// Encodes one line; `lane_probe` selects the vectorized dictionary
+    /// probe (used when the dictionary fits a 64-lane movemask) or the
+    /// scalar oracle scan. Both emit identical bits.
+    fn encode_line_impl(&mut self, line: &LineData, out: &mut BitWriter, lane_probe: bool) {
         let b = self.index_bits();
         for word in line.words() {
             if word == 0 {
@@ -144,40 +165,60 @@ impl Cpack {
                 out.write_bits(u64::from(word & 0xff), 8);
                 continue;
             }
-            let mut full = None;
-            let mut hi24 = None;
-            let mut hi16 = None;
-            for (i, &d) in self.dict.iter().enumerate() {
-                if d == word {
-                    full = Some(i);
-                    break;
-                }
-                if hi24.is_none() && d & 0xffff_ff00 == word & 0xffff_ff00 {
-                    hi24 = Some(i);
-                }
-                if hi16.is_none() && d & 0xffff_0000 == word & 0xffff_0000 {
-                    hi16 = Some(i);
-                }
-            }
-            if let Some(i) = full {
-                out.write_bits(CODE_MMMM, 2);
-                out.write_bits(i as u64, b);
-            } else if let Some(i) = hi24 {
-                out.write_bits(CODE_MMMX, 4);
-                out.write_bits(i as u64, b);
-                out.write_bits(u64::from(word & 0xff), 8);
-                self.push(word);
-            } else if let Some(i) = hi16 {
-                out.write_bits(CODE_MMXX, 4);
-                out.write_bits(i as u64, b);
-                out.write_bits(u64::from(word & 0xffff), 16);
-                self.push(word);
+            // The dictionary mutates word-by-word (partial matches and
+            // literals are pushed), so the probe is per word — but it now
+            // classifies the whole dictionary in one pass.
+            let probe = if lane_probe && self.dict.len() <= 64 {
+                probe_lanes(&self.dict, word)
             } else {
-                out.write_bits(CODE_XXXX, 2);
-                out.write_bits(u64::from(word), 32);
-                self.push(word);
+                probe_scalar(&self.dict, word)
+            };
+            match probe {
+                Probe::Full(i) => {
+                    out.write_bits(CODE_MMMM, 2);
+                    out.write_bits(i as u64, b);
+                }
+                Probe::Hi24(i) => {
+                    out.write_bits(CODE_MMMX, 4);
+                    out.write_bits(i as u64, b);
+                    out.write_bits(u64::from(word & 0xff), 8);
+                    self.push(word);
+                }
+                Probe::Hi16(i) => {
+                    out.write_bits(CODE_MMXX, 4);
+                    out.write_bits(i as u64, b);
+                    out.write_bits(u64::from(word & 0xffff), 16);
+                    self.push(word);
+                }
+                Probe::Miss => {
+                    out.write_bits(CODE_XXXX, 2);
+                    out.write_bits(u64::from(word), 32);
+                    self.push(word);
+                }
             }
         }
+    }
+
+    /// Scalar-oracle twin of [`Compressor::compress`]: same dictionary
+    /// update, same wire bytes, branchy per-entry probe.
+    pub fn compress_scalar(&mut self, line: &LineData) -> Encoded {
+        if !self.persist {
+            self.dict.clear();
+        }
+        let mut out = BitWriter::new();
+        self.encode_line_impl(line, &mut out, false);
+        Encoded::new(out)
+    }
+
+    /// Scalar-oracle twin of [`SeededCompressor::compress_seeded`]; the
+    /// equivalence suite checks it byte-for-byte against the lane probe.
+    #[must_use]
+    pub fn compress_seeded_scalar(&self, refs: &[LineData], line: &LineData) -> Encoded {
+        let mut scratch = self.clone();
+        scratch.seed_dict(refs);
+        let mut out = BitWriter::new();
+        scratch.encode_line_impl(line, &mut out, false);
+        Encoded::new(out)
     }
 
     fn decode_line(&mut self, r: &mut BitReader<'_>) -> Result<LineData, DecodeError> {
@@ -250,6 +291,56 @@ impl Cpack {
             line.set_word(i, word);
         }
         Ok(line)
+    }
+}
+
+/// Outcome of one dictionary probe: the first match of the best pattern
+/// class, in C-PACK's fixed priority order (full, high-24, high-16).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Probe {
+    Full(usize),
+    Hi24(usize),
+    Hi16(usize),
+    Miss,
+}
+
+/// Scalar oracle probe: the original early-exit linear scan.
+fn probe_scalar(dict: &[u32], word: u32) -> Probe {
+    let mut hi24 = None;
+    let mut hi16 = None;
+    for (i, &d) in dict.iter().enumerate() {
+        if d == word {
+            return Probe::Full(i);
+        }
+        if hi24.is_none() && d & 0xffff_ff00 == word & 0xffff_ff00 {
+            hi24 = Some(i);
+        }
+        if hi16.is_none() && d & 0xffff_0000 == word & 0xffff_0000 {
+            hi16 = Some(i);
+        }
+    }
+    match (hi24, hi16) {
+        (Some(i), _) => Probe::Hi24(i),
+        (None, Some(i)) => Probe::Hi16(i),
+        (None, None) => Probe::Miss,
+    }
+}
+
+/// Lane-parallel probe: one sweep computes the full/hi24/hi16 match masks
+/// for the whole dictionary, then each class's first index is a
+/// `trailing_zeros`. Equivalent to [`probe_scalar`]: when a full match
+/// exists both return its first index, and otherwise the scalar scan ran
+/// to completion, so its first-seen partial indices equal the mask ones.
+fn probe_lanes(dict: &[u32], word: u32) -> Probe {
+    let (full, hi24, hi16) = lanes::cpack_match_masks(dict, word);
+    if full != 0 {
+        Probe::Full(full.trailing_zeros() as usize)
+    } else if hi24 != 0 {
+        Probe::Hi24(hi24.trailing_zeros() as usize)
+    } else if hi16 != 0 {
+        Probe::Hi16(hi16.trailing_zeros() as usize)
+    } else {
+        Probe::Miss
     }
 }
 
@@ -635,6 +726,50 @@ mod tests {
             let mut enc = Cpack::per_line();
             let payload = enc.compress(&LineData::from_words(words));
             prop_assert!(payload.len_bits() <= 16 * 34);
+        }
+
+        /// Lane probe vs scalar probe: byte-identical seeded payloads. The
+        /// word pool shares high bytes so every pattern class fires.
+        #[test]
+        fn prop_seeded_matches_scalar_oracle(
+            target in proptest::array::uniform16(prop_oneof![
+                Just(0u32), Just(0x7fu32), Just(0x1234_5600u32), Just(0x1234_0042u32),
+                Just(0x1234_5678u32), any::<u32>(),
+            ]),
+            r0 in proptest::array::uniform16(prop_oneof![
+                Just(0x1234_5600u32), Just(0x1234_0000u32), any::<u32>(),
+            ]),
+            r1 in proptest::array::uniform16(any::<u32>()),
+        ) {
+            let engine = Cpack::seeded();
+            let refs = [LineData::from_words(r0), LineData::from_words(r1)];
+            let line = LineData::from_words(target);
+            let fast = engine.compress_seeded(&refs, &line);
+            let slow = engine.compress_seeded_scalar(&refs, &line);
+            prop_assert_eq!(fast.len_bits(), slow.len_bits());
+            prop_assert_eq!(fast.as_bytes(), slow.as_bytes());
+        }
+
+        /// Streaming equivalence: identical payloads and identical
+        /// dictionary evolution across a line sequence.
+        #[test]
+        fn prop_streaming_matches_scalar_oracle(
+            lines in proptest::collection::vec(
+                proptest::array::uniform16(prop_oneof![
+                    Just(0x1234_5600u32), Just(0x1234_0042u32), 0u32..16, any::<u32>(),
+                ]),
+                1..16,
+            )
+        ) {
+            let mut fast = Cpack::streaming(128);
+            let mut slow = Cpack::streaming(128);
+            for words in lines {
+                let line = LineData::from_words(words);
+                let a = fast.compress(&line);
+                let b = slow.compress_scalar(&line);
+                prop_assert_eq!(a.len_bits(), b.len_bits());
+                prop_assert_eq!(a.as_bytes(), b.as_bytes());
+            }
         }
     }
 }

@@ -26,16 +26,34 @@
 //! appended afterwards, keeping encoder and decoder in lockstep without
 //! intra-line offset shifts (intra-line redundancy is covered by the zero
 //! and repeat runs).
+//!
+//! # Vectorized encode path
+//!
+//! This is the hottest codec in the workspace (every CABLE fill runs it at
+//! least twice), so the encoder works on whole lines at once: zero and
+//! repeat runs come from 16-bit line masks (`trailing_ones` instead of
+//! per-word compare loops), and the window match search broadcasts the
+//! anchor word across the whole window with [`cable_common::lanes::eq_mask`]
+//! and walks only the set bits. Seeded calls build their window in a stack
+//! buffer — no engine clone, no allocation. The original per-word encoder
+//! is kept as the scalar oracle ([`Lbe::compress_seeded_scalar`],
+//! [`Lbe::compress_scalar`]); both paths are bit-identical on the wire, and
+//! with the `vectorized` cargo feature disabled the oracle is the only path
+//! compiled in.
 
 use crate::{Compressor, DecodeError, Decompressor, Encoded, SeededCompressor};
-use cable_common::{bits_for, BitReader, BitWriter, LineData, WORDS_PER_LINE, WORD_BYTES};
-use std::collections::VecDeque;
+use cable_common::{bits_for, lanes, BitReader, BitWriter, LineData, WORDS_PER_LINE, WORD_BYTES};
 
 const CODE_ZERO_RUN: u64 = 0b00;
 const CODE_COPY: u64 = 0b01;
 const CODE_LITERAL: u64 = 0b10;
 const CODE_REPEAT: u64 = 0b11;
 const RUN_BITS: u32 = 4;
+
+/// Largest window the lane kernels handle (the movemask is one `u64`); it
+/// also bounds the stack-allocated seeded window. Streaming windows beyond
+/// 64 words (LBE512 and up) take the scalar path.
+const LANE_WINDOW_WORDS: usize = 64;
 
 /// The LBE compressor/decompressor.
 ///
@@ -58,7 +76,7 @@ const RUN_BITS: u32 = 4;
 pub struct Lbe {
     capacity_words: usize,
     persist: bool,
-    window: VecDeque<u32>,
+    window: Vec<u32>,
 }
 
 impl Lbe {
@@ -77,7 +95,7 @@ impl Lbe {
         Lbe {
             capacity_words: window_bytes / WORD_BYTES,
             persist: true,
-            window: VecDeque::new(),
+            window: Vec::new(),
         }
     }
 
@@ -87,7 +105,7 @@ impl Lbe {
         Lbe {
             capacity_words: 3 * WORDS_PER_LINE,
             persist: false,
-            window: VecDeque::new(),
+            window: Vec::new(),
         }
     }
 
@@ -101,191 +119,339 @@ impl Lbe {
         bits_for(self.capacity_words as u64).max(1)
     }
 
+    /// Appends a line to the FIFO window, evicting the oldest words. One
+    /// `extend` + one `drain` instead of 16 pop/push pairs; the result is
+    /// the same "last `capacity_words` words" suffix.
     fn push_line(&mut self, line: &LineData) {
-        for w in line.words() {
-            if self.window.len() == self.capacity_words {
-                self.window.pop_front();
-            }
-            self.window.push_back(w);
+        self.window.extend(line.words());
+        let excess = self.window.len().saturating_sub(self.capacity_words);
+        if excess > 0 {
+            self.window.drain(..excess);
         }
     }
 
-    fn seed_window(&mut self, refs: &[LineData]) {
-        self.window.clear();
-        for r in refs {
-            self.push_line(r);
+    /// Builds the seeded window (the FIFO suffix of the concatenated
+    /// reference words) without cloning the engine: in `stack` when it
+    /// fits, spilling to `heap` for oversized configurations.
+    fn seeded_window<'a>(
+        &self,
+        refs: &[LineData],
+        stack: &'a mut [u32; LANE_WINDOW_WORDS],
+        heap: &'a mut Vec<u32>,
+    ) -> &'a [u32] {
+        let total = refs.len() * WORDS_PER_LINE;
+        let n = total.min(self.capacity_words);
+        let skip = total - n;
+        let kept = refs
+            .iter()
+            .flat_map(LineData::words)
+            .enumerate()
+            .filter(|&(g, _)| g >= skip)
+            .map(|(_, w)| w);
+        if n <= LANE_WINDOW_WORDS {
+            for (slot, w) in stack.iter_mut().zip(kept) {
+                *slot = w;
+            }
+            &stack[..n]
+        } else {
+            heap.reserve(n);
+            heap.extend(kept);
+            heap
         }
     }
 
-    /// Longest window match for `line[i..]`: returns `(offset, len)`.
-    fn best_copy(&self, words: &[u32; WORDS_PER_LINE], i: usize) -> Option<(usize, usize)> {
-        let max_len = WORDS_PER_LINE - i;
-        let mut best: Option<(usize, usize)> = None;
-        for j in 0..self.window.len() {
-            if self.window[j] != words[i] {
-                continue;
-            }
-            let mut len = 1;
-            while len < max_len
-                && j + len < self.window.len()
-                && self.window[j + len] == words[i + len]
-            {
-                len += 1;
-            }
-            if best.is_none_or(|(_, l)| len > l) {
-                best = Some((j, len));
-            }
-        }
-        best
-    }
-
-    fn encode_line(&mut self, line: &LineData, out: &mut BitWriter) {
-        let words = line.to_words();
-        let ob = self.offset_bits();
-        let mut i = 0;
-        while i < WORDS_PER_LINE {
-            // Zero run: cheapest coverage.
-            if words[i] == 0 {
-                let mut len = 1;
-                while i + len < WORDS_PER_LINE && words[i + len] == 0 && len < (1 << RUN_BITS) {
-                    len += 1;
-                }
-                out.write_bits(CODE_ZERO_RUN, 2);
-                out.write_bits(len as u64 - 1, RUN_BITS);
-                i += len;
-                continue;
-            }
-            // Self-repeat run at distance 1 or 2 (periodic word patterns).
-            let mut rep_len = 0;
-            let mut rep_dist = 1;
-            for dist in [1usize, 2] {
-                if i >= dist {
-                    let mut len = 0;
-                    while i + len < WORDS_PER_LINE
-                        && words[i + len] == words[i + len - dist]
-                        && len < (1 << RUN_BITS)
-                    {
-                        len += 1;
-                    }
-                    if len > rep_len {
-                        rep_len = len;
-                        rep_dist = dist;
-                    }
-                }
-            }
-            // Window copy.
-            let copy = self.best_copy(&words, i);
-            let copy_len = copy.map_or(0, |(_, l)| l);
-            if rep_len >= copy_len && rep_len > 0 {
-                out.write_bits(CODE_REPEAT, 2);
-                out.write_bit(rep_dist == 2);
-                out.write_bits(rep_len as u64 - 1, RUN_BITS);
-                i += rep_len;
-            } else if let Some((offset, len)) = copy {
-                out.write_bits(CODE_COPY, 2);
-                out.write_bits(offset as u64, ob);
-                out.write_bits(len as u64 - 1, RUN_BITS);
-                i += len;
-            } else {
-                out.write_bits(CODE_LITERAL, 2);
-                if words[i] <= 0xff {
-                    out.write_bit(false);
-                    out.write_bits(u64::from(words[i]), 8);
-                } else {
-                    out.write_bit(true);
-                    out.write_bits(u64::from(words[i]), 32);
-                }
-                i += 1;
-            }
-        }
+    /// Scalar-oracle twin of [`Compressor::compress`]: same window update,
+    /// same wire bytes, per-word reference encoder.
+    pub fn compress_scalar(&mut self, line: &LineData) -> Encoded {
+        let mut out = BitWriter::new();
+        encode_words_scalar(&self.window, self.offset_bits(), &line.to_words(), &mut out);
         if self.persist {
             self.push_line(line);
         }
+        Encoded::new(out)
     }
 
-    fn decode_line(&mut self, r: &mut BitReader<'_>) -> Result<LineData, DecodeError> {
-        let ob = self.offset_bits();
-        let mut words = [0u32; WORDS_PER_LINE];
-        let mut i = 0;
-        while i < WORDS_PER_LINE {
-            let code = r
-                .read_bits(2)
-                .ok_or_else(|| DecodeError::new("truncated code"))?;
-            match code {
-                CODE_ZERO_RUN => {
-                    let len = r
-                        .read_bits(RUN_BITS)
-                        .ok_or_else(|| DecodeError::new("truncated run length"))?
-                        as usize
-                        + 1;
-                    if i + len > WORDS_PER_LINE {
-                        return Err(DecodeError::new("zero run overflows line"));
-                    }
-                    i += len; // words are already zero
+    /// Scalar-oracle twin of [`SeededCompressor::compress_seeded`]. The
+    /// vectorized encoder must produce byte-identical output; the
+    /// equivalence suite enforces this on every payload.
+    #[must_use]
+    pub fn compress_seeded_scalar(&self, refs: &[LineData], line: &LineData) -> Encoded {
+        let mut stack = [0u32; LANE_WINDOW_WORDS];
+        let mut heap = Vec::new();
+        let win = self.seeded_window(refs, &mut stack, &mut heap);
+        let mut out = BitWriter::new();
+        encode_words_scalar(win, self.offset_bits(), &line.to_words(), &mut out);
+        Encoded::new(out)
+    }
+}
+
+/// Encodes one line against a frozen window, dispatching to the lane
+/// kernels when they are compiled in and the window fits a movemask.
+fn encode_words(win: &[u32], ob: u32, words: &[u32; WORDS_PER_LINE], out: &mut BitWriter) {
+    if cfg!(feature = "vectorized") && win.len() <= LANE_WINDOW_WORDS {
+        encode_words_lanes(win, ob, words, out);
+    } else {
+        encode_words_scalar(win, ob, words, out);
+    }
+}
+
+/// Whole-line masks for the intra-line codes: bit `i` of `z` marks a zero
+/// word, of `r1`/`r2` a word equal to its distance-1/-2 predecessor.
+fn zero_repeat_masks(words: &[u32; WORDS_PER_LINE]) -> (u32, u32, u32) {
+    let mut z = 0u32;
+    let mut r1 = 0u32;
+    let mut r2 = 0u32;
+    for (i, &w) in words.iter().enumerate() {
+        z |= u32::from(w == 0) << i;
+    }
+    for i in 1..WORDS_PER_LINE {
+        r1 |= u32::from(words[i] == words[i - 1]) << i;
+    }
+    for i in 2..WORDS_PER_LINE {
+        r2 |= u32::from(words[i] == words[i - 2]) << i;
+    }
+    (z, r1, r2)
+}
+
+/// Lane-parallel encoder: run lengths fall out of the precomputed masks as
+/// `trailing_ones`, and the copy search only visits window slots whose
+/// movemask bit is set. Bit-identical to [`encode_words_scalar`].
+fn encode_words_lanes(win: &[u32], ob: u32, words: &[u32; WORDS_PER_LINE], out: &mut BitWriter) {
+    let (z, r1, r2) = zero_repeat_masks(words);
+    let mut i = 0;
+    while i < WORDS_PER_LINE {
+        // Zero run: cheapest coverage. The scalar cap of 16 words is the
+        // line length, so `trailing_ones` needs no extra clamp.
+        if z >> i & 1 == 1 {
+            let len = (z >> i).trailing_ones() as usize;
+            out.write_bits(CODE_ZERO_RUN, 2);
+            out.write_bits(len as u64 - 1, RUN_BITS);
+            i += len;
+            continue;
+        }
+        // Self-repeat runs; distance 1 wins ties, as in the scalar loop.
+        let l1 = (r1 >> i).trailing_ones() as usize;
+        let l2 = (r2 >> i).trailing_ones() as usize;
+        let (rep_len, rep_dist) = if l2 > l1 { (l2, 2) } else { (l1, 1) };
+        let max_len = WORDS_PER_LINE - i;
+        // A copy can never beat a repeat that already reaches the end of
+        // the line (copy_len <= max_len and repeats win ties), so skip the
+        // window search entirely — the emitted code is unchanged.
+        let copy = if rep_len >= max_len {
+            None
+        } else {
+            best_copy_lanes(win, words, i)
+        };
+        let copy_len = copy.map_or(0, |(_, l)| l);
+        if rep_len >= copy_len && rep_len > 0 {
+            out.write_bits(CODE_REPEAT, 2);
+            out.write_bit(rep_dist == 2);
+            out.write_bits(rep_len as u64 - 1, RUN_BITS);
+            i += rep_len;
+        } else if let Some((offset, len)) = copy {
+            out.write_bits(CODE_COPY, 2);
+            out.write_bits(offset as u64, ob);
+            out.write_bits(len as u64 - 1, RUN_BITS);
+            i += len;
+        } else {
+            emit_literal(words[i], out);
+            i += 1;
+        }
+    }
+}
+
+/// Scalar oracle encoder: the original per-word loop, kept verbatim as the
+/// specification the lane kernels are tested against (and as the only path
+/// when the `vectorized` feature is off or the window exceeds 64 words).
+fn encode_words_scalar(win: &[u32], ob: u32, words: &[u32; WORDS_PER_LINE], out: &mut BitWriter) {
+    let mut i = 0;
+    while i < WORDS_PER_LINE {
+        // Zero run: cheapest coverage.
+        if words[i] == 0 {
+            let mut len = 1;
+            while i + len < WORDS_PER_LINE && words[i + len] == 0 && len < (1 << RUN_BITS) {
+                len += 1;
+            }
+            out.write_bits(CODE_ZERO_RUN, 2);
+            out.write_bits(len as u64 - 1, RUN_BITS);
+            i += len;
+            continue;
+        }
+        // Self-repeat run at distance 1 or 2 (periodic word patterns).
+        let mut rep_len = 0;
+        let mut rep_dist = 1;
+        for dist in [1usize, 2] {
+            if i >= dist {
+                let mut len = 0;
+                while i + len < WORDS_PER_LINE
+                    && words[i + len] == words[i + len - dist]
+                    && len < (1 << RUN_BITS)
+                {
+                    len += 1;
                 }
-                CODE_REPEAT => {
-                    let dist = if r
-                        .read_bit()
-                        .ok_or_else(|| DecodeError::new("truncated repeat distance"))?
-                    {
-                        2
-                    } else {
-                        1
-                    };
-                    if i < dist {
-                        return Err(DecodeError::new("repeat before line start"));
-                    }
-                    let len = r
-                        .read_bits(RUN_BITS)
-                        .ok_or_else(|| DecodeError::new("truncated run length"))?
-                        as usize
-                        + 1;
-                    if i + len > WORDS_PER_LINE {
-                        return Err(DecodeError::new("repeat run overflows line"));
-                    }
-                    for k in 0..len {
-                        words[i + k] = words[i + k - dist];
-                    }
-                    i += len;
+                if len > rep_len {
+                    rep_len = len;
+                    rep_dist = dist;
                 }
-                CODE_COPY => {
-                    let offset = r
-                        .read_bits(ob)
-                        .ok_or_else(|| DecodeError::new("truncated offset"))?
-                        as usize;
-                    let len = r
-                        .read_bits(RUN_BITS)
-                        .ok_or_else(|| DecodeError::new("truncated run length"))?
-                        as usize
-                        + 1;
-                    if i + len > WORDS_PER_LINE || offset + len > self.window.len() {
-                        return Err(DecodeError::new("copy out of range"));
-                    }
-                    for k in 0..len {
-                        words[i + k] = self.window[offset + k];
-                    }
-                    i += len;
-                }
-                CODE_LITERAL => {
-                    let wide = r
-                        .read_bit()
-                        .ok_or_else(|| DecodeError::new("truncated literal flag"))?;
-                    let bits = if wide { 32 } else { 8 };
-                    words[i] = r
-                        .read_bits(bits)
-                        .ok_or_else(|| DecodeError::new("truncated literal"))?
-                        as u32;
-                    i += 1;
-                }
-                _ => unreachable!("2-bit code"),
             }
         }
-        let line = LineData::from_words(words);
-        if self.persist {
-            self.push_line(&line);
+        // Window copy.
+        let copy = best_copy_scalar(win, words, i);
+        let copy_len = copy.map_or(0, |(_, l)| l);
+        if rep_len >= copy_len && rep_len > 0 {
+            out.write_bits(CODE_REPEAT, 2);
+            out.write_bit(rep_dist == 2);
+            out.write_bits(rep_len as u64 - 1, RUN_BITS);
+            i += rep_len;
+        } else if let Some((offset, len)) = copy {
+            out.write_bits(CODE_COPY, 2);
+            out.write_bits(offset as u64, ob);
+            out.write_bits(len as u64 - 1, RUN_BITS);
+            i += len;
+        } else {
+            emit_literal(words[i], out);
+            i += 1;
         }
-        Ok(line)
     }
+}
+
+fn emit_literal(word: u32, out: &mut BitWriter) {
+    out.write_bits(CODE_LITERAL, 2);
+    if word <= 0xff {
+        out.write_bit(false);
+        out.write_bits(u64::from(word), 8);
+    } else {
+        out.write_bit(true);
+        out.write_bits(u64::from(word), 32);
+    }
+}
+
+/// Longest window match for `words[i..]` via broadcast-compare: one
+/// [`lanes::eq_mask`] finds every anchor position, then only those are
+/// extended. First strictly-longest match wins, exactly as in the scalar
+/// scan, and the walk stops early once a match reaches the end of the line
+/// (no later candidate can be strictly longer).
+fn best_copy_lanes(win: &[u32], words: &[u32; WORDS_PER_LINE], i: usize) -> Option<(usize, usize)> {
+    let mut anchors = lanes::eq_mask(win, words[i]);
+    let max_len = WORDS_PER_LINE - i;
+    let mut best: Option<(usize, usize)> = None;
+    while anchors != 0 {
+        let j = anchors.trailing_zeros() as usize;
+        anchors &= anchors - 1;
+        let limit = max_len.min(win.len() - j);
+        let mut len = 1;
+        while len < limit && win[j + len] == words[i + len] {
+            len += 1;
+        }
+        if best.is_none_or(|(_, l)| len > l) {
+            best = Some((j, len));
+        }
+        if len == max_len {
+            break;
+        }
+    }
+    best
+}
+
+/// Scalar oracle for [`best_copy_lanes`]: the original linear window scan.
+fn best_copy_scalar(
+    win: &[u32],
+    words: &[u32; WORDS_PER_LINE],
+    i: usize,
+) -> Option<(usize, usize)> {
+    let max_len = WORDS_PER_LINE - i;
+    let mut best: Option<(usize, usize)> = None;
+    for j in 0..win.len() {
+        if win[j] != words[i] {
+            continue;
+        }
+        let mut len = 1;
+        while len < max_len && j + len < win.len() && win[j + len] == words[i + len] {
+            len += 1;
+        }
+        if best.is_none_or(|(_, l)| len > l) {
+            best = Some((j, len));
+        }
+    }
+    best
+}
+
+/// Decodes one line against a frozen window.
+fn decode_words(win: &[u32], ob: u32, r: &mut BitReader<'_>) -> Result<LineData, DecodeError> {
+    let mut words = [0u32; WORDS_PER_LINE];
+    let mut i = 0;
+    while i < WORDS_PER_LINE {
+        let code = r
+            .read_bits(2)
+            .ok_or_else(|| DecodeError::new("truncated code"))?;
+        match code {
+            CODE_ZERO_RUN => {
+                let len = r
+                    .read_bits(RUN_BITS)
+                    .ok_or_else(|| DecodeError::new("truncated run length"))?
+                    as usize
+                    + 1;
+                if i + len > WORDS_PER_LINE {
+                    return Err(DecodeError::new("zero run overflows line"));
+                }
+                i += len; // words are already zero
+            }
+            CODE_REPEAT => {
+                let dist = if r
+                    .read_bit()
+                    .ok_or_else(|| DecodeError::new("truncated repeat distance"))?
+                {
+                    2
+                } else {
+                    1
+                };
+                if i < dist {
+                    return Err(DecodeError::new("repeat before line start"));
+                }
+                let len = r
+                    .read_bits(RUN_BITS)
+                    .ok_or_else(|| DecodeError::new("truncated run length"))?
+                    as usize
+                    + 1;
+                if i + len > WORDS_PER_LINE {
+                    return Err(DecodeError::new("repeat run overflows line"));
+                }
+                for k in 0..len {
+                    words[i + k] = words[i + k - dist];
+                }
+                i += len;
+            }
+            CODE_COPY => {
+                let offset = r
+                    .read_bits(ob)
+                    .ok_or_else(|| DecodeError::new("truncated offset"))?
+                    as usize;
+                let len = r
+                    .read_bits(RUN_BITS)
+                    .ok_or_else(|| DecodeError::new("truncated run length"))?
+                    as usize
+                    + 1;
+                if i + len > WORDS_PER_LINE || offset + len > win.len() {
+                    return Err(DecodeError::new("copy out of range"));
+                }
+                words[i..i + len].copy_from_slice(&win[offset..offset + len]);
+                i += len;
+            }
+            CODE_LITERAL => {
+                let wide = r
+                    .read_bit()
+                    .ok_or_else(|| DecodeError::new("truncated literal flag"))?;
+                let bits = if wide { 32 } else { 8 };
+                words[i] = r
+                    .read_bits(bits)
+                    .ok_or_else(|| DecodeError::new("truncated literal"))?
+                    as u32;
+                i += 1;
+            }
+            _ => unreachable!("2-bit code"),
+        }
+    }
+    Ok(LineData::from_words(words))
 }
 
 impl Compressor for Lbe {
@@ -295,7 +461,10 @@ impl Compressor for Lbe {
 
     fn compress(&mut self, line: &LineData) -> Encoded {
         let mut out = BitWriter::new();
-        self.encode_line(line, &mut out);
+        encode_words(&self.window, self.offset_bits(), &line.to_words(), &mut out);
+        if self.persist {
+            self.push_line(line);
+        }
         Encoded::new(out)
     }
 
@@ -307,7 +476,11 @@ impl Compressor for Lbe {
 impl Decompressor for Lbe {
     fn decompress(&mut self, payload: &Encoded) -> Result<LineData, DecodeError> {
         let mut r = BitReader::new(payload.as_bytes(), payload.len_bits());
-        self.decode_line(&mut r)
+        let line = decode_words(&self.window, self.offset_bits(), &mut r)?;
+        if self.persist {
+            self.push_line(&line);
+        }
+        Ok(line)
     }
 
     fn clone_box(&self) -> Box<dyn Decompressor + Send> {
@@ -321,10 +494,11 @@ impl SeededCompressor for Lbe {
     }
 
     fn compress_seeded(&self, refs: &[LineData], line: &LineData) -> Encoded {
-        let mut scratch = self.clone();
-        scratch.seed_window(refs);
+        let mut stack = [0u32; LANE_WINDOW_WORDS];
+        let mut heap = Vec::new();
+        let win = self.seeded_window(refs, &mut stack, &mut heap);
         let mut out = BitWriter::new();
-        scratch.encode_line(line, &mut out);
+        encode_words(win, self.offset_bits(), &line.to_words(), &mut out);
         Encoded::new(out)
     }
 
@@ -333,10 +507,11 @@ impl SeededCompressor for Lbe {
         refs: &[LineData],
         payload: &Encoded,
     ) -> Result<LineData, DecodeError> {
-        let mut scratch = self.clone();
-        scratch.seed_window(refs);
+        let mut stack = [0u32; LANE_WINDOW_WORDS];
+        let mut heap = Vec::new();
+        let win = self.seeded_window(refs, &mut stack, &mut heap);
         let mut r = BitReader::new(payload.as_bytes(), payload.len_bits());
-        scratch.decode_line(&mut r)
+        decode_words(win, self.offset_bits(), &mut r)
     }
 
     fn clone_box(&self) -> Box<dyn SeededCompressor + Send + Sync> {
@@ -493,6 +668,19 @@ mod tests {
         assert!(engine.decompress_seeded(&[], &Encoded::new(w)).is_err());
     }
 
+    /// Lines whose word alphabet is tiny, so zero runs, repeats, and window
+    /// copies all fire and fight over every position.
+    fn clashy_line() -> impl Strategy<Value = LineData> {
+        proptest::array::uniform16(prop_oneof![
+            Just(0u32),
+            Just(1),
+            Just(2),
+            Just(0xdead_beef),
+            any::<u32>(),
+        ])
+        .prop_map(LineData::from_words)
+    }
+
     proptest! {
         #[test]
         fn prop_seeded_round_trip(
@@ -528,6 +716,37 @@ mod tests {
             let line = LineData::from_words(target);
             let payload = engine.compress_seeded(&[], &line);
             prop_assert!(payload.len_bits() <= 16 * 35);
+        }
+
+        /// The vectorized seeded encoder and the scalar oracle must emit
+        /// byte-identical wire payloads, not just round-trip-equal ones.
+        #[test]
+        fn prop_seeded_matches_scalar_oracle(
+            target in clashy_line(),
+            refs in proptest::collection::vec(clashy_line(), 0..=3),
+        ) {
+            let engine = Lbe::seeded();
+            let fast = engine.compress_seeded(&refs, &target);
+            let slow = engine.compress_seeded_scalar(&refs, &target);
+            prop_assert_eq!(fast.len_bits(), slow.len_bits());
+            prop_assert_eq!(fast.as_bytes(), slow.as_bytes());
+        }
+
+        /// Streaming equivalence: both engines see the same line sequence,
+        /// so their windows must also evolve identically.
+        #[test]
+        fn prop_streaming_matches_scalar_oracle(
+            lines in proptest::collection::vec(proptest::array::uniform16(0u32..6), 1..20)
+        ) {
+            let mut fast = Lbe::streaming(256);
+            let mut slow = Lbe::streaming(256);
+            for words in lines {
+                let line = LineData::from_words(words);
+                let a = fast.compress(&line);
+                let b = slow.compress_scalar(&line);
+                prop_assert_eq!(a.len_bits(), b.len_bits());
+                prop_assert_eq!(a.as_bytes(), b.as_bytes());
+            }
         }
     }
 }

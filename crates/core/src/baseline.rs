@@ -258,6 +258,34 @@ impl BaselineLink {
         true
     }
 
+    /// Services a slice of accesses in one call; see
+    /// [`crate::CableLink::request_batch`] for the per-element semantics
+    /// (identical here, with the baseline's request paths).
+    pub fn request_batch(&mut self, batch: &[crate::BatchAccess], transfers: &mut Vec<Transfer>) {
+        transfers.reserve(batch.len());
+        for (i, a) in batch.iter().enumerate() {
+            // Same software pipelining as the CABLE link: warm the next
+            // element's tag sets while this element computes.
+            if cfg!(feature = "vectorized") {
+                if let Some(next) = batch.get(i + 1) {
+                    let next_addr = next.addr.line_aligned();
+                    self.home.warm(next_addr);
+                    self.remote.warm(next_addr);
+                }
+            }
+            let t = match a.op {
+                crate::BatchOp::Read => self.request(a.addr, a.memory),
+                crate::BatchOp::Exclusive => self.request_exclusive(a.addr, a.memory),
+                crate::BatchOp::Write(store) => {
+                    let t = self.request_exclusive(a.addr, a.memory);
+                    self.remote_store(a.addr, store);
+                    t
+                }
+            };
+            transfers.push(t);
+        }
+    }
+
     /// Write-back of a dirty line; see [`crate::CableLink::writeback`].
     pub fn writeback(&mut self, addr: Address, data: LineData) -> Transfer {
         let addr = addr.line_aligned();

@@ -143,8 +143,35 @@ impl SignatureTable {
         }
     }
 
-    /// Removes every occurrence of `lid` across the buckets of `sigs`.
+    /// Issues the bucket reads for `sigs` back-to-back, so the (random,
+    /// usually cold) bucket cache lines are fetched with their misses
+    /// overlapping before a per-signature insert/remove walk serializes on
+    /// them. Pure cache warming: no observable effect on table state.
+    pub fn warm(&self, sigs: &[Signature]) {
+        let mut touched = 0;
+        for &sig in sigs {
+            touched |= self.slots[self.bucket_range(sig).start];
+        }
+        std::hint::black_box(touched);
+    }
+
+    /// Inserts `lid` under every signature in `sigs` (bucket semantics of
+    /// [`SignatureTable::insert`]), warming the target buckets first.
+    pub fn insert_all(&mut self, sigs: &[Signature], lid: u32) {
+        if cfg!(feature = "vectorized") {
+            self.warm(sigs);
+        }
+        for &sig in sigs {
+            self.insert(sig, lid);
+        }
+    }
+
+    /// Removes every occurrence of `lid` across the buckets of `sigs`,
+    /// warming the target buckets first.
     pub fn remove_all(&mut self, sigs: &[Signature], lid: u32) {
+        if cfg!(feature = "vectorized") {
+            self.warm(sigs);
+        }
         for &sig in sigs {
             self.remove(sig, lid);
         }

@@ -64,7 +64,7 @@ pub use baseline::{BaselineKind, BaselineLink};
 pub use cable_compress::{DecodeError, DecodeErrorKind};
 pub use channel::{FaultConfig, FaultStats, FaultyChannel, NoticeFate, ResyncReport, Transmission};
 pub use config::CableConfig;
-pub use link::{CableLink, Direction, LinkStats, Transfer, TransferKind};
+pub use link::{BatchAccess, BatchOp, CableLink, Direction, LinkStats, Transfer, TransferKind};
 pub use ooo::OooLink;
 pub use search::{Reference, SearchScratch};
 pub use sig_cache::InsertSigCache;

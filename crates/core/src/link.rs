@@ -222,6 +222,68 @@ impl Transfer {
     }
 }
 
+/// What one element of a [`CableLink::request_batch`] slice does on the
+/// link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Shared read — [`CableLink::request`].
+    Read,
+    /// Read-for-ownership only — [`CableLink::request_exclusive`]; the
+    /// store lands later (e.g. after an L2 fill, as in the thread model).
+    Exclusive,
+    /// Read-for-ownership immediately followed by
+    /// [`CableLink::remote_store`] of the carried data — the trace-replay
+    /// write idiom.
+    Write(LineData),
+}
+
+/// One access in a batched request stream.
+///
+/// A slice of these is pushed through [`CableLink::request_batch`] in one
+/// call, amortizing per-access dispatch (and, for the sim's enum-dispatched
+/// link wrapper, one `match` per batch instead of per access).
+#[derive(Clone, Copy, Debug)]
+pub struct BatchAccess {
+    /// Line address.
+    pub addr: Address,
+    /// Backing-memory content, used if the access misses everywhere.
+    pub memory: LineData,
+    /// Read, ownership, or write semantics for this element.
+    pub op: BatchOp,
+}
+
+impl BatchAccess {
+    /// A shared read of `addr`.
+    #[must_use]
+    pub fn read(addr: Address, memory: LineData) -> Self {
+        BatchAccess {
+            addr,
+            memory,
+            op: BatchOp::Read,
+        }
+    }
+
+    /// A read-for-ownership of `addr` (store applied later by the caller).
+    #[must_use]
+    pub fn exclusive(addr: Address, memory: LineData) -> Self {
+        BatchAccess {
+            addr,
+            memory,
+            op: BatchOp::Exclusive,
+        }
+    }
+
+    /// A write: ownership then an immediate store of `store`.
+    #[must_use]
+    pub fn write(addr: Address, memory: LineData, store: LineData) -> Self {
+        BatchAccess {
+            addr,
+            memory,
+            op: BatchOp::Write(store),
+        }
+    }
+}
+
 /// Cumulative link statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LinkStats {
@@ -608,10 +670,8 @@ impl CableLink {
                 self.config.insert_signature_count,
                 &mut sigs,
             );
-            for &sig in sigs.as_slice() {
-                self.home_table.insert(sig, home_packed);
-                self.remote_table.insert(sig, remote_packed);
-            }
+            self.home_table.insert_all(sigs.as_slice(), home_packed);
+            self.remote_table.insert_all(sigs.as_slice(), remote_packed);
             self.home_sig_cache.set(home_packed, sigs.as_slice());
             self.remote_sig_cache.set(remote_packed, sigs.as_slice());
         }
@@ -639,6 +699,42 @@ impl CableLink {
         self.upgrade(addr);
         self.remote.write(addr, data);
         true
+    }
+
+    /// Services a slice of accesses in one call, appending one [`Transfer`]
+    /// per element to `transfers`.
+    ///
+    /// Each element behaves exactly like the corresponding sequence of
+    /// [`CableLink::request`] / [`CableLink::request_exclusive`] /
+    /// [`CableLink::remote_store`] calls, in slice order — stats, telemetry
+    /// and wire output are bit-identical to the per-call loop. The batch
+    /// form exists to amortize per-access call overhead on the encode hot
+    /// path (trace replay pushes thousands of accesses per measurement).
+    pub fn request_batch(&mut self, batch: &[BatchAccess], transfers: &mut Vec<Transfer>) {
+        transfers.reserve(batch.len());
+        for (i, a) in batch.iter().enumerate() {
+            // Software pipelining: touch the next access's home/remote sets
+            // before servicing this one, so the next element's (random,
+            // usually cold) tag-array lines are fetched while this element
+            // computes. Pure cache warming — element semantics unchanged.
+            if cfg!(feature = "vectorized") {
+                if let Some(next) = batch.get(i + 1) {
+                    let next_addr = next.addr.line_aligned();
+                    self.home.warm(next_addr);
+                    self.remote.warm(next_addr);
+                }
+            }
+            let t = match a.op {
+                BatchOp::Read => self.request(a.addr, a.memory),
+                BatchOp::Exclusive => self.request_exclusive(a.addr, a.memory),
+                BatchOp::Write(store) => {
+                    let t = self.request_exclusive(a.addr, a.memory);
+                    self.remote_store(a.addr, store);
+                    t
+                }
+            };
+            transfers.push(t);
+        }
     }
 
     fn upgrade(&mut self, addr: Address) {
@@ -1419,6 +1515,20 @@ impl CableLink {
     /// Links wider than 64 bits are accounted in 64-bit sub-words.
     fn account_toggles(&mut self, payload: &BitWriter) {
         let width = self.config.link_width_bits.min(64);
+        // Byte-aligned flits (every shipped config) take the lane path:
+        // consecutive-flit XORs are byte-aligned stream self-XORs, so the
+        // whole payload is charged in 64-bit popcount chunks instead of
+        // one BitReader call per flit.
+        if cfg!(feature = "vectorized") && width.is_multiple_of(8) {
+            self.account_toggles_lanes(payload, width);
+        } else {
+            self.account_toggles_scalar(payload, width);
+        }
+    }
+
+    /// Scalar oracle for [`CableLink::account_toggles`]: the per-flit
+    /// BitReader loop the lane path is tested against.
+    fn account_toggles_scalar(&mut self, payload: &BitWriter, width: u32) {
         let mut reader = cable_common::BitReader::new(payload.as_slice(), payload.len_bits());
         loop {
             let take = reader.remaining_bits().min(width as usize);
@@ -1431,6 +1541,50 @@ impl CableLink {
             self.stats.flits += 1;
             self.last_flit = flit;
         }
+    }
+
+    /// Lane path: flit `i` XOR flit `i-1` compares stream byte `k` with
+    /// byte `k - width/8`, and the final flit's zero padding matches the
+    /// BitWriter's zeroed tail bits, so the toggle count is one shifted
+    /// self-XOR popcount over the zero-padded payload bytes.
+    fn account_toggles_lanes(&mut self, payload: &BitWriter, width: u32) {
+        let bytes = payload.as_slice();
+        let len_bits = payload.len_bits();
+        if len_bits == 0 {
+            return;
+        }
+        let wb = (width / 8) as usize;
+        let flits = len_bits.div_ceil(width as usize);
+        let padded_len = flits * wb;
+        debug_assert!(bytes.len() <= padded_len);
+        // 8 zero-padded payload bytes starting at `k`, big-endian (stream
+        // order), matching the MSB-first flit values of the scalar loop.
+        let load8 = |k: usize| -> u64 {
+            let mut b = [0u8; 8];
+            if k < bytes.len() {
+                let n = (bytes.len() - k).min(8);
+                b[..n].copy_from_slice(&bytes[k..k + n]);
+            }
+            u64::from_be_bytes(b)
+        };
+        let flit_shift = 8 * (8 - wb as u32);
+        let first = load8(0) >> flit_shift;
+        let mut toggles = u64::from((first ^ self.last_flit).count_ones());
+        let mut k = wb;
+        while k < padded_len {
+            let valid = (padded_len - k).min(8);
+            let mut x = load8(k) ^ load8(k - wb);
+            if valid < 8 {
+                // Mask the overshoot: positions past the padded end would
+                // otherwise compare real last-flit bytes against zeros.
+                x &= u64::MAX << (8 * (8 - valid));
+            }
+            toggles += u64::from(x.count_ones());
+            k += 8;
+        }
+        self.stats.bit_toggles += toggles;
+        self.stats.flits += flits as u64;
+        self.last_flit = load8(padded_len - wb) >> flit_shift;
     }
 
     // ---- verification ---------------------------------------------------
@@ -1912,6 +2066,35 @@ mod tests {
             let mut link = CableLink::new(cfg);
             drive_random_traffic(&mut link, 300, seed);
             prop_assert!(link.stats().wire_bits >= link.stats().payload_bits);
+        }
+
+        #[test]
+        fn prop_toggle_lanes_match_scalar_oracle(seed in any::<u64>()) {
+            // The lane toggle counter must match the flit-by-flit BitReader
+            // walk exactly: toggles, flit count, and the carried last_flit
+            // (which chains into the next payload's first XOR).
+            let mut rng = SplitMix64::new(seed);
+            for width in [8u32, 16, 24, 32, 40, 48, 56, 64] {
+                let (mut lanes, mut scalar) = (small_link(), small_link());
+                for _ in 0..8 {
+                    let mut payload = BitWriter::new();
+                    let bits = rng.next_bounded(600) as u32;
+                    let mut left = bits;
+                    while left > 0 {
+                        let take = left.min(1 + (rng.next_bounded(64) as u32).min(63));
+                        payload.write_bits(rng.next_u64() >> (64 - take), take);
+                        left -= take;
+                    }
+                    lanes.account_toggles_lanes(&payload, width);
+                    scalar.account_toggles_scalar(&payload, width);
+                    prop_assert_eq!(
+                        lanes.stats.bit_toggles, scalar.stats.bit_toggles,
+                        "toggles diverged at width {}", width
+                    );
+                    prop_assert_eq!(lanes.stats.flits, scalar.stats.flits);
+                    prop_assert_eq!(lanes.last_flit, scalar.last_flit);
+                }
+            }
         }
     }
 

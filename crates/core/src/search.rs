@@ -135,6 +135,12 @@ pub struct SearchScratch {
     selected: Vec<Reference>,
     sel_idx: Vec<usize>,
     keep: Vec<bool>,
+    /// Gather buffer for the batched data-array read phase (one slot per
+    /// pre-ranked candidate).
+    datas: Vec<(LineId, Option<LineData>)>,
+    /// Gather buffer for the hash-table bucket read phase (flat
+    /// concatenation of every looked-up bucket).
+    bucket_buf: Vec<u32>,
 }
 
 impl SearchScratch {
@@ -185,20 +191,29 @@ pub fn search_references_into(
         selected,
         sel_idx,
         keep,
+        datas,
+        bucket_buf,
     } = scratch;
 
-    // 1-2. Signatures -> candidate LineIDs, deduplicated by LineId.
+    // 1-2. Signatures -> candidate LineIDs, deduplicated by LineId. Each
+    // signature's bucket is an independent random read of a multi-megabyte
+    // table, so a tight gather loop copies all buckets into a flat scratch
+    // first (the misses overlap in the memory pipeline) and the dedup pass
+    // runs out of the warm buffer. Candidate order is the bucket
+    // concatenation order either way.
     extractor.search_signatures_into(line, sigs);
     stats.signatures = sigs.len();
     counts.clear();
     dedup.begin(sigs.len() * table.depth());
+    bucket_buf.clear();
     for &sig in sigs.as_slice() {
-        for &packed in table.lookup(sig) {
-            stats.candidates += 1;
-            match dedup.get_or_insert(packed, counts.len() as u32) {
-                Some(idx) => counts[idx as usize].1 += 1,
-                None => counts.push((packed, 1, counts.len())),
-            }
+        bucket_buf.extend_from_slice(table.lookup(sig));
+    }
+    for &packed in bucket_buf.iter() {
+        stats.candidates += 1;
+        match dedup.get_or_insert(packed, counts.len() as u32) {
+            Some(idx) => counts[idx as usize].1 += 1,
+            None => counts.push((packed, 1, counts.len())),
         }
     }
 
@@ -206,13 +221,23 @@ pub fn search_references_into(
     counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)));
     counts.truncate(data_access_count);
 
-    // 4. Data-array reads + CBV construction.
+    // 4. Data-array reads + CBV construction. The reads land on random
+    // lines of a multi-megabyte array (usually cold), so the gather phase
+    // issues them back-to-back with no intervening control flow: the
+    // misses overlap in the memory pipeline instead of serializing behind
+    // each candidate's filter branches. Outcome and accounting are
+    // identical to reading inside the filter loop — every pre-ranked
+    // candidate is read exactly once either way.
     let geometry = *cache.geometry();
     candidates.clear();
-    for &(packed, _, _) in counts.iter() {
+    datas.clear();
+    datas.extend(counts.iter().map(|&(packed, _, _)| {
         let lid = LineId::unpack(u64::from(packed), &geometry);
+        (lid, cache.read_by_id(lid))
+    }));
+    for &(lid, ref data) in datas.iter() {
         stats.data_reads += 1;
-        let Some(data) = cache.read_by_id(lid) else {
+        let Some(data) = *data else {
             continue; // stale table entry
         };
         if !cache.state_by_id(lid).is_reference_safe() {

@@ -137,6 +137,24 @@ pub fn is_trivial_word(word: u32) -> bool {
     word.leading_zeros() >= 24 || word.leading_ones() >= 24
 }
 
+/// Movemask of the line's non-trivial words: bit `i` is set iff word `i`
+/// is *not* trivial.
+///
+/// The per-word test is branchless: a word is trivial exactly when it lies
+/// in `[0, 0xff]` or `[0xffff_ff00, 0xffff_ffff]`, i.e. when
+/// `word.wrapping_add(0x100)` lands in `[0x100, 0x1ff]` ∪ `[0, 0xff]` =
+/// `[0, 0x1ff]`, which one mask test detects. Sixteen independent lanes,
+/// no data-dependent branches — the compiler vectorizes the loop freely.
+#[must_use]
+pub fn nontrivial_mask(line: &LineData) -> u16 {
+    let words = line.to_words();
+    let mut mask = 0u16;
+    for (i, &w) in words.iter().enumerate() {
+        mask |= u16::from(w.wrapping_add(0x100) & 0xffff_fe00 != 0) << i;
+    }
+    mask
+}
+
 /// The signature extractor: an H3 function plus the sampling policy.
 ///
 /// Both ends of a link construct extractors from the same seed so their
@@ -191,6 +209,45 @@ impl SignatureExtractor {
     ///
     /// Panics if `count` is 0 or greater than 16.
     pub fn insert_signatures_into(&self, line: &LineData, count: usize, out: &mut SignatureBuf) {
+        if cfg!(feature = "vectorized") {
+            self.insert_signatures_into_lanes(line, count, out);
+        } else {
+            self.insert_signatures_into_scalar(line, count, out);
+        }
+    }
+
+    /// Mask-driven insert extraction: one [`nontrivial_mask`] computes all
+    /// sixteen triviality tests at once, and each offset's forwarding scan
+    /// is a `trailing_zeros` on the shifted mask.
+    fn insert_signatures_into_lanes(&self, line: &LineData, count: usize, out: &mut SignatureBuf) {
+        assert!(
+            (1..=WORDS_PER_LINE).contains(&count),
+            "insert-signature count must be 1..=16"
+        );
+        out.clear();
+        let mask = nontrivial_mask(line);
+        if mask == 0 {
+            return;
+        }
+        let words = line.to_words();
+        for k in 0..count {
+            let offset = k * WORDS_PER_LINE / count;
+            let rest = mask >> offset;
+            if rest != 0 {
+                let i = offset + rest.trailing_zeros() as usize;
+                out.push_dedup(self.sign(words[i]));
+            }
+        }
+    }
+
+    /// Scalar oracle for [`SignatureExtractor::insert_signatures_into`]:
+    /// the original per-word forwarding scan.
+    pub fn insert_signatures_into_scalar(
+        &self,
+        line: &LineData,
+        count: usize,
+        out: &mut SignatureBuf,
+    ) {
         assert!(
             (1..=WORDS_PER_LINE).contains(&count),
             "insert-signature count must be 1..=16"
@@ -221,6 +278,43 @@ impl SignatureExtractor {
     /// Allocation-free form of [`SignatureExtractor::search_signatures`]:
     /// clears `out` and fills it with all distinct non-trivial signatures.
     pub fn search_signatures_into(&self, line: &LineData, out: &mut SignatureBuf) {
+        if cfg!(feature = "vectorized") {
+            self.search_signatures_into_lanes(line, out);
+        } else {
+            self.search_signatures_into_scalar(line, out);
+        }
+    }
+
+    /// Mask-driven search extraction: the branchless [`nontrivial_mask`]
+    /// replaces sixteen data-dependent triviality branches, and when most
+    /// words survive, the whole line is hashed in one [`H3::hash_line`]
+    /// pass instead of sixteen separate calls.
+    fn search_signatures_into_lanes(&self, line: &LineData, out: &mut SignatureBuf) {
+        out.clear();
+        let mut mask = nontrivial_mask(line);
+        if mask == 0 {
+            return;
+        }
+        let words = line.to_words();
+        if mask.count_ones() >= 8 {
+            let hashes = self.h3.hash_line(&words);
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                out.push_dedup(Signature(hashes[i] as u32));
+            }
+        } else {
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                out.push_dedup(self.sign(words[i]));
+            }
+        }
+    }
+
+    /// Scalar oracle for [`SignatureExtractor::search_signatures_into`]:
+    /// the original per-word loop.
+    pub fn search_signatures_into_scalar(&self, line: &LineData, out: &mut SignatureBuf) {
         out.clear();
         for word in line.words() {
             if is_trivial_word(word) {
@@ -379,6 +473,43 @@ mod tests {
         fn prop_insert_at_most_two(words in proptest::array::uniform16(any::<u32>())) {
             let line = LineData::from_words(words);
             prop_assert!(extractor().insert_signatures(&line).len() <= INSERT_SIGNATURES);
+        }
+
+        /// The branchless mask must agree with `is_trivial_word` on every
+        /// word, including the boundary values.
+        #[test]
+        fn prop_nontrivial_mask_matches_predicate(
+            words in proptest::array::uniform16(prop_oneof![
+                Just(0u32), Just(0xffu32), Just(0x100u32), Just(0xffff_ff00u32),
+                Just(0xffff_feffu32), Just(0xffff_ffffu32), any::<u32>(),
+            ])
+        ) {
+            let line = LineData::from_words(words);
+            let mask = nontrivial_mask(&line);
+            for (i, &w) in words.iter().enumerate() {
+                prop_assert_eq!(mask >> i & 1 == 1, !is_trivial_word(w));
+            }
+        }
+
+        /// Mask-driven extraction vs the scalar oracle: identical signature
+        /// sequences (order included) for both insert and search paths.
+        #[test]
+        fn prop_extraction_matches_scalar_oracle(
+            words in proptest::array::uniform16(prop_oneof![
+                Just(0u32), Just(1u32), Just(0xffff_ffffu32),
+                Just(0xdead_beefu32), any::<u32>(),
+            ]),
+            count in 1usize..=16,
+        ) {
+            let ex = extractor();
+            let line = LineData::from_words(words);
+            let (mut fast, mut slow) = (SignatureBuf::new(), SignatureBuf::new());
+            ex.search_signatures_into(&line, &mut fast);
+            ex.search_signatures_into_scalar(&line, &mut slow);
+            prop_assert_eq!(fast.as_slice(), slow.as_slice());
+            ex.insert_signatures_into(&line, count, &mut fast);
+            ex.insert_signatures_into_scalar(&line, count, &mut slow);
+            prop_assert_eq!(fast.as_slice(), slow.as_slice());
         }
     }
 }

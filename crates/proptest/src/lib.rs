@@ -17,6 +17,7 @@
 //!   size range;
 //! - `proptest::array::uniform16(strategy)`;
 //! - tuples of strategies (arity 2–4), `Just(value)`, and `prop_oneof!`;
+//! - `Strategy::prop_map` for derived values;
 //! - `ProptestConfig::with_cases(n)` via `#![proptest_config(..)]`.
 //!
 //! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!` map to the plain

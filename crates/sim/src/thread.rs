@@ -15,8 +15,8 @@ use cable_cache::{CacheGeometry, SetAssocCache};
 use cable_common::{Address, LineData};
 use cable_compress::EngineKind;
 use cable_core::{
-    BaselineKind, BaselineLink, CableConfig, CableLink, FaultConfig, FaultStats, LinkStats,
-    ResyncReport, Transfer, TransferKind,
+    BaselineKind, BaselineLink, BatchAccess, CableConfig, CableLink, FaultConfig, FaultStats,
+    LinkStats, ResyncReport, Transfer, TransferKind,
 };
 use cable_energy::ActivityCounts;
 use cable_telemetry::Telemetry;
@@ -127,6 +127,16 @@ impl CompressedLink {
         match self {
             CompressedLink::Cable(l) => l.remote_store(addr, data),
             CompressedLink::Baseline(l) => l.remote_store(addr, data),
+        }
+    }
+
+    /// See [`CableLink::request_batch`]: pushes a slice of accesses through
+    /// the link in one call, appending one [`Transfer`] per element. The
+    /// scheme dispatch happens once per batch instead of once per access.
+    pub fn request_batch(&mut self, batch: &[BatchAccess], transfers: &mut Vec<Transfer>) {
+        match self {
+            CompressedLink::Cable(l) => l.request_batch(batch, transfers),
+            CompressedLink::Baseline(l) => l.request_batch(batch, transfers),
         }
     }
 
@@ -243,6 +253,9 @@ pub struct ThreadSim {
     retired: u64,
     counts: ThreadCounts,
     tel: Telemetry,
+    /// Reusable transfer buffer for [`CompressedLink::request_batch`] — the
+    /// step loop issues its link requests through the batch entry point.
+    xfers: Vec<Transfer>,
 }
 
 impl ThreadSim {
@@ -277,6 +290,7 @@ impl ThreadSim {
             retired: 0,
             counts: ThreadCounts::default(),
             tel: Telemetry::disabled(),
+            xfers: Vec::with_capacity(1),
         }
     }
 
@@ -392,11 +406,18 @@ impl ThreadSim {
         self.tel.set_now_ps(self.now_ps);
         let memory = self.gen.content(addr);
         let bits_before = self.link.stats().wire_bits;
-        let transfer = if is_write {
-            self.link.request_exclusive(addr, memory)
+        // One-element batch: the timing model serializes accesses on the
+        // shared wire, so the step loop cannot coalesce further — but it
+        // still enters the link through the batch path (one dispatch, same
+        // wire output as the per-call form).
+        let access = if is_write {
+            BatchAccess::exclusive(addr, memory)
         } else {
-            self.link.request(addr, memory)
+            BatchAccess::read(addr, memory)
         };
+        self.xfers.clear();
+        self.link.request_batch(&[access], &mut self.xfers);
+        let transfer = self.xfers[0];
         if transfer.kind() == TransferKind::RemoteHit {
             return memory;
         }

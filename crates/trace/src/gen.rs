@@ -49,6 +49,11 @@ pub struct WorkloadGen {
     base_line: u64,
     accesses: u64,
     instructions: u64,
+    /// Memo of the last synthesized line (`local line number -> bytes`).
+    /// Word-granular reuse revisits the same line several times in a row,
+    /// and synthesis costs dozens of RNG draws; `content` is deterministic
+    /// per address, so the memo is observationally pure.
+    last_content: std::cell::Cell<Option<(u64, LineData)>>,
 }
 
 /// Lines reserved per program instance (1 << 30 lines = 64 GB of space);
@@ -78,6 +83,7 @@ impl WorkloadGen {
             base_line: instance * INSTANCE_SPACE_LINES,
             accesses: 0,
             instructions: 0,
+            last_content: std::cell::Cell::new(None),
         };
         // Phase lag: later instances run the sequence offset by ~20k
         // accesses per instance index — more than one content region, so
@@ -159,7 +165,14 @@ impl WorkloadGen {
         // instances of the same benchmark see identical bytes at the same
         // working-set offset.
         let local = Address::from_line_number(addr.line_number() % INSTANCE_SPACE_LINES);
-        self.content.line(local)
+        if let Some((n, line)) = self.last_content.get() {
+            if n == local.line_number() {
+                return line;
+            }
+        }
+        let line = self.content.line(local);
+        self.last_content.set(Some((local.line_number(), line)));
+        line
     }
 
     /// Store data for a write to `addr`: the resident content with one
