@@ -1,0 +1,28 @@
+//! Sharded-fabric scaling sweep.
+//!
+//! ```sh
+//! cargo run --release -p cable-bench --bin shard_sweep
+//! ```
+//!
+//! Runs the 10k-endpoint mesh (71 chips, mcf, CABLE+LBE) through the
+//! epoch-parallel engine at 1/2/4/8 workers, digest-checks every run
+//! against the single-threaded oracle, and writes `BENCH_shard.json` in
+//! the current directory. `CABLE_QUICK=1` shrinks the mesh to ~1k
+//! endpoints for CI; `CABLE_SHARD_WORKERS=2` (or a comma list) restricts
+//! the worker sweep.
+
+use cable_bench::perf::run_shard_bench;
+use cable_bench::print_table;
+
+fn main() {
+    let result = run_shard_bench();
+    print_table(result.title, &result.columns, &result.rows);
+    let path = format!("{}.json", result.id);
+    match std::fs::write(&path, result.to_json()) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

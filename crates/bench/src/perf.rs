@@ -18,7 +18,7 @@ use crate::runner::{default_schemes, drive, StudyConfig};
 use cable_compress::EngineKind;
 use cable_core::{BaselineKind, FaultConfig};
 use cable_sim::throughput::{run_group_arena, run_group_warmed_linear};
-use cable_sim::{Scheme, SimArena, SystemConfig};
+use cable_sim::{FabricSim, Scheme, SimArena, SystemConfig};
 use cable_telemetry::{JsonlSink, Telemetry, TracerConfig};
 use cable_trace::WorkloadGen;
 use std::time::Instant;
@@ -159,6 +159,158 @@ pub fn run_sim_bench() -> FigureResult<'static> {
         id: SIM_BENCH_ID,
         title: "Timing-simulator throughput over the group sweep (event+arena vs linear)",
         columns: SIM_BENCH_COLUMNS.iter().map(|c| (*c).to_string()).collect(),
+        rows,
+    }
+}
+
+/// Identifier of the emitted sharded-fabric JSON result
+/// (`BENCH_shard.json`).
+pub const SHARD_BENCH_ID: &str = "BENCH_shard";
+
+/// The workload the sharded mesh sweep replays. mcf is memory-bound, so
+/// nearly every step exercises a link pipeline — the functional phase the
+/// shard workers parallelize.
+pub const SHARD_BENCH_WORKLOAD: &str = "mcf";
+
+/// Columns of the emitted sharded-fabric figure, in order.
+pub const SHARD_BENCH_COLUMNS: &[&str] = &[
+    "accesses_per_sec",
+    "speedup_vs_1w",
+    "elapsed_ms",
+    "workers",
+    "endpoints",
+    "simulated_accesses",
+    "host_cores",
+];
+
+/// Worker counts swept by [`run_shard_bench`] (the figure's x axis).
+pub const SHARD_BENCH_WORKERS: &[usize] = &[1, 2, 4, 8];
+
+/// Mesh size of the sharded sweep: 71 chips means `2 * 71^2 = 10082` link
+/// endpoints (every chip drives one directional pipeline per peer plus a
+/// local-memory path, two endpoints each) — the "10k-endpoint" operating
+/// point. Quick mode shrinks to 23 chips (1058 endpoints).
+#[must_use]
+pub fn shard_bench_nodes() -> usize {
+    if is_quick() {
+        23
+    } else {
+        71
+    }
+}
+
+/// Link endpoints of an `n`-chip fabric: `n^2` links (per chip: `n - 1`
+/// directional peer pipelines plus one local-memory path), two endpoints
+/// each.
+#[must_use]
+pub fn shard_bench_endpoints(nodes: usize) -> usize {
+    2 * nodes * nodes
+}
+
+/// Worker sweep override: `CABLE_SHARD_WORKERS=2` (or `1,2,4`) restricts
+/// the sweep — CI uses it to pin a cheap 2-worker run and a 1-worker
+/// fallback. Unset or unparsable falls back to [`SHARD_BENCH_WORKERS`].
+fn shard_worker_sweep() -> Vec<usize> {
+    let parsed: Vec<usize> = std::env::var("CABLE_SHARD_WORKERS")
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&w| w >= 1)
+                .collect()
+        })
+        .unwrap_or_default();
+    if parsed.is_empty() {
+        SHARD_BENCH_WORKERS.to_vec()
+    } else {
+        parsed
+    }
+}
+
+/// Per-chip cache geometry of the sharded mesh: scaled far below Table IV
+/// so 71 chips x 71 links fit in memory and the sweep measures engine
+/// overhead, not cache capacity misses.
+fn shard_mesh_config() -> SystemConfig {
+    SystemConfig {
+        l1_bytes: 4 << 10,
+        l1_ways: 2,
+        l2_bytes: 8 << 10,
+        l2_ways: 4,
+        llc_bytes: 8 << 10,
+        llc_ways: 4,
+        l4_bytes: 16 << 10,
+        l4_ways: 8,
+        ..SystemConfig::paper_defaults()
+    }
+}
+
+/// Measures the epoch-parallel fabric engine's sustained
+/// simulated-accesses/sec against worker count on the 10k-endpoint mesh
+/// (quick mode: ~1k endpoints). Every sharded run is digest-checked
+/// against a single-threaded `run` oracle before its rate is reported, so
+/// the figure cannot ship numbers from a diverged run. `host_cores`
+/// records the machine the sweep ran on — on a single-core host the
+/// speedup column is honestly ~1.0. Honors `CABLE_QUICK` and
+/// `CABLE_SHARD_WORKERS`.
+///
+/// # Panics
+///
+/// Panics if the benchmark workload is missing from the profile table or
+/// a sharded run diverges from the single-threaded oracle.
+#[must_use]
+pub fn run_shard_bench() -> FigureResult<'static> {
+    let cfg = shard_mesh_config();
+    let profile = cable_trace::by_name(SHARD_BENCH_WORKLOAD).expect("benchmark workload exists");
+    let nodes = shard_bench_nodes();
+    let instrs = if is_quick() { 200 } else { 1_500 };
+    let ptp = 19.2e9;
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let endpoints = shard_bench_endpoints(nodes);
+
+    let oracle = {
+        let mut sim =
+            FabricSim::with_config(profile, Scheme::Cable(EngineKind::Lbe), nodes, ptp, &cfg);
+        sim.run(instrs);
+        (sim.total_accesses(), sim.timing_fingerprint())
+    };
+
+    let mut base_rate = None;
+    let rows = shard_worker_sweep()
+        .into_iter()
+        .map(|workers| {
+            let mut sim =
+                FabricSim::with_config(profile, Scheme::Cable(EngineKind::Lbe), nodes, ptp, &cfg);
+            let start = Instant::now();
+            sim.run_sharded(instrs, workers);
+            let elapsed = start.elapsed();
+            assert_eq!(
+                oracle,
+                (sim.total_accesses(), sim.timing_fingerprint()),
+                "sharded({workers}) diverged from the single-threaded oracle"
+            );
+            let accesses = sim.total_accesses();
+            let rate = accesses as f64 / elapsed.as_secs_f64().max(1e-12);
+            let speedup = rate / *base_rate.get_or_insert(rate);
+            (
+                format!("{workers}w"),
+                vec![
+                    rate,
+                    speedup,
+                    elapsed.as_secs_f64() * 1e3,
+                    workers as f64,
+                    endpoints as f64,
+                    accesses as f64,
+                    host_cores as f64,
+                ],
+            )
+        })
+        .collect();
+    FigureResult {
+        id: SHARD_BENCH_ID,
+        title: "Sharded fabric throughput vs worker count (10k-endpoint mesh)",
+        columns: SHARD_BENCH_COLUMNS
+            .iter()
+            .map(|c| (*c).to_string())
+            .collect(),
         rows,
     }
 }
@@ -376,6 +528,11 @@ mod tests {
         assert_eq!(SIM_BENCH_COLUMNS[0], "accesses_per_sec");
         assert_eq!(SIM_BENCH_COLUMNS[2], "speedup");
         assert_eq!(SIM_BENCH_COLUMNS.len(), 5);
+        assert_eq!(SHARD_BENCH_COLUMNS[0], "accesses_per_sec");
+        assert_eq!(SHARD_BENCH_COLUMNS[1], "speedup_vs_1w");
+        assert_eq!(SHARD_BENCH_COLUMNS.len(), 7);
+        assert_eq!(SHARD_BENCH_WORKERS, &[1, 2, 4, 8]);
+        assert_eq!(shard_bench_endpoints(71), 10_082);
         assert_eq!(FAULT_BENCH_COLUMNS[0], "compression_ratio");
         assert_eq!(FAULT_BENCH_COLUMNS.len(), 8);
         assert_eq!(FAULT_BENCH_WORKLOADS, &["dealII", "mcf"]);

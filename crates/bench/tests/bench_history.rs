@@ -1,17 +1,20 @@
 //! Regression gate over the committed `results/bench_history/` snapshots.
 //!
 //! Each PR that changes encode throughput commits its `BENCH_encode.json`
-//! as `results/bench_history/prNNNN.json` (iocost-database style: the
-//! history lives in the tree, so CI needs no external state). These tests
-//! are pure file checks — no measurement runs — so they are deterministic
-//! and cheap enough to run unconditionally.
+//! as `results/bench_history/prNNNN.json`, and each PR that changes
+//! simulator throughput commits its `BENCH_sim.json` as
+//! `prNNNN.sim.json` (iocost-database style: the history lives in the
+//! tree, so CI needs no external state). These tests are pure file checks
+//! — no measurement runs — so they are deterministic and cheap enough to
+//! run unconditionally.
 
 use cable_bench::report::{load_json, LoadedFigure};
 use std::fs;
 use std::path::PathBuf;
 
-/// The scheme whose throughput the gate tracks — the paper's headline
-/// configuration and the target of every encode-path optimization.
+/// The scheme whose throughput the gates track — the paper's headline
+/// configuration and the target of every encode- and simulator-path
+/// optimization.
 const GATED_SCHEME: &str = "CABLE+LBE";
 const RATE_COLUMN: &str = "accesses_per_sec";
 
@@ -26,15 +29,56 @@ fn repo_root() -> PathBuf {
         .expect("repo root resolves")
 }
 
-/// History entries as `(file name, parsed figure)`, sorted by file name —
-/// `prNNNN.json` names are zero-padded, so lexicographic order is PR order.
-fn history() -> Vec<(String, LoadedFigure)> {
+/// One tracked history: which snapshot files belong to it, the published
+/// root artifact it must mirror, and the figure id every file must carry.
+struct Track {
+    /// `prNNNN<suffix>` — `.json` for encode, `.sim.json` for simulator.
+    suffix: &'static str,
+    root_artifact: &'static str,
+    figure_id: &'static str,
+    /// Rate columns gated per snapshot (all must exist and never drop
+    /// more than [`MAX_REGRESSION`] between consecutive snapshots).
+    gated_columns: &'static [&'static str],
+}
+
+const TRACKS: &[Track] = &[
+    Track {
+        suffix: ".json",
+        root_artifact: "BENCH_encode.json",
+        figure_id: "BENCH_encode",
+        gated_columns: &[RATE_COLUMN],
+    },
+    Track {
+        suffix: ".sim.json",
+        root_artifact: "BENCH_sim.json",
+        figure_id: "BENCH_sim",
+        // Both scheduler paths are gated: `accesses_per_sec` is the
+        // event-driven + `SimArena` pipeline, `linear_accesses_per_sec`
+        // the seed linear scan it is measured against.
+        gated_columns: &[RATE_COLUMN, "linear_accesses_per_sec"],
+    },
+];
+
+/// Snapshot names of one track only: `prNNNN.json` must not claim the
+/// `prNNNN.sim.json` files, so the encode suffix rejects names whose stem
+/// still contains a dot.
+fn belongs_to(name: &str, suffix: &str) -> bool {
+    let Some(stem) = name.strip_suffix(suffix) else {
+        return false;
+    };
+    name.starts_with("pr") && !stem.contains('.')
+}
+
+/// History entries of one track as `(file name, parsed figure)`, sorted
+/// by file name — `prNNNN` names are zero-padded, so lexicographic order
+/// is PR order.
+fn history(track: &Track) -> Vec<(String, LoadedFigure)> {
     let dir = repo_root().join("results/bench_history");
     let mut names: Vec<String> = fs::read_dir(&dir)
         .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
         .map(|entry| entry.expect("readable dir entry").file_name())
         .map(|n| n.to_string_lossy().into_owned())
-        .filter(|n| n.starts_with("pr") && n.ends_with(".json"))
+        .filter(|n| belongs_to(n, track.suffix))
         .collect();
     names.sort();
     names
@@ -47,60 +91,85 @@ fn history() -> Vec<(String, LoadedFigure)> {
         .collect()
 }
 
-fn gated_rate(name: &str, fig: &LoadedFigure) -> f64 {
+fn gated_rate(name: &str, fig: &LoadedFigure, column: &str) -> f64 {
     let rate = fig
-        .value(GATED_SCHEME, RATE_COLUMN)
-        .unwrap_or_else(|| panic!("{name}: no {GATED_SCHEME}/{RATE_COLUMN} entry"));
+        .value(GATED_SCHEME, column)
+        .unwrap_or_else(|| panic!("{name}: no {GATED_SCHEME}/{column} entry"));
     assert!(rate.is_finite() && rate > 0.0, "{name}: bad rate {rate}");
     rate
 }
 
 #[test]
+fn snapshot_names_partition_cleanly_between_tracks() {
+    assert!(belongs_to("pr0001.json", ".json"));
+    assert!(!belongs_to("pr0007.sim.json", ".json"));
+    assert!(belongs_to("pr0007.sim.json", ".sim.json"));
+    assert!(!belongs_to("README.md", ".json"));
+}
+
+#[test]
 fn history_snapshots_are_well_formed() {
-    let entries = history();
-    assert!(!entries.is_empty(), "bench_history must hold >= 1 snapshot");
-    for (name, fig) in &entries {
-        assert_eq!(fig.id, "BENCH_encode", "{name}: wrong figure id");
+    for track in TRACKS {
+        let entries = history(track);
         assert!(
-            fig.columns.iter().any(|c| c == RATE_COLUMN),
-            "{name}: missing {RATE_COLUMN} column"
+            !entries.is_empty(),
+            "bench_history must hold >= 1 {} snapshot",
+            track.figure_id
         );
-        gated_rate(name, fig);
+        for (name, fig) in &entries {
+            assert_eq!(fig.id, track.figure_id, "{name}: wrong figure id");
+            for column in track.gated_columns {
+                assert!(
+                    fig.columns.iter().any(|c| c == column),
+                    "{name}: missing {column} column"
+                );
+                gated_rate(name, fig, column);
+            }
+        }
     }
 }
 
 #[test]
 fn newest_snapshot_matches_committed_bench_result() {
-    // The root BENCH_encode.json is the result the README quotes; the
-    // newest history entry must be the same measurement, or the snapshot
-    // step was forgotten.
-    let entries = history();
-    let (name, newest) = entries.last().expect("non-empty history");
-    let root_text =
-        fs::read_to_string(repo_root().join("BENCH_encode.json")).expect("committed bench result");
-    let root = load_json(&root_text).expect("committed bench result parses");
-    let snap = gated_rate(name, newest);
-    let published = gated_rate("BENCH_encode.json", &root);
-    assert!(
-        (snap - published).abs() <= published * 1e-9,
-        "{name} ({snap}) != published BENCH_encode.json ({published}); \
-         re-copy the snapshot"
-    );
+    // The root BENCH_*.json artifacts are the results the README quotes;
+    // the newest history entry of each track must be the same
+    // measurement, or the snapshot step was forgotten.
+    for track in TRACKS {
+        let entries = history(track);
+        let (name, newest) = entries.last().expect("non-empty history");
+        let root_text = fs::read_to_string(repo_root().join(track.root_artifact))
+            .unwrap_or_else(|e| panic!("committed {}: {e}", track.root_artifact));
+        let root = load_json(&root_text).expect("committed bench result parses");
+        for column in track.gated_columns {
+            let snap = gated_rate(name, newest, column);
+            let published = gated_rate(track.root_artifact, &root, column);
+            assert!(
+                (snap - published).abs() <= published * 1e-9,
+                "{name} {column} ({snap}) != published {} ({published}); \
+                 re-copy the snapshot",
+                track.root_artifact
+            );
+        }
+    }
 }
 
 #[test]
 fn throughput_never_regresses_more_than_15_percent() {
-    let entries = history();
-    for pair in entries.windows(2) {
-        let (prev_name, prev) = &pair[0];
-        let (next_name, next) = &pair[1];
-        let before = gated_rate(prev_name, prev);
-        let after = gated_rate(next_name, next);
-        assert!(
-            after >= before * (1.0 - MAX_REGRESSION),
-            "{next_name}: {GATED_SCHEME} fell to {after:.0} accesses/sec from \
-             {before:.0} in {prev_name} (> {:.0}% regression)",
-            MAX_REGRESSION * 100.0
-        );
+    for track in TRACKS {
+        let entries = history(track);
+        for pair in entries.windows(2) {
+            let (prev_name, prev) = &pair[0];
+            let (next_name, next) = &pair[1];
+            for column in track.gated_columns {
+                let before = gated_rate(prev_name, prev, column);
+                let after = gated_rate(next_name, next, column);
+                assert!(
+                    after >= before * (1.0 - MAX_REGRESSION),
+                    "{next_name}: {GATED_SCHEME} {column} fell to {after:.0} \
+                     accesses/sec from {before:.0} in {prev_name} (> {:.0}% regression)",
+                    MAX_REGRESSION * 100.0
+                );
+            }
+        }
     }
 }

@@ -23,7 +23,10 @@ commands:
   record <workload> <n> <file>     capture a synthetic trace (CBTR format)
   replay <file>                    evaluate compression schemes on a trace
   throughput <workload> [threads]  throughput speedups at a thread count
-  fabric <workload> [nodes] [GB/s] multi-chip PTP-link throughput (§V-B)
+  fabric <workload> [nodes] [GB/s] multi-chip PTP-link throughput (§V-B);
+                                   --shards N runs the epoch-parallel
+                                   engine on N workers (bit-identical to
+                                   the single-threaded run)
   stats <workload> [lines]         data-pattern statistics of a workload
   area                             Table III-style area overhead report
   trace <workload> [ins] [prefix]  run with telemetry; write <prefix>.jsonl
@@ -75,17 +78,29 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             throughput(name, threads as usize)
         }
         Some("fabric") => {
-            let name = args.get(1).ok_or("fabric needs a workload name")?;
-            let nodes = parse_or(args.get(2), 4)? as usize;
-            let gbps = args
-                .get(3)
+            let (rest, shards) = split_flag_value(&args[1..], "--shards")?;
+            let shards = shards
+                .map(|s| {
+                    s.parse::<usize>()
+                        .ok()
+                        .filter(|&w| w >= 1)
+                        .ok_or_else(|| format!("`{s}` is not a worker count (>= 1)"))
+                })
+                .transpose()?;
+            let name = rest
+                .first()
+                .copied()
+                .ok_or("fabric needs a workload name")?;
+            let nodes = parse_or(rest.get(1).copied(), 4)? as usize;
+            let gbps = rest
+                .get(2)
                 .map(|s| {
                     s.parse::<f64>()
                         .map_err(|_| format!("`{s}` is not a number"))
                 })
                 .transpose()?
                 .unwrap_or(2.4);
-            fabric(name, nodes, gbps)
+            fabric(name, nodes, gbps, shards)
         }
         Some("stats") => {
             let name = args.get(1).ok_or("stats needs a workload name")?;
@@ -114,6 +129,25 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
 
 fn some_str(s: &String) -> &String {
     s
+}
+
+/// Splits a `--flag value` pair out of an argument list, returning the
+/// remaining positional arguments and the flag's value (if present).
+fn split_flag_value<'a>(
+    args: &'a [String],
+    flag: &str,
+) -> Result<(Vec<&'a String>, Option<&'a String>), String> {
+    let mut rest = Vec::new();
+    let mut value = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            value = Some(it.next().ok_or_else(|| format!("{flag} needs a value"))?);
+        } else {
+            rest.push(a);
+        }
+    }
+    Ok((rest, value))
 }
 
 fn parse_or(arg: Option<&String>, default: u64) -> Result<u64, String> {
@@ -288,7 +322,7 @@ fn throughput(name: &str, threads: usize) -> Result<(), String> {
     Ok(())
 }
 
-fn fabric(name: &str, nodes: usize, gbps: f64) -> Result<(), String> {
+fn fabric(name: &str, nodes: usize, gbps: f64, shards: Option<usize>) -> Result<(), String> {
     if nodes < 2 {
         return Err("a fabric needs at least two chips".into());
     }
@@ -296,19 +330,24 @@ fn fabric(name: &str, nodes: usize, gbps: f64) -> Result<(), String> {
         return Err("PTP bandwidth must be positive".into());
     }
     let p = profile(name)?;
-    println!(
-        "{name}: {nodes}-chip fabric, {gbps} GB/s per PTP link
-"
-    );
+    let engine = match shards {
+        Some(w) => format!(", sharded across {w} workers"),
+        None => String::new(),
+    };
+    println!("{name}: {nodes}-chip fabric, {gbps} GB/s per PTP link{engine}\n");
+    let run = |f: &mut cable_sim::FabricSim| match shards {
+        Some(w) => f.run_sharded(20_000, w),
+        None => f.run(20_000),
+    };
     let mut base = cable_sim::FabricSim::new(p, Scheme::Uncompressed, nodes, gbps * 1e9);
-    let rb = base.run(20_000);
+    let rb = run(&mut base);
     println!("{:12} {:>12.3e} ins/s", "uncompressed", rb.ips());
     for scheme in [
         Scheme::Baseline(BaselineKind::Cpack),
         Scheme::Cable(EngineKind::Lbe),
     ] {
         let mut f = cable_sim::FabricSim::new(p, scheme, nodes, gbps * 1e9);
-        let r = f.run(20_000);
+        let r = run(&mut f);
         let s = f.coherence_stats();
         println!(
             "{:12} {:>12.3e} ins/s  ({:.2}x, PTP ratio {:.2}x)",
@@ -558,6 +597,23 @@ mod tests {
         assert!(run(&["fabric", "gcc", "4", "-1"])
             .unwrap_err()
             .contains("must be positive"));
+        assert!(run(&["fabric", "gcc", "4", "2.4", "--shards"])
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(run(&["fabric", "gcc", "4", "2.4", "--shards", "0"])
+            .unwrap_err()
+            .contains("worker count"));
+        assert!(run(&["fabric", "--shards", "x"])
+            .unwrap_err()
+            .contains("worker count"));
+    }
+
+    #[test]
+    fn fabric_runs_sharded_anywhere_on_the_command_line() {
+        // The flag may precede or follow the positionals; both drive the
+        // epoch-parallel engine over the same 2-chip fabric.
+        assert!(run(&["fabric", "povray", "2", "2.4", "--shards", "2"]).is_ok());
+        assert!(run(&["fabric", "--shards", "2", "povray", "2"]).is_ok());
     }
 
     #[test]

@@ -1,0 +1,17 @@
+//! Compile-time pin: link state must stay `Send` so the sharded engine
+//! (`cable-sim::shard`) can move per-chip pipelines into worker threads.
+//! Every boxed engine trait object carries a `+ Send` bound; if one is
+//! ever dropped, this file stops compiling instead of the shard engine
+//! breaking at a distance.
+
+use cable_core::{BaselineLink, CableLink, FaultyChannel, OooLink};
+
+fn assert_send<T: Send>() {}
+
+#[test]
+fn link_state_is_send() {
+    assert_send::<CableLink>();
+    assert_send::<BaselineLink>();
+    assert_send::<FaultyChannel>();
+    assert_send::<OooLink>();
+}

@@ -11,6 +11,27 @@
 //! reverse-direction traffic of the same physical link. This extends the
 //! compression-only [`crate::NumaSim`] with latency and bandwidth, letting
 //! the coherence use case be studied end to end.
+//!
+//! # Functional/timing split
+//!
+//! A chip's step is decomposed into two halves so the sharded engine
+//! ([`crate::shard`]) can parallelise it without changing a single
+//! result bit:
+//!
+//! - [`ChipNode::step_functional`] touches only *chip-private* state (the
+//!   workload generator, the private L1/L2, and this chip's directional
+//!   compression pipelines — each `(requester, home)` pipeline is driven
+//!   by exactly one requester) and records a [`StepTrace`] of the step's
+//!   timing-relevant facts;
+//! - [`FabricSim::apply_step_timing`] replays a trace against the *shared*
+//!   timing resources (PTP wires, local wires, DRAM channels) and the
+//!   chip's clock, in exactly the operation order of the original fused
+//!   step.
+//!
+//! Crucially, no functional decision ever reads `now_ps`, so a chip's
+//! functional future is independent of every other chip: traces can be
+//! produced arbitrarily far ahead, in parallel, and replayed in global
+//! `(now_ps, chip)` order afterwards.
 
 use crate::config::{CompressionLatency, SystemConfig};
 use crate::hier::fill_l2_l1;
@@ -18,14 +39,14 @@ use crate::resources::{DramModel, SharedLink};
 use crate::sched::Scheduler;
 use crate::thread::{CompressedLink, Scheme};
 use cable_cache::{CacheGeometry, SetAssocCache};
-use cable_common::LineData;
-use cable_core::{LinkStats, TransferKind};
+use cable_common::Address;
+use cable_core::{FaultConfig, FaultStats, LinkStats, TransferKind};
 use cable_telemetry::Telemetry;
 use cable_trace::{WorkloadGen, WorkloadProfile};
 use std::fmt;
 
 /// Result of a fabric run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FabricResult {
     /// Total instructions retired across all chips.
     pub instructions: u64,
@@ -41,39 +62,229 @@ impl FabricResult {
     }
 }
 
-struct Chip {
+/// The timing-relevant record of one functional step, replayed against the
+/// shared resources by [`FabricSim::apply_step_timing`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct StepTrace {
+    /// Compute-gap time preceding the access.
+    gap_ps: u64,
+    /// Fixed hit/miss latency the chip waits through (L1, +L2, +LLC for
+    /// the levels actually traversed).
+    wait_ps: u64,
+    /// Present when the access missed through to the home node and blocks
+    /// on L4/DRAM plus a wire transfer.
+    blocking: Option<BlockingTrace>,
+    /// Present when the fill displaced a dirty L2 victim whose write-back
+    /// consumed wire bandwidth (silent upgrades don't).
+    writeback: Option<WritebackTrace>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BlockingTrace {
+    home: usize,
+    addr: Address,
+    home_hit: bool,
+    delta_bits: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct WritebackTrace {
+    home: usize,
+    delta_bits: u64,
+}
+
+/// One chip: its workload, private hierarchy, and every compression
+/// pipeline it drives (the directional `(self, home)` pipelines plus the
+/// local memory path in the self slot). Owning the pipelines per chip is
+/// what lets the shard engine hand disjoint `&mut ChipNode`s to worker
+/// threads.
+pub(crate) struct ChipNode {
     gen: WorkloadGen,
     l1: SetAssocCache,
     l2: SetAssocCache,
+    /// True timing clock, advanced only by [`FabricSim::apply_step_timing`].
     now_ps: u64,
     retired: u64,
+    /// Memory accesses simulated (one per step).
+    accesses: u64,
+    /// Stamp clock for functional-phase telemetry: synced to `now_ps`
+    /// whenever timing is known (single-threaded mode after every step,
+    /// sharded mode at each epoch refill), advanced contention-free by the
+    /// functional phase in between.
+    fn_clock: u64,
+    /// `links[home]`: the compression pipeline toward `home`;
+    /// `links[self]` is the local memory path.
+    links: Vec<CompressedLink>,
+}
+
+impl ChipNode {
+    /// Runs the functional half of one step: generator, private L1/L2,
+    /// compression pipeline(s). Touches no shared timing state; returns
+    /// the [`StepTrace`] for replay. `tel` stamps pipeline events at the
+    /// chip's contention-free stamp clock.
+    pub(crate) fn step_functional(
+        &mut self,
+        nodes: usize,
+        config: &SystemConfig,
+        latency: CompressionLatency,
+        tel: &Telemetry,
+    ) -> StepTrace {
+        let c = config;
+        let access = self.gen.next_access();
+        self.retired += u64::from(access.compute_gap) + 1;
+        self.accesses += 1;
+        let gap_ps = c.cycles_to_ps(u64::from(access.compute_gap));
+        self.fn_clock += gap_ps;
+        tel.set_now_ps(self.fn_clock);
+
+        // Private L1/L2.
+        let mut wait_ps = c.cycles_to_ps(c.l1_latency_cy);
+        if self.l1.access(access.addr).is_some() {
+            if access.is_write {
+                let data = self.gen.store_data(access.addr);
+                self.l1.write(access.addr, data);
+            }
+            self.fn_clock += wait_ps;
+            return StepTrace {
+                gap_ps,
+                wait_ps,
+                blocking: None,
+                writeback: None,
+            };
+        }
+        wait_ps += c.cycles_to_ps(c.l2_latency_cy);
+        if self.l2.access(access.addr).is_some() {
+            let writeback = self.fill_upper(nodes, access.addr, access.is_write);
+            self.fn_clock += wait_ps;
+            return StepTrace {
+                gap_ps,
+                wait_ps,
+                blocking: None,
+                writeback,
+            };
+        }
+
+        // LLC level: local or remote home.
+        let home = (access.addr.page_number() % nodes as u64) as usize;
+        let memory = self.gen.content(access.addr);
+        wait_ps += c.cycles_to_ps(c.llc_latency_cy);
+
+        let (t, delta_bits) = {
+            let pipeline = &mut self.links[home];
+            let before = pipeline.stats().wire_bits;
+            let t = if access.is_write {
+                let t = pipeline.request_exclusive(access.addr, memory);
+                let data = self.gen.store_data(access.addr);
+                pipeline.remote_store(access.addr, data);
+                t
+            } else {
+                pipeline.request(access.addr, memory)
+            };
+            (t, pipeline.stats().wire_bits - before)
+        };
+        if t.kind() == TransferKind::RemoteHit {
+            let writeback = self.fill_upper(nodes, access.addr, access.is_write);
+            self.fn_clock += wait_ps;
+            return StepTrace {
+                gap_ps,
+                wait_ps,
+                blocking: None,
+                writeback,
+            };
+        }
+
+        let blocking = Some(BlockingTrace {
+            home,
+            addr: access.addr,
+            home_hit: t.home_hit(),
+            delta_bits,
+        });
+        let writeback = self.fill_upper(nodes, access.addr, access.is_write);
+        // Contention-free stamp advance: the fixed latencies, without the
+        // DRAM/wire queueing only the replay knows.
+        self.fn_clock +=
+            wait_ps + c.cycles_to_ps(c.l4_latency_cy) + c.cycles_to_ps(latency.total_cycles());
+        StepTrace {
+            gap_ps,
+            wait_ps,
+            blocking,
+            writeback,
+        }
+    }
+
+    /// Functional half of the fill path: fills L2/L1, applies the store,
+    /// and pushes any dirty L2 victim through the home pipeline. Returns
+    /// the wire-bandwidth record of a non-silent write-back. Like the
+    /// thread model's spill, write-backs overlap execution (the store
+    /// buffer hides them), so only the wire's bandwidth is consumed — at
+    /// replay time, via the returned trace.
+    fn fill_upper(
+        &mut self,
+        nodes: usize,
+        addr: Address,
+        is_write: bool,
+    ) -> Option<WritebackTrace> {
+        let line = self.gen.content(addr);
+        let store = is_write.then(|| self.gen.store_data(addr));
+        let victim = fill_l2_l1(&mut self.l1, &mut self.l2, addr, line, store)?;
+        let home = (victim.addr.page_number() % nodes as u64) as usize;
+        let pipeline = &mut self.links[home];
+        // Resident at the home: silent upgrade, the link compresses the
+        // eventual write-back on home-side eviction.
+        if pipeline.remote_store(victim.addr, victim.data) {
+            return None;
+        }
+        // Read-for-ownership through the link, then store. The wire call
+        // is replayed even for zero delta bits — `SharedLink::transfer`
+        // observably raises `busy_until` on idle links.
+        let before = pipeline.stats().wire_bits;
+        pipeline.request_exclusive(victim.addr, victim.data);
+        pipeline.remote_store(victim.addr, victim.data);
+        Some(WritebackTrace {
+            home,
+            delta_bits: pipeline.stats().wire_bits - before,
+        })
+    }
+
+    pub(crate) fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    pub(crate) fn now_ps(&self) -> u64 {
+        self.now_ps
+    }
+
+    pub(crate) fn sync_fn_clock(&mut self) {
+        self.fn_clock = self.now_ps;
+    }
+
+    pub(crate) fn set_link_telemetry(&mut self, tel: &Telemetry) {
+        for l in &mut self.links {
+            l.set_telemetry(tel.clone());
+        }
+    }
 }
 
 /// A fully-connected multi-chip CMP with compressed coherence links.
 pub struct FabricSim {
     nodes: usize,
-    chips: Vec<Chip>,
-    /// Per ordered (requester, home) pair with requester != home: the CABLE
-    /// (or baseline) pipeline of that direction.
-    pipelines: Vec<CompressedLink>,
+    pub(crate) chips: Vec<ChipNode>,
     /// Per unordered chip pair: the shared physical PTP wire.
     wires: Vec<SharedLink>,
-    /// Per chip: the local memory path.
-    local_links: Vec<CompressedLink>,
     local_wires: Vec<SharedLink>,
     drams: Vec<DramModel>,
     config: SystemConfig,
     latency: CompressionLatency,
     /// PTP link bandwidth in bytes/s.
     ptp_bytes_per_sec: f64,
-    tel: Telemetry,
+    pub(crate) tel: Telemetry,
 }
 
 impl FabricSim {
     /// Creates a `nodes`-chip fabric running one `profile` thread per chip
     /// under `scheme`, with `ptp_bytes_per_sec` of bandwidth per PTP link
     /// (QPI-class links are ~19.2 GB/s; scale down to model oversubscribed
-    /// systems).
+    /// systems), using the Table IV configuration.
     ///
     /// # Panics
     ///
@@ -85,28 +296,67 @@ impl FabricSim {
         nodes: usize,
         ptp_bytes_per_sec: f64,
     ) -> Self {
+        Self::with_config(
+            profile,
+            scheme,
+            nodes,
+            ptp_bytes_per_sec,
+            &SystemConfig::paper_defaults(),
+        )
+    }
+
+    /// [`FabricSim::new`] with an explicit [`SystemConfig`] — smaller cache
+    /// geometries make 10k-endpoint meshes affordable, and `config.fault`
+    /// arms fault injection on every CABLE pipeline with per-pipeline
+    /// decorrelated seeds (same schedule-splitting idiom as
+    /// [`crate::ThreadSim`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2` or the bandwidth is not positive.
+    #[must_use]
+    pub fn with_config(
+        profile: &'static WorkloadProfile,
+        scheme: Scheme,
+        nodes: usize,
+        ptp_bytes_per_sec: f64,
+        config: &SystemConfig,
+    ) -> Self {
         assert!(nodes >= 2, "a fabric needs at least two chips");
         assert!(ptp_bytes_per_sec > 0.0, "PTP bandwidth must be positive");
-        let config = SystemConfig::paper_defaults();
+        let config = *config;
         let remote = CacheGeometry::new(config.llc_bytes, config.llc_ways);
         let home = CacheGeometry::new(config.l4_bytes, config.l4_ways);
         let chips = (0..nodes)
-            .map(|i| Chip {
-                gen: WorkloadGen::new(profile, i as u64),
-                l1: SetAssocCache::new(CacheGeometry::new(config.l1_bytes, config.l1_ways)),
-                l2: SetAssocCache::new(CacheGeometry::new(config.l2_bytes, config.l2_ways)),
-                now_ps: 0,
-                retired: 0,
+            .map(|i| {
+                let links = (0..nodes)
+                    .map(|h| {
+                        let mut link =
+                            CompressedLink::build(scheme, home, remote, config.link_width_bits);
+                        if let Some(fault) = config.fault {
+                            let instance = (i * nodes + h) as u64;
+                            link.enable_fault_injection(FaultConfig {
+                                seed: fault.seed ^ instance.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                                ..fault
+                            });
+                        }
+                        link
+                    })
+                    .collect();
+                ChipNode {
+                    gen: WorkloadGen::new(profile, i as u64),
+                    l1: SetAssocCache::new(CacheGeometry::new(config.l1_bytes, config.l1_ways)),
+                    l2: SetAssocCache::new(CacheGeometry::new(config.l2_bytes, config.l2_ways)),
+                    now_ps: 0,
+                    retired: 0,
+                    accesses: 0,
+                    fn_clock: 0,
+                    links,
+                }
             })
-            .collect();
-        let pipelines = (0..nodes * nodes)
-            .map(|_| CompressedLink::build(scheme, home, remote, config.link_width_bits))
             .collect();
         let wires = (0..nodes * (nodes - 1) / 2)
             .map(|_| SharedLink::new(ptp_bytes_per_sec, config.link_setup_ps))
-            .collect();
-        let local_links = (0..nodes)
-            .map(|_| CompressedLink::build(scheme, home, remote, config.link_width_bits))
             .collect();
         let local_wires = (0..nodes)
             .map(|_| SharedLink::from_config(&config))
@@ -117,9 +367,7 @@ impl FabricSim {
         FabricSim {
             nodes,
             chips,
-            pipelines,
             wires,
-            local_links,
             local_wires,
             drams,
             config,
@@ -134,11 +382,8 @@ impl FabricSim {
     /// advances the handle's sim-time clock, so events carry the clock of
     /// whichever chip generated them.
     pub fn set_telemetry(&mut self, tel: Telemetry) {
-        for p in &mut self.pipelines {
-            p.set_telemetry(tel.clone());
-        }
-        for l in &mut self.local_links {
-            l.set_telemetry(tel.clone());
+        for chip in &mut self.chips {
+            chip.set_link_telemetry(&tel);
         }
         for (hop, w) in self.wires.iter_mut().enumerate() {
             // PTP mesh wires carry a hop id (their triangular pair
@@ -156,8 +401,14 @@ impl FabricSim {
         self.tel = tel;
     }
 
-    fn pipeline_index(&self, requester: usize, home: usize) -> usize {
-        requester * self.nodes + home
+    /// Number of chips in the fabric.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    pub(crate) fn sim_params(&self) -> (SystemConfig, CompressionLatency) {
+        (self.config, self.latency)
     }
 
     fn wire_index(&self, a: usize, b: usize) -> usize {
@@ -196,6 +447,13 @@ impl FabricSim {
         self.result()
     }
 
+    /// Runs until every chip retires `instructions_per_chip`, sharded
+    /// across `workers` OS threads — bit-identical to [`FabricSim::run`]
+    /// for every worker count (see [`crate::shard`]).
+    pub fn run_sharded(&mut self, instructions_per_chip: u64, workers: usize) -> FabricResult {
+        crate::shard::run_fabric_sharded(self, instructions_per_chip, workers)
+    }
+
     /// The seed O(N)-scan scheduler, kept verbatim as the equivalence
     /// oracle for [`FabricSim::run`]: the `sched_equivalence` tests and the
     /// `BENCH_sim` speedup measurement both drive it.
@@ -211,131 +469,52 @@ impl FabricSim {
         self.result()
     }
 
-    fn result(&self) -> FabricResult {
+    pub(crate) fn result(&self) -> FabricResult {
         FabricResult {
             instructions: self.chips.iter().map(|c| c.retired).sum(),
             elapsed_ps: self.chips.iter().map(|c| c.now_ps).max().unwrap_or(0),
         }
     }
 
+    /// One fused step: functional half, then its timing replay. The
+    /// single-threaded drivers call this back-to-back, so the stamp clock
+    /// can track the true clock exactly.
     fn step_chip(&mut self, idx: usize) {
+        let trace =
+            self.chips[idx].step_functional(self.nodes, &self.config, self.latency, &self.tel);
+        self.apply_step_timing(idx, &trace);
+        self.chips[idx].sync_fn_clock();
+    }
+
+    /// Replays one [`StepTrace`] against the shared timing resources, in
+    /// exactly the operation order of the original fused step: clock
+    /// advance, then L4 + DRAM + compression latency + wire for a blocking
+    /// miss, then the (non-blocking) victim write-back's wire occupancy at
+    /// the step's final clock.
+    pub(crate) fn apply_step_timing(&mut self, idx: usize, trace: &StepTrace) {
         let c = &self.config;
-        let access = self.chips[idx].gen.next_access();
-        self.chips[idx].retired += u64::from(access.compute_gap) + 1;
-        self.chips[idx].now_ps += c.cycles_to_ps(u64::from(access.compute_gap));
-        self.tel.set_now_ps(self.chips[idx].now_ps);
-
-        // Private L1/L2.
-        self.chips[idx].now_ps += c.cycles_to_ps(c.l1_latency_cy);
-        if self.chips[idx].l1.access(access.addr).is_some() {
-            if access.is_write {
-                let data = self.chips[idx].gen.store_data(access.addr);
-                self.chips[idx].l1.write(access.addr, data);
+        self.chips[idx].now_ps += trace.gap_ps + trace.wait_ps;
+        if let Some(b) = &trace.blocking {
+            let mut ready = self.chips[idx].now_ps + c.cycles_to_ps(c.l4_latency_cy);
+            if !b.home_hit {
+                ready = self.drams[b.home].access(ready, b.addr);
             }
-            return;
-        }
-        self.chips[idx].now_ps += c.cycles_to_ps(c.l2_latency_cy);
-        if self.chips[idx].l2.access(access.addr).is_some() {
-            self.fill_upper(idx, access.addr, access.is_write);
-            return;
-        }
-
-        // LLC level: local or remote home.
-        let home = self.home_node(access.addr);
-        let memory = self.chips[idx].gen.content(access.addr);
-        self.chips[idx].now_ps += c.cycles_to_ps(c.llc_latency_cy);
-
-        let (link, wire_kind) = if home == idx {
-            (idx, None)
-        } else {
-            (
-                self.pipeline_index(idx, home),
-                Some(self.wire_index(idx, home)),
-            )
-        };
-        let transfer = {
-            let pipeline = if wire_kind.is_some() {
-                &mut self.pipelines[link]
+            ready += c.cycles_to_ps(self.latency.total_cycles());
+            ready = if b.home == idx {
+                self.local_wires[idx].transfer(ready, b.delta_bits)
             } else {
-                &mut self.local_links[link]
+                let w = self.wire_index(idx, b.home);
+                self.wires[w].transfer(ready, b.delta_bits)
             };
-            let before = pipeline.stats().wire_bits;
-            let t = if access.is_write {
-                let t = pipeline.request_exclusive(access.addr, memory);
-                let data = self.chips[idx].gen.store_data(access.addr);
-                pipeline.remote_store(access.addr, data);
-                t
+            self.chips[idx].now_ps = ready;
+        }
+        if let Some(wb) = &trace.writeback {
+            let now = self.chips[idx].now_ps;
+            if wb.home == idx {
+                self.local_wires[idx].transfer(now, wb.delta_bits);
             } else {
-                pipeline.request(access.addr, memory)
-            };
-            (t, pipeline.stats().wire_bits - before)
-        };
-        let (t, delta_bits) = transfer;
-        if t.kind() == TransferKind::RemoteHit {
-            self.fill_upper(idx, access.addr, access.is_write);
-            return;
-        }
-
-        // Home-side latency (L4 + optional DRAM at the home chip).
-        let mut ready = self.chips[idx].now_ps + c.cycles_to_ps(c.l4_latency_cy);
-        if !t.home_hit() {
-            ready = self.drams[home].access(ready, access.addr);
-        }
-        ready += c.cycles_to_ps(self.latency.total_cycles());
-        ready = match wire_kind {
-            Some(w) => self.wires[w].transfer(ready, delta_bits),
-            None => self.local_wires[idx].transfer(ready, delta_bits),
-        };
-        self.chips[idx].now_ps = ready;
-        self.fill_upper(idx, access.addr, access.is_write);
-    }
-
-    fn fill_upper(&mut self, idx: usize, addr: cable_common::Address, is_write: bool) {
-        let chip = &mut self.chips[idx];
-        let line = chip.gen.content(addr);
-        let store = is_write.then(|| chip.gen.store_data(addr));
-        let victim = fill_l2_l1(&mut chip.l1, &mut chip.l2, addr, line, store);
-        if let Some(v) = victim {
-            self.write_back_victim(idx, v.addr, v.data);
-        }
-    }
-
-    /// Writes a dirty L2 victim back to its home over the owning link —
-    /// the fabric's policy for the victim [`fill_l2_l1`] returns. Like the
-    /// thread model's spill, write-backs overlap execution (the store
-    /// buffer hides them), so only the wire's bandwidth is consumed.
-    fn write_back_victim(&mut self, idx: usize, addr: cable_common::Address, data: LineData) {
-        let home = self.home_node(addr);
-        let (link, wire_kind) = if home == idx {
-            (idx, None)
-        } else {
-            (
-                self.pipeline_index(idx, home),
-                Some(self.wire_index(idx, home)),
-            )
-        };
-        let pipeline = if wire_kind.is_some() {
-            &mut self.pipelines[link]
-        } else {
-            &mut self.local_links[link]
-        };
-        // Resident at the home: silent upgrade, the link compresses the
-        // eventual write-back on home-side eviction.
-        if pipeline.remote_store(addr, data) {
-            return;
-        }
-        // Read-for-ownership through the link, then store.
-        let before = pipeline.stats().wire_bits;
-        pipeline.request_exclusive(addr, data);
-        pipeline.remote_store(addr, data);
-        let delta_bits = pipeline.stats().wire_bits - before;
-        let now = self.chips[idx].now_ps;
-        match wire_kind {
-            Some(w) => {
-                self.wires[w].transfer(now, delta_bits);
-            }
-            None => {
-                self.local_wires[idx].transfer(now, delta_bits);
+                let w = self.wire_index(idx, wb.home);
+                self.wires[w].transfer(now, wb.delta_bits);
             }
         }
     }
@@ -345,23 +524,106 @@ impl FabricSim {
     #[must_use]
     pub fn coherence_stats(&self) -> LinkStats {
         let mut total = LinkStats::default();
-        for (i, p) in self.pipelines.iter().enumerate() {
-            let (req, home) = (i / self.nodes, i % self.nodes);
-            if req == home {
-                continue;
+        for (i, chip) in self.chips.iter().enumerate() {
+            for (home, p) in chip.links.iter().enumerate() {
+                if home == i {
+                    continue;
+                }
+                let s = p.stats();
+                total.fills += s.fills;
+                total.remote_hits += s.remote_hits;
+                total.writebacks += s.writebacks;
+                total.uncompressed_bits += s.uncompressed_bits;
+                total.wire_bits += s.wire_bits;
+                total.payload_bits += s.payload_bits;
+                total.raw_transfers += s.raw_transfers;
+                total.unseeded_transfers += s.unseeded_transfers;
+                total.diff_transfers += s.diff_transfers;
             }
-            let s = p.stats();
-            total.fills += s.fills;
-            total.remote_hits += s.remote_hits;
-            total.writebacks += s.writebacks;
-            total.uncompressed_bits += s.uncompressed_bits;
-            total.wire_bits += s.wire_bits;
-            total.payload_bits += s.payload_bits;
-            total.raw_transfers += s.raw_transfers;
-            total.unseeded_transfers += s.unseeded_transfers;
-            total.diff_transfers += s.diff_transfers;
         }
         total
+    }
+
+    /// Aggregated fault-injection statistics across every CABLE pipeline
+    /// (coherence and local), when `config.fault` armed them.
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        let mut total: Option<FaultStats> = None;
+        for chip in &self.chips {
+            for l in &chip.links {
+                if let Some(fs) = l.fault_stats() {
+                    let t = total.get_or_insert_with(FaultStats::default);
+                    t.frames_sent += fs.frames_sent;
+                    t.injected_frames += fs.injected_frames;
+                    t.injected_bit_flips += fs.injected_bit_flips;
+                    t.injected_truncations += fs.injected_truncations;
+                    t.dropped_notices += fs.dropped_notices;
+                    t.delayed_notices += fs.delayed_notices;
+                    t.detected += fs.detected;
+                    t.recovered += fs.recovered;
+                    t.nacks += fs.nacks;
+                    t.fallback_raw += fs.fallback_raw;
+                    t.retransmitted_bits += fs.retransmitted_bits;
+                    t.escalations += fs.escalations;
+                }
+            }
+        }
+        total
+    }
+
+    /// A digest of every shared timing resource plus per-chip clocks and
+    /// access counts — two runs are timing-equivalent iff their
+    /// fingerprints match. Used by the shard-determinism tests.
+    #[must_use]
+    pub fn timing_fingerprint(&self) -> Vec<u64> {
+        let mut fp = Vec::with_capacity(self.nodes * 3 + self.wires.len() * 2);
+        for chip in &self.chips {
+            fp.push(chip.now_ps);
+            fp.push(chip.retired);
+            fp.push(chip.accesses);
+        }
+        for w in self.wires.iter().chain(&self.local_wires) {
+            fp.push(w.bits_sent());
+            fp.push(w.busy_ps_total());
+            fp.push(w.busy_until());
+        }
+        for d in &self.drams {
+            fp.push(d.accesses());
+        }
+        fp
+    }
+
+    /// Memory accesses simulated so far, across all chips (one access per
+    /// scheduler step — the numerator of simulated-accesses/sec).
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.chips.iter().map(|c| c.accesses).sum()
+    }
+
+    /// Per-link stats of every coherence pipeline, in `(requester, home)`
+    /// row-major order (requester != home) — the byte-identity surface of
+    /// the shard equivalence tests.
+    #[must_use]
+    pub fn pipeline_stats(&self) -> Vec<LinkStats> {
+        let mut out = Vec::with_capacity(self.nodes * (self.nodes - 1));
+        for (i, chip) in self.chips.iter().enumerate() {
+            for (home, p) in chip.links.iter().enumerate() {
+                if home != i {
+                    out.push(*p.stats());
+                }
+            }
+        }
+        out
+    }
+
+    /// Stats of each chip's local memory link.
+    #[must_use]
+    pub fn local_link_stats(&self) -> Vec<LinkStats> {
+        self.chips
+            .iter()
+            .enumerate()
+            .map(|(i, chip)| *chip.links[i].stats())
+            .collect()
     }
 
     /// The configured PTP bandwidth in bytes per second.
@@ -480,8 +742,27 @@ mod tests {
         );
         f.run(5_000);
         let coherence = f.coherence_stats();
-        let local: u64 = f.local_links.iter().map(|l| l.stats().fills).sum();
+        let local: u64 = f.local_link_stats().iter().map(|s| s.fills).sum();
         assert!(coherence.fills > 0);
         assert!(local > 0);
+    }
+
+    #[test]
+    fn with_config_arms_decorrelated_fault_injection() {
+        let cfg = SystemConfig {
+            fault: Some(cable_core::FaultConfig::with_rate(0xfab, 1e-3)),
+            ..SystemConfig::paper_defaults()
+        };
+        let mut f = FabricSim::with_config(
+            by_name("mcf").unwrap(),
+            Scheme::Cable(EngineKind::Lbe),
+            4,
+            19.2e9,
+            &cfg,
+        );
+        f.run(20_000);
+        let fs = f.fault_stats().expect("fault mode must be armed");
+        assert!(fs.injected_bit_flips > 0, "rate 1e-3 must flip bits");
+        assert_eq!(fs.recovered, fs.detected);
     }
 }

@@ -14,6 +14,9 @@
 //! - [`adaptive`]: the §VI-D on/off compression controller;
 //! - [`sched`]: the event-driven [`Scheduler`]/[`DoneTracker`] core shared
 //!   by every multi-actor timing loop;
+//! - [`shard`]: the epoch-synchronized parallel engine behind
+//!   [`FabricSim::run_sharded`] and [`NumaSim::run_sharded`] —
+//!   bit-identical to the single-threaded runs for every worker count;
 //! - [`arena`]: the [`SimArena`] warm-state cache that amortises group
 //!   warm-up across sweep points.
 //!
@@ -41,6 +44,7 @@ mod hier;
 pub mod numa;
 pub mod resources;
 pub mod sched;
+pub mod shard;
 pub mod single;
 pub mod thread;
 pub mod throughput;
@@ -52,6 +56,7 @@ pub use fabric::{FabricResult, FabricSim};
 pub use numa::NumaSim;
 pub use resources::{DramModel, SharedLink};
 pub use sched::{DoneTracker, Scheduler};
+pub use shard::{ShardPlan, EPOCH_STEPS};
 pub use single::{run_single, run_single_telemetry, run_single_warmed, SingleResult};
 pub use thread::{CompressedLink, Scheme, ThreadSim};
 pub use throughput::{

@@ -8,9 +8,11 @@
 //! pages across nodes" — compression ratios come out slightly lower than
 //! the memory link "due to more dirty line transfers".
 
+use crate::sched::Scheduler;
+use crate::shard::{for_each_shard, ShardPlan};
 use crate::thread::{CompressedLink, Scheme};
 use cable_cache::CacheGeometry;
-use cable_common::Address;
+use cable_common::{Address, LineData};
 use cable_core::LinkStats;
 use cable_telemetry::Telemetry;
 use cable_trace::{WorkloadGen, WorkloadProfile};
@@ -20,6 +22,31 @@ use cable_trace::{WorkloadGen, WorkloadProfile};
 /// functional; the clock only spreads trace timestamps so `cable
 /// report` timelines and phase windows are meaningful.
 pub const NUMA_OP_PITCH_PS: u64 = 1_000;
+
+/// Accesses dispatched per epoch by [`NumaSim::run_sharded`] before the
+/// parallel link-drain barrier. Bounds queued-op memory; the value does
+/// not affect results, only wall-clock.
+pub const NUMA_EPOCH_OPS: u64 = 4_096;
+
+/// One remote access, fully materialized by the sequential dispatch pass
+/// so any worker can replay it against the owning link.
+#[derive(Clone, Copy, Debug)]
+struct LinkOp {
+    link: usize,
+    addr: Address,
+    memory: LineData,
+    store: Option<LineData>,
+    now_ps: u64,
+}
+
+/// Pairs each link with its op queue so one `chunks_mut` hands both to a
+/// worker.
+fn zip_queues<'a>(
+    links: &'a mut [CompressedLink],
+    queues: &'a mut [Vec<LinkOp>],
+) -> Vec<(&'a mut CompressedLink, &'a mut Vec<LinkOp>)> {
+    links.iter_mut().zip(queues.iter_mut()).collect()
+}
 
 /// A NUMA compression study over one benchmark.
 pub struct NumaSim {
@@ -91,11 +118,38 @@ impl NumaSim {
     /// Runs `accesses` memory accesses, compressing all cross-chip traffic.
     ///
     /// This study is functional, not timed — it measures what the link
-    /// compresses, not when — so local accesses cost nothing here: they
-    /// never fetch line content and never touch a link. (That is also why
-    /// `NumaSim` does not sit on the [`Scheduler`](crate::Scheduler) event
-    /// core: there are no per-actor clocks to order.)
+    /// compresses, not when — but it now sits on the shared
+    /// [`Scheduler`](crate::Scheduler) event core like every other
+    /// multi-actor loop: the generator is an actor enqueued at its next
+    /// operation time (one [`NUMA_OP_PITCH_PS`] per access), so the shard
+    /// engine and the report timelines see the same event-driven clock
+    /// discipline as the timed simulators. The seed straight-line loop is
+    /// kept verbatim as [`NumaSim::run_linear`], the equivalence oracle.
     pub fn run(&mut self, accesses: u64) {
+        let mut sched = Scheduler::with_capacity(1);
+        let mut remaining = accesses;
+        if remaining > 0 {
+            sched.push(self.now_ps + NUMA_OP_PITCH_PS, 0);
+        }
+        while let Some((t, actor)) = sched.pop() {
+            self.now_ps = t;
+            self.tel.set_now_ps(self.now_ps);
+            let op = self.next_op();
+            if let Some(op) = op {
+                Self::apply_op(&mut self.links[op.link], &self.tel, &op);
+            }
+            remaining -= 1;
+            if remaining > 0 {
+                sched.push(self.now_ps + NUMA_OP_PITCH_PS, actor);
+            }
+        }
+    }
+
+    /// The seed O(accesses) straight-line loop, kept verbatim as the
+    /// equivalence oracle for [`NumaSim::run`] and
+    /// [`NumaSim::run_sharded`].
+    #[doc(hidden)]
+    pub fn run_linear(&mut self, accesses: u64) {
         for _ in 0..accesses {
             let access = self.gen.next_access();
             self.now_ps += NUMA_OP_PITCH_PS;
@@ -115,6 +169,97 @@ impl NumaSim {
             } else {
                 link.request(access.addr, memory);
             }
+        }
+    }
+
+    /// Runs `accesses` accesses with the per-link work sharded across
+    /// `workers` OS threads — bit-identical to [`NumaSim::run`] for every
+    /// worker count.
+    ///
+    /// The generator is a single sequential stream, so each epoch first
+    /// dispatches [`NUMA_EPOCH_OPS`] accesses inline (advancing the
+    /// generator and the coarse clock exactly as [`NumaSim::run`] does,
+    /// including the in-order `content`/`store_data` calls), queueing each
+    /// remote operation — with its payloads and timestamp — onto its
+    /// link's queue. The links are then drained in parallel: every link is
+    /// driven by exactly one worker, each op under the shard's forked
+    /// telemetry clock set to the op's dispatch stamp, so per-link state,
+    /// stats and event stamps match the sequential run exactly.
+    pub fn run_sharded(&mut self, accesses: u64, workers: usize) {
+        let plan = ShardPlan::new(self.links.len(), workers);
+        let parent = self.tel.clone();
+        let forks: Vec<Telemetry> = (0..plan.shards()).map(|_| parent.fork_shard()).collect();
+        if parent.is_enabled() {
+            for (i, link) in self.links.iter_mut().enumerate() {
+                link.set_telemetry(forks[plan.shard_of(i)].clone());
+            }
+        }
+
+        let mut queues: Vec<Vec<LinkOp>> = vec![Vec::new(); self.links.len()];
+        let mut remaining = accesses;
+        while remaining > 0 {
+            let epoch = remaining.min(NUMA_EPOCH_OPS);
+            for _ in 0..epoch {
+                self.now_ps += NUMA_OP_PITCH_PS;
+                self.tel.set_now_ps(self.now_ps);
+                if let Some(op) = self.next_op() {
+                    queues[op.link].push(op);
+                }
+            }
+            remaining -= epoch;
+
+            let mut work = zip_queues(&mut self.links, &mut queues);
+            for_each_shard(&mut work, plan.chunk_len(), |shard, pairs| {
+                let tel = &forks[shard];
+                for (link, queue) in pairs.iter_mut() {
+                    for op in queue.iter() {
+                        Self::apply_op(link, tel, op);
+                    }
+                    queue.clear();
+                }
+            });
+        }
+
+        if parent.is_enabled() {
+            for link in &mut self.links {
+                link.set_telemetry(parent.clone());
+            }
+            parent.absorb_shards(&forks);
+        }
+    }
+
+    /// Generates one access and classifies it: `None` for a local access
+    /// (counted, touches no link), or the fully-materialized remote
+    /// operation. All generator calls happen here, in the exact order of
+    /// the seed loop, so the single stream stays deterministic no matter
+    /// who later drives the link.
+    fn next_op(&mut self) -> Option<LinkOp> {
+        let access = self.gen.next_access();
+        let node = self.home_node(access.addr);
+        if node == 0 {
+            self.local_accesses += 1;
+            return None;
+        }
+        self.remote_accesses += 1;
+        let memory = self.gen.content(access.addr);
+        let store = access.is_write.then(|| self.gen.store_data(access.addr));
+        Some(LinkOp {
+            link: node - 1,
+            addr: access.addr,
+            memory,
+            store,
+            now_ps: self.now_ps,
+        })
+    }
+
+    /// Drives one queued operation into its link under `tel`'s clock.
+    fn apply_op(link: &mut CompressedLink, tel: &Telemetry, op: &LinkOp) {
+        tel.set_now_ps(op.now_ps);
+        if let Some(data) = op.store {
+            link.request_exclusive(op.addr, op.memory);
+            link.remote_store(op.addr, data);
+        } else {
+            link.request(op.addr, op.memory);
         }
     }
 

@@ -1,0 +1,275 @@
+//! Epoch-synchronized sharded execution for the multi-actor simulators.
+//!
+//! One large topology cannot use more than one core with the event loop
+//! of [`FabricSim::run`]: every step pops the globally earliest chip,
+//! steps it, and re-queues it. The key observation that unlocks sharding
+//! is that the fabric's *functional* state is perfectly partitioned by
+//! chip — the workload generator, the private L1/L2, and every
+//! compression pipeline a chip drives (each directional `(requester,
+//! home)` pipeline has exactly one requester) — and no functional
+//! decision ever reads the clock. Only the *timing* resources (PTP
+//! wires, local wires, DRAM channels) are shared between chips.
+//!
+//! So the engine alternates two phases per epoch:
+//!
+//! 1. **Functional phase (parallel).** The chips are partitioned into
+//!    contiguous shards, one per worker; each worker advances its chips'
+//!    functional state up to [`EPOCH_STEPS`] steps ahead, buffering one
+//!    [`StepTrace`](crate::fabric) per step. No shared state is touched,
+//!    so shards proceed without synchronization until the epoch barrier.
+//! 2. **Timing replay (sequential).** A single [`Scheduler`] heap pops
+//!    `(now_ps, chip)` exactly as the single-threaded run would and
+//!    applies each popped chip's next buffered trace to the shared
+//!    resources. When a popped chip's buffer is empty but the chip is
+//!    not functionally finished, the replay stops — that chip *is* the
+//!    epoch horizon — and the next functional phase refills.
+//!
+//! Every functional step is chip-deterministic and every timing mutation
+//! happens on one thread in the heap's total order, so the run is
+//! bit-identical to [`FabricSim::run`] for every worker count —
+//! including fault-injected frames, whose schedules are part of the
+//! functional state. The expensive work (codec search, cache lookups,
+//! trace generation) is all in phase 1; phase 2 is cheap arithmetic on a
+//! handful of `u64`s per step, which is why the engine scales on real
+//! cores.
+//!
+//! Telemetry: each shard gets a [`Telemetry::fork_shard`] handle (shared
+//! metrics registry, private tracer + clock) so workers never race on
+//! the sim clock; forks are merged back in deterministic `(now_ps,
+//! shard, seq)` order after the run. Wire and DRAM events are emitted
+//! during replay through the parent handle with exact stamps.
+
+use crate::fabric::{FabricResult, FabricSim, StepTrace};
+use crate::sched::Scheduler;
+use cable_telemetry::Telemetry;
+use std::collections::VecDeque;
+
+/// Steps a shard may run functionally ahead of the timing replay before
+/// hitting the epoch barrier. Bounds buffered-trace memory at
+/// `nodes * EPOCH_STEPS * sizeof(StepTrace)` and keeps the replay's
+/// working set warm; the value does not affect results, only wall-clock.
+pub const EPOCH_STEPS: usize = 256;
+
+/// A contiguous partition of `actors` into at most `workers` shards.
+///
+/// Shards are index ranges, never interleavings: chips `[0, chunk)` form
+/// shard 0, `[chunk, 2*chunk)` shard 1, and so on. Contiguity is what
+/// makes the telemetry merge's `(now_ps, shard, seq)` order agree with
+/// the scheduler's lowest-index tie-break, and it lets the engine hand
+/// out disjoint `&mut` chunks with no index remapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    actors: usize,
+    chunk_len: usize,
+}
+
+impl ShardPlan {
+    /// Partitions `actors` across up to `workers` shards (at least one;
+    /// never more shards than actors).
+    #[must_use]
+    pub fn new(actors: usize, workers: usize) -> Self {
+        let workers = workers.clamp(1, actors.max(1));
+        ShardPlan {
+            actors,
+            chunk_len: actors.div_ceil(workers).max(1),
+        }
+    }
+
+    /// Number of shards actually produced.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.actors.div_ceil(self.chunk_len)
+    }
+
+    /// Actors per shard (the last shard may be shorter).
+    #[must_use]
+    pub fn chunk_len(&self) -> usize {
+        self.chunk_len
+    }
+
+    /// The shard owning `actor`.
+    #[must_use]
+    pub fn shard_of(&self, actor: usize) -> usize {
+        actor / self.chunk_len
+    }
+}
+
+/// Runs `f(shard_index, chunk)` over disjoint contiguous chunks of
+/// `items`, on one scoped OS thread per chunk when there is more than
+/// one (a single chunk runs inline — worker count 1 must not pay thread
+/// overhead, and its results are identical anyway).
+pub(crate) fn for_each_shard<T, F>(items: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if items.len() <= chunk_len {
+        f(0, items);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (shard, chunk) in items.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(shard, chunk));
+        }
+    });
+}
+
+/// Per-chip functional-phase state the workers advance: the buffered
+/// step traces plus the "functionally finished" flag (the functional
+/// cursor runs ahead of the chip's replayed `retired` count).
+struct ChipRun {
+    buf: VecDeque<StepTrace>,
+    fn_done: bool,
+}
+
+/// The sharded fabric engine behind [`FabricSim::run_sharded`].
+pub(crate) fn run_fabric_sharded(
+    sim: &mut FabricSim,
+    instructions_per_chip: u64,
+    workers: usize,
+) -> FabricResult {
+    let nodes = sim.nodes();
+    let (config, latency) = sim.sim_params();
+    let plan = ShardPlan::new(nodes, workers);
+
+    // Per-shard telemetry forks, attached to each shard's chip links for
+    // the duration of the run.
+    let parent = sim.tel.clone();
+    let forks: Vec<Telemetry> = (0..plan.shards()).map(|_| parent.fork_shard()).collect();
+    if parent.is_enabled() {
+        for (i, chip) in sim.chips.iter_mut().enumerate() {
+            chip.set_link_telemetry(&forks[plan.shard_of(i)]);
+        }
+    }
+
+    let mut runs: Vec<ChipRun> = sim
+        .chips
+        .iter()
+        .map(|c| ChipRun {
+            buf: VecDeque::with_capacity(EPOCH_STEPS),
+            fn_done: c.retired() >= instructions_per_chip,
+        })
+        .collect();
+    let mut sched = Scheduler::with_capacity(nodes);
+    for (i, chip) in sim.chips.iter().enumerate() {
+        if chip.retired() < instructions_per_chip {
+            sched.push(chip.now_ps(), i);
+        }
+    }
+
+    while !sched.is_empty() {
+        // Functional phase: every shard tops up its chips' trace buffers
+        // to the epoch horizon, in parallel.
+        {
+            let chips = &mut sim.chips[..];
+            for_each_shard(
+                &mut zip_runs(chips, &mut runs),
+                plan.chunk_len(),
+                |shard, pairs| {
+                    let tel = &forks[shard];
+                    for (chip, run) in pairs.iter_mut() {
+                        if run.fn_done {
+                            continue;
+                        }
+                        if run.buf.is_empty() {
+                            // Timing for every buffered step has been
+                            // replayed, so the true clock is current —
+                            // resync the functional stamp clock to it.
+                            chip.sync_fn_clock();
+                        }
+                        while run.buf.len() < EPOCH_STEPS && !run.fn_done {
+                            run.buf
+                                .push_back(chip.step_functional(nodes, &config, latency, tel));
+                            if chip.retired() >= instructions_per_chip {
+                                run.fn_done = true;
+                            }
+                        }
+                    }
+                },
+            );
+        }
+
+        // Timing replay: global (now_ps, chip) order, single thread.
+        while let Some((now, idx)) = sched.pop() {
+            let Some(trace) = runs[idx].buf.pop_front() else {
+                // The earliest chip has no buffered steps left but is not
+                // finished: this is the epoch horizon. Requeue and refill.
+                sched.push(now, idx);
+                break;
+            };
+            sim.apply_step_timing(idx, &trace);
+            if !(runs[idx].buf.is_empty() && runs[idx].fn_done) {
+                sched.push(sim.chips[idx].now_ps(), idx);
+            }
+        }
+    }
+
+    if parent.is_enabled() {
+        for chip in &mut sim.chips {
+            chip.set_link_telemetry(&parent);
+        }
+        parent.absorb_shards(&forks);
+    }
+    sim.result()
+}
+
+/// Pairs each chip with its run state so one `chunks_mut` hands both to
+/// a worker.
+fn zip_runs<'a>(
+    chips: &'a mut [crate::fabric::ChipNode],
+    runs: &'a mut [ChipRun],
+) -> Vec<(&'a mut crate::fabric::ChipNode, &'a mut ChipRun)> {
+    chips.iter_mut().zip(runs.iter_mut()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_plan_partitions_contiguously() {
+        let plan = ShardPlan::new(10, 4);
+        assert_eq!(plan.chunk_len(), 3);
+        assert_eq!(plan.shards(), 4);
+        assert_eq!(plan.shard_of(0), 0);
+        assert_eq!(plan.shard_of(2), 0);
+        assert_eq!(plan.shard_of(3), 1);
+        assert_eq!(plan.shard_of(9), 3);
+    }
+
+    #[test]
+    fn shard_plan_clamps_degenerate_inputs() {
+        assert_eq!(ShardPlan::new(4, 0).shards(), 1);
+        assert_eq!(ShardPlan::new(4, 99).shards(), 4);
+        assert_eq!(ShardPlan::new(0, 2).shards(), 0);
+        assert_eq!(ShardPlan::new(1, 8).shards(), 1);
+    }
+
+    #[test]
+    fn for_each_shard_covers_every_item_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut items: Vec<usize> = (0..13).collect();
+        let calls = AtomicUsize::new(0);
+        for_each_shard(&mut items, 4, |shard, chunk| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            for v in chunk.iter_mut() {
+                assert_eq!(*v / 4, shard, "contiguous partition");
+                *v += 100;
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 4);
+        assert!(items.iter().all(|&v| v >= 100), "every item visited");
+    }
+
+    #[test]
+    fn single_chunk_runs_inline() {
+        let outer = std::thread::current().id();
+        let mut items = [1, 2, 3];
+        for_each_shard(&mut items, 8, |_, chunk| {
+            assert_eq!(std::thread::current().id(), outer);
+            chunk[0] = 9;
+        });
+        assert_eq!(items[0], 9);
+    }
+}
