@@ -18,7 +18,7 @@ use crate::runner::{default_schemes, drive, StudyConfig};
 use cable_compress::EngineKind;
 use cable_core::{BaselineKind, FaultConfig};
 use cable_sim::throughput::{run_group_arena, run_group_warmed_linear};
-use cable_sim::{FabricSim, Scheme, SimArena, SystemConfig};
+use cable_sim::{FabricResult, FabricSim, Scheme, SimArena, SystemConfig};
 use cable_telemetry::{JsonlSink, Telemetry, TracerConfig};
 use cable_trace::WorkloadGen;
 use std::time::Instant;
@@ -415,6 +415,269 @@ pub fn run_fault_bench() -> FigureResult<'static> {
     }
 }
 
+/// Identifier of the emitted closed-loop degradation JSON result
+/// (`BENCH_degrade.json`).
+pub const DEGRADE_BENCH_ID: &str = "BENCH_degrade";
+
+/// The workload the degradation sweep replays. mcf is memory-bound, so
+/// nearly every step crosses a coherence pipeline — the traffic the
+/// controllers sample.
+pub const DEGRADE_BENCH_WORKLOAD: &str = "mcf";
+
+/// Columns of the emitted degradation figure, in order. Every column is a
+/// *simulated* quantity (no wall-clock), so the whole figure is
+/// deterministic and the regression gate compares real behavior, not host
+/// noise.
+pub const DEGRADE_BENCH_COLUMNS: &[&str] = &[
+    "accesses_per_sec",
+    "wire_bits_per_access",
+    "nacks",
+    "reliable_frames",
+    "demotions",
+    "promotions",
+    "worst_level",
+    "scheduled_resyncs",
+    "resync_cost_bits",
+];
+
+/// Per-bit flip rates of the steady-state fault-rate x policy sweep.
+pub const DEGRADE_BENCH_RATES: &[f64] = &[1e-4, 1e-3, 1e-2];
+
+/// Flip rate of the burst storyline phases (the ISSUE's 1e-3 burst).
+pub const DEGRADE_BENCH_BURST_RATE: f64 = 1e-3;
+
+/// Fabric size of the degradation sweep.
+pub const DEGRADE_BENCH_NODES: usize = 3;
+
+/// The ladder policy the sweep arms: paper thresholds, but sampling every
+/// 64 ops (and resyncing every 256) so short benchmark runs cross many
+/// windows per pipeline.
+fn degrade_bench_policy() -> cable_sim::DegradePolicy {
+    cable_sim::DegradePolicy {
+        window_ops: 64,
+        resync_interval_ops: 256,
+        ..cable_sim::DegradePolicy::paper_defaults()
+    }
+}
+
+/// Cumulative simulated counters at a phase boundary; rows report deltas
+/// between consecutive snapshots.
+#[derive(Clone, Copy, Default)]
+struct DegradeSnap {
+    accesses: u64,
+    elapsed_ps: u64,
+    wire_bits: u64,
+    nacks: u64,
+    reliable_frames: u64,
+    demotions: u64,
+    promotions: u64,
+    scheduled_resyncs: u64,
+    resync_cost_bits: u64,
+}
+
+fn degrade_snap(sim: &FabricSim, elapsed_ps: u64) -> DegradeSnap {
+    let fs = sim.fault_stats().unwrap_or_default();
+    let deg = sim.degradation_stats().unwrap_or_default();
+    DegradeSnap {
+        accesses: sim.total_accesses(),
+        elapsed_ps,
+        wire_bits: sim.coherence_stats().wire_bits,
+        nacks: fs.nacks,
+        reliable_frames: fs.reliable_frames,
+        demotions: deg.demotions,
+        promotions: deg.promotions,
+        scheduled_resyncs: deg.scheduled_resyncs,
+        resync_cost_bits: deg.resync_cost_bits,
+    }
+}
+
+/// One figure row from the delta between two snapshots plus the deepest
+/// rung any pipeline sits at when the phase ends.
+fn degrade_row(cur: &DegradeSnap, prev: &DegradeSnap, worst: cable_sim::DegradeLevel) -> Vec<f64> {
+    let d_accesses = cur.accesses - prev.accesses;
+    let d_secs = ((cur.elapsed_ps - prev.elapsed_ps) as f64 * 1e-12).max(1e-18);
+    vec![
+        d_accesses as f64 / d_secs,
+        (cur.wire_bits - prev.wire_bits) as f64 / (d_accesses as f64).max(1.0),
+        cur.nacks.saturating_sub(prev.nacks) as f64,
+        cur.reliable_frames.saturating_sub(prev.reliable_frames) as f64,
+        (cur.demotions - prev.demotions) as f64,
+        (cur.promotions - prev.promotions) as f64,
+        worst as u64 as f64,
+        (cur.scheduled_resyncs - prev.scheduled_resyncs) as f64,
+        (cur.resync_cost_bits - prev.resync_cost_bits) as f64,
+    ]
+}
+
+fn worst_level(sim: &FabricSim) -> cable_sim::DegradeLevel {
+    sim.degrade_levels()
+        .into_iter()
+        .max()
+        .unwrap_or(cable_sim::DegradeLevel::Compressed)
+}
+
+/// Closed-loop degradation sweep: steady-state fault-rate x policy grid
+/// (`ladder/<rate>` with the acting controller armed vs `fixed/<rate>`
+/// without one), then the burst storyline on a single fabric —
+/// `burst/pre` (healthy), `burst/1e-3` (fault injection armed mid-run),
+/// `burst/recovered` (injection disarmed, quiet windows re-arm the
+/// ladder). The final `CABLE+LBE` row repeats the recovered phase and is
+/// the tracked regression signal (`results/bench_history/*.fault.json`).
+///
+/// All columns are simulated quantities, so the figure is bit-stable; the
+/// bench itself asserts the behavior the figure claims: simulated
+/// throughput degrades monotonically as the fault rate rises, the ladder
+/// steps down during the burst, fully re-arms afterwards, and the whole
+/// storyline replays identically under every sharded worker count. Honors
+/// `CABLE_QUICK` and `CABLE_SHARD_WORKERS`.
+///
+/// # Panics
+///
+/// Panics if the benchmark workload is missing from the profile table, if
+/// throughput fails to degrade monotonically, if the burst fails to step
+/// the ladder down (or recovery fails to re-arm it), or if a sharded
+/// replay diverges from the sequential storyline.
+#[must_use]
+pub fn run_degrade_bench() -> FigureResult<'static> {
+    let profile = cable_trace::by_name(DEGRADE_BENCH_WORKLOAD).expect("benchmark workload exists");
+    let ptp = 19.2e9;
+    let base_cfg = shard_mesh_config();
+    let steady_instrs = if is_quick() { 3_000 } else { 10_000 };
+    let (pre_end, burst_end, post_end) = if is_quick() {
+        (1_500, 5_500, 16_000)
+    } else {
+        (4_000, 12_000, 36_000)
+    };
+    let mut rows = Vec::new();
+
+    // Steady-state grid: each rate once with the acting ladder, once with
+    // the controller absent (the pre-change fixed pipeline).
+    for policy_on in [true, false] {
+        let family = if policy_on { "ladder" } else { "fixed" };
+        let mut prev_rate_tp = f64::INFINITY;
+        for &rate in DEGRADE_BENCH_RATES {
+            let cfg = SystemConfig {
+                fault: Some(FaultConfig::with_rate(FAULT_BENCH_SEED, rate)),
+                degrade: policy_on.then(degrade_bench_policy),
+                ..base_cfg
+            };
+            let mut sim = FabricSim::with_config(
+                profile,
+                Scheme::Cable(EngineKind::Lbe),
+                DEGRADE_BENCH_NODES,
+                ptp,
+                &cfg,
+            );
+            let r = sim.run(steady_instrs);
+            let snap = degrade_snap(&sim, r.elapsed_ps);
+            let row = degrade_row(&snap, &DegradeSnap::default(), worst_level(&sim));
+            assert!(
+                row[0] <= prev_rate_tp,
+                "{family}: simulated throughput must degrade monotonically \
+                 as the fault rate rises ({} > {prev_rate_tp})",
+                row[0]
+            );
+            prev_rate_tp = row[0];
+            rows.push((format!("{family}/{rate:.0e}"), row));
+        }
+    }
+
+    // Burst storyline: healthy -> 1e-3 burst -> recovery, one fabric.
+    let storyline = |run: &mut dyn FnMut(&mut FabricSim, u64) -> FabricResult| {
+        let cfg = SystemConfig {
+            degrade: Some(degrade_bench_policy()),
+            ..base_cfg
+        };
+        let mut sim = FabricSim::with_config(
+            profile,
+            Scheme::Cable(EngineKind::Lbe),
+            DEGRADE_BENCH_NODES,
+            ptp,
+            &cfg,
+        );
+        let mut snaps = Vec::new();
+        let r = run(&mut sim, pre_end);
+        snaps.push((degrade_snap(&sim, r.elapsed_ps), worst_level(&sim)));
+        sim.set_fault_injection(Some(FaultConfig::with_rate(
+            FAULT_BENCH_SEED,
+            DEGRADE_BENCH_BURST_RATE,
+        )));
+        let r = run(&mut sim, burst_end);
+        snaps.push((degrade_snap(&sim, r.elapsed_ps), worst_level(&sim)));
+        sim.set_fault_injection(None);
+        let r = run(&mut sim, post_end);
+        snaps.push((degrade_snap(&sim, r.elapsed_ps), worst_level(&sim)));
+        let levels = sim.degrade_levels();
+        (snaps, levels, sim.timing_fingerprint())
+    };
+
+    let (snaps, levels, fingerprint) = storyline(&mut |sim, n| sim.run(n));
+    let (pre, burst, post) = (&snaps[0], &snaps[1], &snaps[2]);
+    assert_eq!(pre.0.demotions, 0, "healthy pre-phase must not demote");
+    assert!(
+        burst.0.demotions > pre.0.demotions,
+        "the 1e-3 burst must step the ladder down"
+    );
+    assert!(burst.0.nacks > 0, "the burst must produce NACKs");
+    assert!(
+        post.0.promotions > burst.0.promotions,
+        "quiet windows must re-arm the ladder"
+    );
+    assert!(
+        levels
+            .iter()
+            .all(|&l| l == cable_sim::DegradeLevel::Compressed),
+        "every pipeline must fully re-arm after the burst: {levels:?}"
+    );
+    assert!(post.0.scheduled_resyncs > 0, "resync cadence must fire");
+
+    // The storyline must replay bit-identically under the sharded engine
+    // for every worker count — including the mid-run arm/disarm events.
+    for workers in shard_worker_sweep() {
+        let sharded = storyline(&mut |sim, n| sim.run_sharded(n, workers));
+        assert!(
+            sharded.2 == fingerprint
+                && sharded.1 == levels
+                && (0..snaps.len()).all(|i| {
+                    let (a, b) = (&sharded.0[i], &snaps[i]);
+                    a.1 == b.1
+                        && degrade_row(&a.0, &DegradeSnap::default(), a.1)
+                            == degrade_row(&b.0, &DegradeSnap::default(), b.1)
+                }),
+            "sharded({workers}) degradation storyline diverged from the sequential run"
+        );
+    }
+
+    rows.push((
+        "burst/pre".to_string(),
+        degrade_row(&pre.0, &DegradeSnap::default(), pre.1),
+    ));
+    rows.push((
+        format!("burst/{DEGRADE_BENCH_BURST_RATE:.0e}"),
+        degrade_row(&burst.0, &pre.0, burst.1),
+    ));
+    rows.push((
+        "burst/recovered".to_string(),
+        degrade_row(&post.0, &burst.0, post.1),
+    ));
+    // The gated summary row: recovered steady state under the scheme label
+    // the history tracks.
+    rows.push((
+        Scheme::Cable(EngineKind::Lbe).label().to_string(),
+        degrade_row(&post.0, &burst.0, post.1),
+    ));
+
+    FigureResult {
+        id: DEGRADE_BENCH_ID,
+        title: "Closed-loop degradation: fault-rate x policy sweep and 1e-3 burst recovery",
+        columns: DEGRADE_BENCH_COLUMNS
+            .iter()
+            .map(|c| (*c).to_string())
+            .collect(),
+        rows,
+    }
+}
+
 /// Identifier of the emitted telemetry JSON result
 /// (`BENCH_telemetry.json`).
 pub const TELEMETRY_BENCH_ID: &str = "BENCH_telemetry";
@@ -535,6 +798,10 @@ mod tests {
         assert_eq!(shard_bench_endpoints(71), 10_082);
         assert_eq!(FAULT_BENCH_COLUMNS[0], "compression_ratio");
         assert_eq!(FAULT_BENCH_COLUMNS.len(), 8);
+        assert_eq!(DEGRADE_BENCH_COLUMNS[0], "accesses_per_sec");
+        assert_eq!(DEGRADE_BENCH_COLUMNS.len(), 9);
+        assert_eq!(DEGRADE_BENCH_RATES, &[1e-4, 1e-3, 1e-2]);
+        assert!((DEGRADE_BENCH_BURST_RATE - 1e-3).abs() < f64::EPSILON);
         assert_eq!(FAULT_BENCH_WORKLOADS, &["dealII", "mcf"]);
         assert_eq!(TELEMETRY_BENCH_COLUMNS[0], "encode_transfers");
         assert_eq!(TELEMETRY_BENCH_COLUMNS.len(), 7);

@@ -1,9 +1,11 @@
 //! Regression gate over the committed `results/bench_history/` snapshots.
 //!
 //! Each PR that changes encode throughput commits its `BENCH_encode.json`
-//! as `results/bench_history/prNNNN.json`, and each PR that changes
+//! as `results/bench_history/prNNNN.json`, each PR that changes
 //! simulator throughput commits its `BENCH_sim.json` as
-//! `prNNNN.sim.json` (iocost-database style: the history lives in the
+//! `prNNNN.sim.json`, and each PR that changes fault-loop behavior
+//! commits its `BENCH_degrade.json` as `prNNNN.fault.json`
+//! (iocost-database style: the history lives in the
 //! tree, so CI needs no external state). These tests are pure file checks
 //! — no measurement runs — so they are deterministic and cheap enough to
 //! run unconditionally.
@@ -57,6 +59,16 @@ const TRACKS: &[Track] = &[
         // the seed linear scan it is measured against.
         gated_columns: &[RATE_COLUMN, "linear_accesses_per_sec"],
     },
+    Track {
+        suffix: ".fault.json",
+        root_artifact: "BENCH_degrade.json",
+        figure_id: "BENCH_degrade",
+        // The gated row is the recovered steady state after the 1e-3
+        // burst. Its rate is a *simulated* accesses/sec (the degradation
+        // figure is deterministic), so run-to-run jitter is zero and any
+        // drop is a real behavioral regression in the closed fault loop.
+        gated_columns: &[RATE_COLUMN],
+    },
 ];
 
 /// Snapshot names of one track only: `prNNNN.json` must not claim the
@@ -104,6 +116,9 @@ fn snapshot_names_partition_cleanly_between_tracks() {
     assert!(belongs_to("pr0001.json", ".json"));
     assert!(!belongs_to("pr0007.sim.json", ".json"));
     assert!(belongs_to("pr0007.sim.json", ".sim.json"));
+    assert!(belongs_to("pr0008.fault.json", ".fault.json"));
+    assert!(!belongs_to("pr0008.fault.json", ".json"));
+    assert!(!belongs_to("pr0008.fault.json", ".sim.json"));
     assert!(!belongs_to("README.md", ".json"));
 }
 

@@ -5,8 +5,9 @@
 //! paying the full measurement cost in every local `cargo test`.
 
 use cable_bench::perf::{
-    run_encode_bench, run_fault_bench, run_shard_bench, run_sim_bench, run_telemetry_bench,
-    shard_bench_endpoints, shard_bench_nodes, BENCH_COLUMNS, BENCH_ID, FAULT_BENCH_COLUMNS,
+    run_degrade_bench, run_encode_bench, run_fault_bench, run_shard_bench, run_sim_bench,
+    run_telemetry_bench, shard_bench_endpoints, shard_bench_nodes, BENCH_COLUMNS, BENCH_ID,
+    DEGRADE_BENCH_COLUMNS, DEGRADE_BENCH_ID, DEGRADE_BENCH_RATES, FAULT_BENCH_COLUMNS,
     FAULT_BENCH_ID, FAULT_BENCH_RATES, FAULT_BENCH_WORKLOADS, SHARD_BENCH_COLUMNS, SHARD_BENCH_ID,
     SHARD_BENCH_WORKERS, SIM_BENCH_COLUMNS, SIM_BENCH_ID, TELEMETRY_BENCH_COLUMNS,
     TELEMETRY_BENCH_ID,
@@ -280,6 +281,92 @@ fn fault_bench_detects_and_recovers_everything() {
     assert_eq!(loaded.columns, FAULT_BENCH_COLUMNS);
     for (label, values) in &result.rows {
         for (col, v) in FAULT_BENCH_COLUMNS.iter().zip(values) {
+            let got = loaded
+                .value(label, col)
+                .unwrap_or_else(|| panic!("{label}/{col} missing after roundtrip"));
+            assert!(
+                (got - v).abs() <= v.abs() * 1e-9,
+                "{label}/{col}: {got} != {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn degrade_bench_steps_down_and_recovers() {
+    if !quick() {
+        eprintln!("skipping: set CABLE_QUICK=1 to run the degradation benchmark");
+        return;
+    }
+
+    // run_degrade_bench asserts the hard claims itself before returning a
+    // single row: monotone throughput degradation per policy family, ladder
+    // step-down during the burst, full re-arm after it, and bit-identical
+    // sharded replay of the whole storyline for every worker count. This
+    // test pins the figure schema and the storyline's observable shape.
+    let result = run_degrade_bench();
+    assert_eq!(result.id, DEGRADE_BENCH_ID);
+    assert_eq!(result.columns, DEGRADE_BENCH_COLUMNS);
+    let steady = 2 * DEGRADE_BENCH_RATES.len();
+    assert_eq!(
+        result.rows.len(),
+        steady + 4,
+        "ladder+fixed grid, three burst phases, one gated row"
+    );
+
+    let col = |label: &str, name: &str| -> f64 {
+        let (_, values) = result
+            .rows
+            .iter()
+            .find(|(l, _)| l == label)
+            .unwrap_or_else(|| panic!("missing row {label}"));
+        let idx = DEGRADE_BENCH_COLUMNS
+            .iter()
+            .position(|c| *c == name)
+            .unwrap_or_else(|| panic!("missing column {name}"));
+        values[idx]
+    };
+
+    // All columns are simulated quantities; every row must be well-formed.
+    for (label, values) in &result.rows {
+        assert_eq!(values.len(), DEGRADE_BENCH_COLUMNS.len(), "{label}: cols");
+        assert!(values[0].is_finite() && values[0] > 0.0, "{label}: rate");
+        assert!(values.iter().all(|v| v.is_finite() && *v >= 0.0), "{label}");
+    }
+
+    // The burst storyline: clean before, degraded during, re-armed after.
+    assert_eq!(col("burst/pre", "demotions"), 0.0, "pre-burst demoted");
+    assert_eq!(col("burst/pre", "worst_level"), 0.0, "pre-burst rung");
+    assert!(col("burst/1e-3", "demotions") > 0.0, "burst never demoted");
+    assert!(col("burst/1e-3", "nacks") > 0.0, "burst saw no NACKs");
+    assert!(col("burst/1e-3", "worst_level") > 0.0, "burst stayed clean");
+    assert!(
+        col("burst/recovered", "promotions") > 0.0,
+        "recovery never promoted"
+    );
+    assert_eq!(
+        col("burst/recovered", "worst_level"),
+        0.0,
+        "recovery must fully re-arm the ladder"
+    );
+    assert!(
+        col("burst/recovered", "scheduled_resyncs") > 0.0,
+        "scheduled resync cadence never fired"
+    );
+
+    // The gated history row is the recovered steady state.
+    assert_eq!(
+        col("CABLE+LBE", "accesses_per_sec"),
+        col("burst/recovered", "accesses_per_sec"),
+        "gated row must mirror the recovered phase"
+    );
+
+    // The emitted JSON parses back with the same schema and values.
+    let loaded = load_json(&result.to_json()).expect("emitted JSON parses");
+    assert_eq!(loaded.id, DEGRADE_BENCH_ID);
+    assert_eq!(loaded.columns, DEGRADE_BENCH_COLUMNS);
+    for (label, values) in &result.rows {
+        for (col, v) in DEGRADE_BENCH_COLUMNS.iter().zip(values) {
             let got = loaded
                 .value(label, col)
                 .unwrap_or_else(|| panic!("{label}/{col} missing after roundtrip"));

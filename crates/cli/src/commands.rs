@@ -6,10 +6,12 @@ use cable_core::area::{
     crc_guard_bits, home_side_area, paper_offchip_config, remote_side_area, CRC_ENGINE_ROWS,
     SEARCH_LOGIC_ROWS,
 };
-use cable_core::BaselineKind;
-use cable_sim::{run_group, run_single_telemetry, CompressedLink, Scheme, SystemConfig};
+use cable_core::{BaselineKind, FaultConfig};
+use cable_sim::{
+    run_group, run_single_telemetry, CompressedLink, DegradePolicy, Scheme, SystemConfig,
+};
 use cable_telemetry::json::{validate_json, validate_jsonl};
-use cable_telemetry::{JsonlSink, Report, Telemetry, TracerConfig};
+use cable_telemetry::{diff_reports, JsonlSink, Report, Telemetry, TracerConfig};
 use cable_trace::record::{record_synthetic, TraceReader, TraceRecord};
 use cable_trace::WorkloadGen;
 
@@ -26,7 +28,11 @@ commands:
   fabric <workload> [nodes] [GB/s] multi-chip PTP-link throughput (§V-B);
                                    --shards N runs the epoch-parallel
                                    engine on N workers (bit-identical to
-                                   the single-threaded run)
+                                   the single-threaded run); --fault-rate R
+                                   arms lossy links (per-bit flip rate R)
+                                   and --degrade the closed-loop ladder
+                                   (Compressed -> RawOnly -> LinkOff with
+                                   scheduled resyncs)
   stats <workload> [lines]         data-pattern statistics of a workload
   area                             Table III-style area overhead report
   trace <workload> [ins] [prefix]  run with telemetry; write <prefix>.jsonl
@@ -36,6 +42,11 @@ commands:
   report <trace.jsonl> [out.json]  analyse a trace: per-phase link/DRAM/mesh
                                    utilization, encode mix, NACK rates, and
                                    histogram p50/p90/p99 (tables + JSON)
+  report --diff <A.json> <B.json>  field-by-field delta of two report
+                                   artifacts (encode mix, fault counts,
+                                   percentiles); exits nonzero when a field
+                                   drifts more than --threshold permille
+                                   (default 100)
   help                             this text";
 
 /// Parses and runs one invocation.
@@ -78,15 +89,37 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             throughput(name, threads as usize)
         }
         Some("fabric") => {
-            let (rest, shards) = split_flag_value(&args[1..], "--shards")?;
-            let shards = shards
-                .map(|s| {
-                    s.parse::<usize>()
-                        .ok()
-                        .filter(|&w| w >= 1)
-                        .ok_or_else(|| format!("`{s}` is not a worker count (>= 1)"))
-                })
-                .transpose()?;
+            let mut shards = None;
+            let mut fault_rate = None;
+            let mut degrade = false;
+            let mut rest: Vec<&String> = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--shards" => {
+                        let s = it.next().ok_or("--shards needs a value")?;
+                        shards = Some(
+                            s.parse::<usize>()
+                                .ok()
+                                .filter(|&w| w >= 1)
+                                .ok_or_else(|| format!("`{s}` is not a worker count (>= 1)"))?,
+                        );
+                    }
+                    "--fault-rate" => {
+                        let s = it.next().ok_or("--fault-rate needs a value")?;
+                        fault_rate = Some(
+                            s.parse::<f64>()
+                                .ok()
+                                .filter(|r| *r > 0.0 && *r < 1.0)
+                                .ok_or_else(|| {
+                                    format!("`{s}` is not a per-bit fault rate in (0, 1)")
+                                })?,
+                        );
+                    }
+                    "--degrade" => degrade = true,
+                    _ => rest.push(a),
+                }
+            }
             let name = rest
                 .first()
                 .copied()
@@ -100,7 +133,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
                 })
                 .transpose()?
                 .unwrap_or(2.4);
-            fabric(name, nodes, gbps, shards)
+            fabric(name, nodes, gbps, shards, fault_rate, degrade)
         }
         Some("stats") => {
             let name = args.get(1).ok_or("stats needs a workload name")?;
@@ -120,8 +153,27 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             trace(name, instructions, prefix, stream)
         }
         Some("report") => {
-            let trace_path = args.get(1).ok_or("report needs a trace.jsonl file")?;
-            report(trace_path, args.get(2).map(String::as_str))
+            let (rest, threshold) = split_flag_value(&args[1..], "--threshold")?;
+            let threshold = threshold
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| format!("`{s}` is not a permille threshold"))
+                })
+                .transpose()?
+                .unwrap_or(DIFF_THRESHOLD_PERMILLE);
+            if rest.iter().any(|a| *a == "--diff") {
+                let rest: Vec<&&String> = rest.iter().filter(|a| **a != "--diff").collect();
+                let a = rest
+                    .first()
+                    .ok_or("report --diff needs two report.json files")?;
+                let b = rest
+                    .get(1)
+                    .ok_or("report --diff needs two report.json files")?;
+                report_diff(a, b, threshold)
+            } else {
+                let trace_path = rest.first().ok_or("report needs a trace.jsonl file")?;
+                report(trace_path, rest.get(1).map(|s| s.as_str()))
+            }
         }
         Some(other) => Err(format!("unknown command `{other}`")),
     }
@@ -322,7 +374,17 @@ fn throughput(name: &str, threads: usize) -> Result<(), String> {
     Ok(())
 }
 
-fn fabric(name: &str, nodes: usize, gbps: f64, shards: Option<usize>) -> Result<(), String> {
+/// Seed of the CLI's fault schedules (`fabric --fault-rate`).
+const FABRIC_FAULT_SEED: u64 = 0x000c_ab1e_c11e;
+
+fn fabric(
+    name: &str,
+    nodes: usize,
+    gbps: f64,
+    shards: Option<usize>,
+    fault_rate: Option<f64>,
+    degrade: bool,
+) -> Result<(), String> {
     if nodes < 2 {
         return Err("a fabric needs at least two chips".into());
     }
@@ -330,23 +392,35 @@ fn fabric(name: &str, nodes: usize, gbps: f64, shards: Option<usize>) -> Result<
         return Err("PTP bandwidth must be positive".into());
     }
     let p = profile(name)?;
+    let cfg = SystemConfig {
+        fault: fault_rate.map(|r| FaultConfig::with_rate(FABRIC_FAULT_SEED, r)),
+        degrade: degrade.then(DegradePolicy::paper_defaults),
+        ..SystemConfig::paper_defaults()
+    };
     let engine = match shards {
         Some(w) => format!(", sharded across {w} workers"),
         None => String::new(),
     };
-    println!("{name}: {nodes}-chip fabric, {gbps} GB/s per PTP link{engine}\n");
+    let loop_desc = match (fault_rate, degrade) {
+        (Some(r), true) => format!(", {r:.0e} faults/bit + degradation ladder"),
+        (Some(r), false) => format!(", {r:.0e} faults/bit"),
+        (None, true) => ", degradation ladder armed".to_string(),
+        (None, false) => String::new(),
+    };
+    println!("{name}: {nodes}-chip fabric, {gbps} GB/s per PTP link{engine}{loop_desc}\n");
     let run = |f: &mut cable_sim::FabricSim| match shards {
         Some(w) => f.run_sharded(20_000, w),
         None => f.run(20_000),
     };
-    let mut base = cable_sim::FabricSim::new(p, Scheme::Uncompressed, nodes, gbps * 1e9);
+    let mut base =
+        cable_sim::FabricSim::with_config(p, Scheme::Uncompressed, nodes, gbps * 1e9, &cfg);
     let rb = run(&mut base);
     println!("{:12} {:>12.3e} ins/s", "uncompressed", rb.ips());
     for scheme in [
         Scheme::Baseline(BaselineKind::Cpack),
         Scheme::Cable(EngineKind::Lbe),
     ] {
-        let mut f = cable_sim::FabricSim::new(p, scheme, nodes, gbps * 1e9);
+        let mut f = cable_sim::FabricSim::with_config(p, scheme, nodes, gbps * 1e9, &cfg);
         let r = run(&mut f);
         let s = f.coherence_stats();
         println!(
@@ -356,6 +430,30 @@ fn fabric(name: &str, nodes: usize, gbps: f64, shards: Option<usize>) -> Result<
             r.ips() / rb.ips(),
             s.compression_ratio()
         );
+        if let Some(fs) = f.fault_stats() {
+            println!(
+                "{:12} faults: {} injected, {} detected, {} recovered, {} NACKs, {} reliable frames",
+                "", fs.injected_frames, fs.detected, fs.recovered, fs.nacks, fs.reliable_frames
+            );
+        }
+        if let Some(deg) = f.degradation_stats() {
+            let worst = f
+                .degrade_levels()
+                .into_iter()
+                .max()
+                .unwrap_or(cable_sim::DegradeLevel::Compressed);
+            println!(
+                "{:12} ladder: {} windows, {} demotions, {} promotions, {} resyncs \
+                 ({} repair bits), final worst rung {:?}",
+                "",
+                deg.windows,
+                deg.demotions,
+                deg.promotions,
+                deg.scheduled_resyncs,
+                deg.resync_cost_bits,
+                worst
+            );
+        }
     }
     Ok(())
 }
@@ -477,6 +575,33 @@ fn report(trace_path: &str, out: Option<&str>) -> Result<(), String> {
     print!("{}", rep.render_text());
     println!("\nwrote {out_path} ({} bytes)", json.len());
     Ok(())
+}
+
+/// Default drift tolerance of `report --diff`, in permille (10%).
+const DIFF_THRESHOLD_PERMILLE: u64 = 100;
+
+fn report_diff(a_path: &str, b_path: &str, threshold_permille: u64) -> Result<(), String> {
+    let load = |path: &str| -> Result<Report, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Report::from_report_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+    let diff = diff_reports(&a, &b, threshold_permille);
+    println!("report diff: a = {a_path}, b = {b_path} (threshold {threshold_permille}\u{2030})\n");
+    print!("{}", diff.render_text());
+    let breaches = diff.breaches();
+    if breaches.is_empty() {
+        println!("\nno field drifted more than {threshold_permille}\u{2030}");
+        Ok(())
+    } else {
+        let fields: Vec<&str> = breaches.iter().map(|r| r.field.as_str()).collect();
+        Err(format!(
+            "{} field(s) drifted more than {threshold_permille}\u{2030}: {}",
+            breaches.len(),
+            fields.join(", ")
+        ))
+    }
 }
 
 fn area() {
@@ -614,6 +739,69 @@ mod tests {
         // epoch-parallel engine over the same 2-chip fabric.
         assert!(run(&["fabric", "povray", "2", "2.4", "--shards", "2"]).is_ok());
         assert!(run(&["fabric", "--shards", "2", "povray", "2"]).is_ok());
+    }
+
+    #[test]
+    fn fabric_validates_fault_flags() {
+        assert!(run(&["fabric", "gcc", "--fault-rate"])
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(run(&["fabric", "gcc", "--fault-rate", "2.0"])
+            .unwrap_err()
+            .contains("fault rate"));
+        assert!(run(&["fabric", "gcc", "--fault-rate", "x"])
+            .unwrap_err()
+            .contains("fault rate"));
+    }
+
+    #[test]
+    fn fabric_runs_the_closed_fault_loop() {
+        assert!(run(&[
+            "fabric",
+            "povray",
+            "2",
+            "2.4",
+            "--fault-rate",
+            "1e-3",
+            "--degrade"
+        ])
+        .is_ok());
+        assert!(run(&["fabric", "povray", "2", "2.4", "--degrade", "--shards", "2"]).is_ok());
+    }
+
+    #[test]
+    fn report_diff_compares_artifacts_and_gates_drift() {
+        let dir = std::env::temp_dir();
+        let a_path = dir.join("cable_cli_diff_a.json");
+        let b_path = dir.join("cable_cli_diff_b.json");
+        let a = {
+            let tel = Telemetry::enabled();
+            tel.record(cable_telemetry::Event::Phase { name: "measure" });
+            tel.set_now_ps(100);
+            tel.record(cable_telemetry::Event::Nack { class: "transient" });
+            Report::from_telemetry(&tel)
+        };
+        let mut b = a.clone();
+        b.phases[0].nacks = 40; // 1 -> 40: far past any sane threshold
+        std::fs::write(&a_path, a.to_json()).unwrap();
+        std::fs::write(&b_path, b.to_json()).unwrap();
+        let a_str = a_path.to_str().unwrap();
+        let b_str = b_path.to_str().unwrap();
+        // Identical artifacts pass at the default threshold.
+        assert!(run(&["report", "--diff", a_str, a_str]).is_ok());
+        // Drift past the threshold is a nonzero exit naming the field.
+        let err = run(&["report", "--diff", a_str, b_str]).unwrap_err();
+        assert!(err.contains("nacks"), "{err}");
+        // A generous threshold tolerates the same drift.
+        assert!(run(&["report", "--diff", a_str, b_str, "--threshold", "999000"]).is_ok());
+        assert!(run(&["report", "--diff", a_str])
+            .unwrap_err()
+            .contains("two report"));
+        assert!(run(&["report", "--diff", a_str, b_str, "--threshold", "x"])
+            .unwrap_err()
+            .contains("permille"));
+        std::fs::remove_file(a_path).ok();
+        std::fs::remove_file(b_path).ok();
     }
 
     #[test]

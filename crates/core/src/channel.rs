@@ -152,6 +152,10 @@ pub struct FaultStats {
     /// Deliveries that exhausted the raw retry budget and escalated to the
     /// reliable path.
     pub escalations: u64,
+    /// Frames delivered over the escalated reliable path while the link was
+    /// held in reliable mode (the degradation ladder's `LinkOff` rung);
+    /// these bypass the lossy channel entirely.
+    pub reliable_frames: u64,
     /// Stale fill references resolved from the eviction buffer (§IV-A).
     pub evict_buffer_hits: u64,
     /// `audit_and_resync()` invocations.

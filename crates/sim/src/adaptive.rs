@@ -11,12 +11,160 @@
 //! would be self-defeating: successful compression empties the wire, the
 //! controller would switch off, the raw traffic would saturate, and the
 //! system would oscillate — precisely what the demand metric avoids.
+//!
+//! # The degradation ladder
+//!
+//! When a [`DegradePolicy`] is armed the controller also closes the fault
+//! loop: per sample window (counted in *link operations*, never sim time,
+//! so decisions replay identically under the sharded engine) it inspects
+//! its own NACK-window observables and steps a ladder
+//!
+//! ```text
+//! Compressed ──demote──▶ RawOnly ──demote──▶ LinkOff (reliable mode)
+//!      ◀──promote (quiet)──      ◀──promote (quiet)──
+//! ```
+//!
+//! demoting one rung when NACK density or retry cost exceeds the policy
+//! thresholds and re-arming one rung per quiet window. Every transition
+//! is emitted as a telemetry marker and counted in [`DegradationStats`].
+//! The controller also schedules periodic `audit_and_resync` repairs,
+//! whose wire cost callers charge to link busy time.
 
 use crate::thread::CompressedLink;
-use cable_telemetry::{Counter, Gauge, Telemetry};
+use cable_telemetry::{Counter, Event, Gauge, Telemetry};
 
 /// Sampling period (1 ms in picoseconds).
 pub const SAMPLE_PERIOD_PS: u64 = 1_000_000_000;
+
+/// One rung of the degradation ladder, healthiest first.
+///
+/// The ordinal order is meaningful: `Compressed < RawOnly < LinkOff`,
+/// and the controller only ever moves one rung at a time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DegradeLevel {
+    /// Healthy: compression follows the §VI-D hysteresis decision.
+    #[default]
+    Compressed = 0,
+    /// Sustained fault pressure: compression forced off so every frame is
+    /// raw (cheap to retry, immune to reference staleness).
+    RawOnly = 1,
+    /// Severe fault pressure: the lossy channel is bypassed entirely via
+    /// the link's escalated reliable mode (one ack flit per frame).
+    LinkOff = 2,
+}
+
+impl DegradeLevel {
+    /// The next rung down (towards `LinkOff`); saturates.
+    #[must_use]
+    pub fn demoted(self) -> Self {
+        match self {
+            DegradeLevel::Compressed => DegradeLevel::RawOnly,
+            DegradeLevel::RawOnly | DegradeLevel::LinkOff => DegradeLevel::LinkOff,
+        }
+    }
+
+    /// The next rung up (towards `Compressed`); saturates.
+    #[must_use]
+    pub fn promoted(self) -> Self {
+        match self {
+            DegradeLevel::LinkOff => DegradeLevel::RawOnly,
+            DegradeLevel::RawOnly | DegradeLevel::Compressed => DegradeLevel::Compressed,
+        }
+    }
+}
+
+/// Thresholds and cadences for the closed-loop degradation state machine.
+///
+/// All windows are counted in *link operations* (fills, write-backs,
+/// remote hits — anything that calls `note_op`), never in simulated time:
+/// the ladder must make identical decisions in the event-driven, linear
+/// and sharded engines, and operation counts are the only clock all three
+/// share exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradePolicy {
+    /// Sample window length in link operations.
+    pub window_ops: u32,
+    /// Demote when the window's NACKs per 1000 operations exceed this.
+    pub demote_nacks_per_1k: u64,
+    /// Demote when the window's retransmitted bits exceed this fraction
+    /// (in permille) of the window's total wire bits.
+    pub demote_retry_permille: u64,
+    /// Consecutive NACK-free windows required before re-arming one rung.
+    pub quiet_windows: u32,
+    /// Scheduled `audit_and_resync` cadence in link operations
+    /// (0 disables scheduled resync).
+    pub resync_interval_ops: u64,
+}
+
+impl DegradePolicy {
+    /// Defaults matched to the repo's fault sweeps: 256-op windows, demote
+    /// at >50 NACKs per 1k ops or >10% retry overhead, re-arm after two
+    /// quiet windows, resync every 1024 operations.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        DegradePolicy {
+            window_ops: 256,
+            demote_nacks_per_1k: 50,
+            demote_retry_permille: 100,
+            quiet_windows: 2,
+            resync_interval_ops: 1024,
+        }
+    }
+
+    /// Validates the policy parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window_ops == 0 {
+            return Err("window_ops must be positive".into());
+        }
+        if self.quiet_windows == 0 {
+            return Err("quiet_windows must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Counters describing everything the degradation state machine did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegradationStats {
+    /// Sample windows evaluated.
+    pub windows: u64,
+    /// Rungs stepped down (towards `LinkOff`).
+    pub demotions: u64,
+    /// Rungs re-armed (towards `Compressed`).
+    pub promotions: u64,
+    /// Windows spent at each rung (counted at the level the window ran
+    /// at, before any transition it triggered).
+    pub windows_compressed: u64,
+    /// Windows spent forced raw.
+    pub windows_raw_only: u64,
+    /// Windows spent in escalated reliable mode.
+    pub windows_link_off: u64,
+    /// Scheduled `audit_and_resync` events fired.
+    pub scheduled_resyncs: u64,
+    /// Repairs those resyncs performed (see `ResyncReport::total_repairs`).
+    pub resync_repairs: u64,
+    /// Wire bits charged for scheduled resync traffic.
+    pub resync_cost_bits: u64,
+}
+
+impl DegradationStats {
+    /// Adds `other` into `self` (for fabric-wide aggregation).
+    pub fn accumulate(&mut self, other: &DegradationStats) {
+        self.windows += other.windows;
+        self.demotions += other.demotions;
+        self.promotions += other.promotions;
+        self.windows_compressed += other.windows_compressed;
+        self.windows_raw_only += other.windows_raw_only;
+        self.windows_link_off += other.windows_link_off;
+        self.scheduled_resyncs += other.scheduled_resyncs;
+        self.resync_repairs += other.resync_repairs;
+        self.resync_cost_bits += other.resync_cost_bits;
+    }
+}
 
 /// The hysteresis controller for one link pipeline.
 #[derive(Clone, Debug)]
@@ -33,12 +181,34 @@ pub struct OnOffController {
     /// NACK count at the previous sample boundary).
     window_start_wire_bits: u64,
     window_start_nacks: u64,
+    /// Degradation state machine; `None` (the default) leaves the
+    /// controller a pure §VI-D hysteresis observer.
+    policy: Option<DegradePolicy>,
+    level: DegradeLevel,
+    /// Consecutive NACK-free fault windows.
+    quiet_streak: u32,
+    /// Link operations seen since the policy was armed (the fault-window
+    /// and resync clock — never sim time, see [`DegradePolicy`]).
+    ops: u64,
+    /// Link width for pricing resync traffic.
+    link_width_bits: u32,
+    /// Fault-window baselines (values at the previous window boundary).
+    fw_nacks: u64,
+    fw_retrans_bits: u64,
+    fw_wire_bits: u64,
+    /// Next operation count at which a scheduled resync fires.
+    next_resync_op: u64,
+    deg: DegradationStats,
+    tel: Telemetry,
     tel_usage: Gauge,
     tel_ratio: Gauge,
     tel_nacks: Gauge,
     tel_enabled: Gauge,
+    tel_level: Gauge,
     tel_windows: Counter,
     tel_toggles: Counter,
+    tel_demotions: Counter,
+    tel_promotions: Counter,
 }
 
 impl OnOffController {
@@ -84,12 +254,26 @@ impl OnOffController {
             toggles: 0,
             window_start_wire_bits: 0,
             window_start_nacks: 0,
+            policy: None,
+            level: DegradeLevel::Compressed,
+            quiet_streak: 0,
+            ops: 0,
+            link_width_bits: 16,
+            fw_nacks: 0,
+            fw_retrans_bits: 0,
+            fw_wire_bits: 0,
+            next_resync_op: 0,
+            deg: DegradationStats::default(),
+            tel: Telemetry::default(),
             tel_usage: Gauge::default(),
             tel_ratio: Gauge::default(),
             tel_nacks: Gauge::default(),
             tel_enabled: Gauge::default(),
+            tel_level: Gauge::default(),
             tel_windows: Counter::default(),
             tel_toggles: Counter::default(),
+            tel_demotions: Counter::default(),
+            tel_promotions: Counter::default(),
         }
     }
 
@@ -106,14 +290,26 @@ impl OnOffController {
     /// - `adaptive.window_nacks` (gauge) — NACKs observed this window;
     /// - `adaptive.compression_enabled` (gauge) — the decision, 0/1;
     /// - `adaptive.windows` / `adaptive.toggles` (counters).
+    ///
+    /// Additionally, when a [`DegradePolicy`] is armed:
+    ///
+    /// - `adaptive.degrade_level` (gauge) — the current rung, 0/1/2;
+    /// - `adaptive.demotions` / `adaptive.promotions` (counters);
+    /// - `degrade.demote` / `degrade.promote` trace markers carrying the
+    ///   new rung as their value.
     pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
         self.tel_usage = tel.gauge("adaptive.usage_permille");
         self.tel_ratio = tel.gauge("adaptive.window_ratio_permille");
         self.tel_nacks = tel.gauge("adaptive.window_nacks");
         self.tel_enabled = tel.gauge("adaptive.compression_enabled");
+        self.tel_level = tel.gauge("adaptive.degrade_level");
         self.tel_windows = tel.counter("adaptive.windows");
         self.tel_toggles = tel.counter("adaptive.toggles");
+        self.tel_demotions = tel.counter("adaptive.demotions");
+        self.tel_promotions = tel.counter("adaptive.promotions");
         self.tel_enabled.set(u64::from(self.enabled));
+        self.tel_level.set(self.level as u64);
     }
 
     /// Whether compression is currently enabled.
@@ -150,7 +346,9 @@ impl OnOffController {
         if next != self.enabled {
             self.enabled = next;
             self.toggles += 1;
-            link.set_compression_enabled(next);
+            // The ladder outranks the hysteresis: a degraded link stays
+            // raw no matter what the demand metric wants.
+            link.set_compression_enabled(self.effective_compression());
             self.tel_toggles.inc();
         }
         // Observability: publish the window's view before resetting the
@@ -173,6 +371,165 @@ impl OnOffController {
         self.window_start_demand_bits = link.stats().uncompressed_bits;
         self.window_start_wire_bits = link.stats().wire_bits;
         self.window_start_nacks = nacks_now;
+    }
+
+    // ---- degradation state machine ------------------------------------
+
+    /// Arms the closed-loop degradation ladder. `link_width_bits` prices
+    /// scheduled-resync wire traffic (control flits are one link width
+    /// each). The ladder starts at [`DegradeLevel::Compressed`] with fresh
+    /// window baselines; arm before driving traffic through the link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.validate()` fails or the link width is zero.
+    pub fn arm_degradation(&mut self, policy: DegradePolicy, link_width_bits: u32) {
+        if let Err(e) = policy.validate() {
+            panic!("invalid DegradePolicy: {e}");
+        }
+        assert!(link_width_bits > 0, "link width must be positive");
+        self.policy = Some(policy);
+        self.link_width_bits = link_width_bits;
+        self.level = DegradeLevel::Compressed;
+        self.quiet_streak = 0;
+        self.ops = 0;
+        self.fw_nacks = 0;
+        self.fw_retrans_bits = 0;
+        self.fw_wire_bits = 0;
+        self.next_resync_op = if policy.resync_interval_ops == 0 {
+            u64::MAX
+        } else {
+            policy.resync_interval_ops
+        };
+    }
+
+    /// Whether a degradation policy is armed.
+    #[must_use]
+    pub fn degradation_armed(&self) -> bool {
+        self.policy.is_some()
+    }
+
+    /// The current rung of the degradation ladder.
+    #[must_use]
+    pub fn level(&self) -> DegradeLevel {
+        self.level
+    }
+
+    /// Everything the degradation state machine did so far.
+    #[must_use]
+    pub fn degradation_stats(&self) -> DegradationStats {
+        self.deg
+    }
+
+    /// What the hysteresis and the ladder jointly allow the link to do:
+    /// compression runs only when the §VI-D decision says on *and* the
+    /// ladder sits at its healthy rung.
+    #[must_use]
+    pub fn effective_compression(&self) -> bool {
+        self.enabled && self.level == DegradeLevel::Compressed
+    }
+
+    /// Notes one link operation (fill, write-back or remote hit) against
+    /// the armed policy: closes a fault window every `window_ops`
+    /// operations (stepping the ladder if its thresholds say so) and fires
+    /// a scheduled `audit_and_resync` every `resync_interval_ops`.
+    ///
+    /// Returns the wire cost in bits of a scheduled resync when one fired
+    /// on this operation (at most one per call) so the caller can charge
+    /// it to link busy time; `None` otherwise. Purely functional: decision
+    /// state never reads the simulation clock, so sharded replays are
+    /// bit-identical.
+    pub fn note_op(&mut self, link: &mut CompressedLink) -> Option<u64> {
+        let policy = self.policy?;
+        self.ops += 1;
+        if self.ops.is_multiple_of(u64::from(policy.window_ops)) {
+            self.sample_fault_window(&policy, link);
+        }
+        if self.ops >= self.next_resync_op {
+            self.next_resync_op = self.ops + policy.resync_interval_ops;
+            return Some(self.scheduled_resync(link));
+        }
+        None
+    }
+
+    /// Closes one fault window: demote one rung when NACK density or
+    /// retry cost exceeds the thresholds, re-arm one rung after enough
+    /// consecutive quiet windows.
+    fn sample_fault_window(&mut self, policy: &DegradePolicy, link: &mut CompressedLink) {
+        self.deg.windows += 1;
+        match self.level {
+            DegradeLevel::Compressed => self.deg.windows_compressed += 1,
+            DegradeLevel::RawOnly => self.deg.windows_raw_only += 1,
+            DegradeLevel::LinkOff => self.deg.windows_link_off += 1,
+        }
+        let (nacks, retrans) = link
+            .fault_stats()
+            .map_or((0, 0), |fs| (fs.nacks, fs.retransmitted_bits));
+        let wire = link.stats().wire_bits;
+        let nacks_delta = nacks.saturating_sub(self.fw_nacks);
+        let retrans_delta = retrans.saturating_sub(self.fw_retrans_bits);
+        let wire_delta = wire.saturating_sub(self.fw_wire_bits);
+        self.fw_nacks = nacks;
+        self.fw_retrans_bits = retrans;
+        self.fw_wire_bits = wire;
+
+        let nacks_per_1k = nacks_delta * 1000 / u64::from(policy.window_ops);
+        let retry_permille = retrans_delta * 1000 / wire_delta.max(1);
+        if nacks_per_1k > policy.demote_nacks_per_1k
+            || retry_permille > policy.demote_retry_permille
+        {
+            self.quiet_streak = 0;
+            self.step(self.level.demoted(), link);
+        } else if nacks_delta == 0 {
+            self.quiet_streak += 1;
+            if self.quiet_streak >= policy.quiet_windows {
+                self.quiet_streak = 0;
+                self.step(self.level.promoted(), link);
+            }
+        } else {
+            self.quiet_streak = 0;
+        }
+    }
+
+    /// Moves the ladder to `next` (a no-op at either end), applying the
+    /// rung to the link and emitting the transition marker.
+    fn step(&mut self, next: DegradeLevel, link: &mut CompressedLink) {
+        if next == self.level {
+            return;
+        }
+        let demote = next > self.level;
+        self.level = next;
+        if demote {
+            self.deg.demotions += 1;
+            self.tel_demotions.inc();
+            self.tel.record(Event::Marker {
+                name: "degrade.demote",
+                value: next as u64,
+            });
+        } else {
+            self.deg.promotions += 1;
+            self.tel_promotions.inc();
+            self.tel.record(Event::Marker {
+                name: "degrade.promote",
+                value: next as u64,
+            });
+        }
+        self.tel_level.set(next as u64);
+        link.set_compression_enabled(self.effective_compression());
+        link.set_reliable_mode(next == DegradeLevel::LinkOff);
+    }
+
+    /// Fires one scheduled audit-and-resync and prices its wire traffic:
+    /// a request/acknowledge control-flit pair plus one flit per replayed
+    /// notice and per repair actually performed.
+    fn scheduled_resync(&mut self, link: &mut CompressedLink) -> u64 {
+        let report = link.audit_and_resync();
+        let repairs = report.total_repairs();
+        let cost_bits = (2 + report.replayed_notices + repairs) * u64::from(self.link_width_bits);
+        self.deg.scheduled_resyncs += 1;
+        self.deg.resync_repairs += repairs;
+        self.deg.resync_cost_bits += cost_bits;
+        cost_bits
     }
 }
 
@@ -317,6 +674,162 @@ mod tests {
         assert!(r.is_err());
         let r = std::panic::catch_unwind(|| OnOffController::with_thresholds(1e9, 1, 0.95, 0.9));
         assert!(r.is_err());
+    }
+
+    fn degrade_link() -> CompressedLink {
+        CompressedLink::build(
+            Scheme::Cable(EngineKind::Lbe),
+            cable_cache::CacheGeometry::new(64 << 10, 8),
+            cable_cache::CacheGeometry::new(16 << 10, 4),
+            16,
+        )
+    }
+
+    fn drive(link: &mut CompressedLink, ctl: &mut OnOffController, ops: u64, salt: u64) -> u64 {
+        use cable_common::{Address, LineData};
+        let mut resync_bits = 0;
+        for i in 0..ops {
+            link.request(
+                Address::from_line_number(salt.wrapping_add(i * 3) % 4096),
+                LineData::splat_word(((i % 7) as u32) * 0x0101_0101),
+            );
+            resync_bits += ctl.note_op(link).unwrap_or(0);
+        }
+        resync_bits
+    }
+
+    #[test]
+    fn ladder_demotes_under_nack_pressure() {
+        use cable_core::FaultConfig;
+        let mut link = degrade_link();
+        link.enable_fault_injection(FaultConfig::with_rate(11, 2e-2));
+        let mut ctl = OnOffController::new(19.2e9);
+        ctl.arm_degradation(DegradePolicy::paper_defaults(), 16);
+        assert_eq!(ctl.level(), DegradeLevel::Compressed);
+        drive(&mut link, &mut ctl, 2_048, 0);
+        let deg = ctl.degradation_stats();
+        assert!(deg.windows >= 8);
+        assert!(deg.demotions >= 2, "dense NACKs must walk the ladder down");
+        assert!(
+            deg.windows_raw_only + deg.windows_link_off > 0,
+            "time must be spent on a degraded rung"
+        );
+        // At LinkOff no NACK can fire, so once reached the streak logic
+        // promotes back out — the ladder oscillates rather than latching.
+        assert!(link.fault_stats().unwrap().reliable_frames > 0);
+    }
+
+    #[test]
+    fn lossless_schedule_never_demotes() {
+        use cable_core::FaultConfig;
+        let mut link = degrade_link();
+        link.enable_fault_injection(FaultConfig::lossless(3));
+        let mut ctl = OnOffController::new(19.2e9);
+        ctl.arm_degradation(DegradePolicy::paper_defaults(), 16);
+        drive(&mut link, &mut ctl, 2_048, 0);
+        let deg = ctl.degradation_stats();
+        assert_eq!(deg.demotions, 0);
+        assert_eq!(ctl.level(), DegradeLevel::Compressed);
+        assert_eq!(deg.windows, deg.windows_compressed);
+        assert!(link.compression_enabled());
+    }
+
+    #[test]
+    fn quiet_windows_rearm_the_ladder() {
+        use cable_core::FaultConfig;
+        let mut link = degrade_link();
+        link.enable_fault_injection(FaultConfig::with_rate(17, 2e-2));
+        let mut ctl = OnOffController::new(19.2e9);
+        ctl.arm_degradation(DegradePolicy::paper_defaults(), 16);
+        drive(&mut link, &mut ctl, 1_536, 0);
+        assert!(ctl.degradation_stats().demotions >= 1, "burst must demote");
+        // Burst over: the channel becomes lossless and the quiet-window
+        // streak must climb the ladder all the way back up.
+        link.disable_fault_injection();
+        link.enable_fault_injection(FaultConfig::lossless(17));
+        drive(&mut link, &mut ctl, 4_096, 9999);
+        assert_eq!(ctl.level(), DegradeLevel::Compressed, "full re-arm");
+        assert!(ctl.degradation_stats().promotions >= 1);
+        assert!(link.compression_enabled(), "compression re-enabled");
+        assert!(!link.reliable_mode());
+    }
+
+    #[test]
+    fn scheduled_resyncs_fire_and_are_priced() {
+        use cable_core::FaultConfig;
+        let mut link = degrade_link();
+        link.enable_fault_injection(FaultConfig::with_rate(5, 1e-3));
+        let mut ctl = OnOffController::new(19.2e9);
+        ctl.arm_degradation(DegradePolicy::paper_defaults(), 16);
+        let resync_bits = drive(&mut link, &mut ctl, 4_096, 0);
+        let deg = ctl.degradation_stats();
+        // 4096 ops / 1024-op cadence = 4 scheduled resyncs.
+        assert_eq!(deg.scheduled_resyncs, 4);
+        assert_eq!(deg.resync_cost_bits, resync_bits);
+        // Each resync costs at least its request/ack flit pair.
+        assert!(resync_bits >= deg.scheduled_resyncs * 2 * 16);
+    }
+
+    #[test]
+    fn degradation_decisions_ignore_telemetry() {
+        use cable_core::FaultConfig;
+        let run = |tel: Option<&Telemetry>| {
+            let mut link = degrade_link();
+            link.enable_fault_injection(FaultConfig::with_rate(23, 1e-2));
+            let mut ctl = OnOffController::new(19.2e9);
+            if let Some(tel) = tel {
+                ctl.set_telemetry(tel);
+            }
+            ctl.arm_degradation(DegradePolicy::paper_defaults(), 16);
+            drive(&mut link, &mut ctl, 2_048, 0);
+            (ctl.level(), ctl.degradation_stats(), *link.stats())
+        };
+        let tel = Telemetry::enabled();
+        let plain = run(None);
+        let observed = run(Some(&tel));
+        assert_eq!(plain, observed, "observation must not change the ladder");
+        let snap = tel.snapshot();
+        assert_eq!(
+            snap.counter("adaptive.demotions").unwrap(),
+            observed.1.demotions
+        );
+        assert_eq!(
+            snap.counter("adaptive.promotions").unwrap(),
+            observed.1.promotions
+        );
+        assert_eq!(
+            snap.gauge("adaptive.degrade_level").unwrap(),
+            observed.0 as u64
+        );
+        // Every transition left a marker in the trace.
+        let markers = tel
+            .events()
+            .iter()
+            .filter(|te| {
+                matches!(
+                    te.event,
+                    cable_telemetry::Event::Marker {
+                        name: "degrade.demote",
+                        ..
+                    } | cable_telemetry::Event::Marker {
+                        name: "degrade.promote",
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        assert_eq!(markers, observed.1.demotions + observed.1.promotions);
+    }
+
+    #[test]
+    fn degrade_policy_validates() {
+        assert!(DegradePolicy::paper_defaults().validate().is_ok());
+        let mut p = DegradePolicy::paper_defaults();
+        p.window_ops = 0;
+        assert!(p.validate().is_err());
+        let mut p = DegradePolicy::paper_defaults();
+        p.quiet_windows = 0;
+        assert!(p.validate().is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! System configuration (Table IV).
 
+use crate::adaptive::DegradePolicy;
 use cable_core::FaultConfig;
 
 /// Picoseconds per core cycle at 2.0 GHz.
@@ -52,6 +53,13 @@ pub struct SystemConfig {
     /// frames and NACK/retry recovery; retransmissions consume shared-link
     /// bandwidth like any other wire bits.
     pub fault: Option<FaultConfig>,
+    /// Closed-loop degradation policy (`None` = controller observes
+    /// only). When set, every CABLE pipeline gets its own
+    /// [`OnOffController`](crate::OnOffController) stepping the
+    /// `Compressed → RawOnly → LinkOff` ladder on its NACK-window
+    /// observables and firing scheduled resyncs whose wire cost is
+    /// charged to link busy time.
+    pub degrade: Option<DegradePolicy>,
 }
 
 impl SystemConfig {
@@ -79,6 +87,7 @@ impl SystemConfig {
             dram_timing_step_ps: 11_250,
             dram_banks: 16,
             fault: None,
+            degrade: None,
         }
     }
 

@@ -33,6 +33,7 @@
 //! produced arbitrarily far ahead, in parallel, and replayed in global
 //! `(now_ps, chip)` order afterwards.
 
+use crate::adaptive::{DegradationStats, DegradeLevel, OnOffController};
 use crate::config::{CompressionLatency, SystemConfig};
 use crate::hier::fill_l2_l1;
 use crate::resources::{DramModel, SharedLink};
@@ -77,6 +78,10 @@ pub(crate) struct StepTrace {
     /// Present when the fill displaced a dirty L2 victim whose write-back
     /// consumed wire bandwidth (silent upgrades don't).
     writeback: Option<WritebackTrace>,
+    /// Scheduled-resync wire charges incurred by this step's pipeline
+    /// operations (slot 0: the miss-path pipeline, slot 1: the victim
+    /// write-back pipeline — one step can touch at most two).
+    resyncs: [Option<ResyncTrace>; 2],
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -91,6 +96,15 @@ struct BlockingTrace {
 struct WritebackTrace {
     home: usize,
     delta_bits: u64,
+}
+
+/// One scheduled `audit_and_resync` fired by the degradation controller:
+/// its repair traffic is replayed onto the `(chip, home)` wire so recovery
+/// has an honest bandwidth cost.
+#[derive(Clone, Copy, Debug)]
+struct ResyncTrace {
+    home: usize,
+    cost_bits: u64,
 }
 
 /// One chip: its workload, private hierarchy, and every compression
@@ -115,6 +129,11 @@ pub(crate) struct ChipNode {
     /// `links[home]`: the compression pipeline toward `home`;
     /// `links[self]` is the local memory path.
     links: Vec<CompressedLink>,
+    /// `controllers[home]`: the closed-loop degradation controller of the
+    /// matching pipeline. Empty unless `config.degrade` armed a policy —
+    /// chip-private state, so ladder decisions and scheduled resyncs are
+    /// part of the functional half and replay identically under sharding.
+    controllers: Vec<OnOffController>,
 }
 
 impl ChipNode {
@@ -150,17 +169,19 @@ impl ChipNode {
                 wait_ps,
                 blocking: None,
                 writeback: None,
+                resyncs: [None, None],
             };
         }
         wait_ps += c.cycles_to_ps(c.l2_latency_cy);
         if self.l2.access(access.addr).is_some() {
-            let writeback = self.fill_upper(nodes, access.addr, access.is_write);
+            let (writeback, fill_resync) = self.fill_upper(nodes, access.addr, access.is_write);
             self.fn_clock += wait_ps;
             return StepTrace {
                 gap_ps,
                 wait_ps,
                 blocking: None,
                 writeback,
+                resyncs: [None, fill_resync],
             };
         }
 
@@ -182,14 +203,16 @@ impl ChipNode {
             };
             (t, pipeline.stats().wire_bits - before)
         };
+        let miss_resync = self.note_pipeline_op(home);
         if t.kind() == TransferKind::RemoteHit {
-            let writeback = self.fill_upper(nodes, access.addr, access.is_write);
+            let (writeback, fill_resync) = self.fill_upper(nodes, access.addr, access.is_write);
             self.fn_clock += wait_ps;
             return StepTrace {
                 gap_ps,
                 wait_ps,
                 blocking: None,
                 writeback,
+                resyncs: [miss_resync, fill_resync],
             };
         }
 
@@ -199,7 +222,7 @@ impl ChipNode {
             home_hit: t.home_hit(),
             delta_bits,
         });
-        let writeback = self.fill_upper(nodes, access.addr, access.is_write);
+        let (writeback, fill_resync) = self.fill_upper(nodes, access.addr, access.is_write);
         // Contention-free stamp advance: the fixed latencies, without the
         // DRAM/wire queueing only the replay knows.
         self.fn_clock +=
@@ -209,7 +232,17 @@ impl ChipNode {
             wait_ps,
             blocking,
             writeback,
+            resyncs: [miss_resync, fill_resync],
         }
+    }
+
+    /// Notes one pipeline operation against that pipeline's degradation
+    /// controller (a no-op unless a policy armed controllers). Returns the
+    /// wire charge of a scheduled resync when one fired.
+    fn note_pipeline_op(&mut self, home: usize) -> Option<ResyncTrace> {
+        let ctl = self.controllers.get_mut(home)?;
+        let cost_bits = ctl.note_op(&mut self.links[home])?;
+        Some(ResyncTrace { home, cost_bits })
     }
 
     /// Functional half of the fill path: fills L2/L1, applies the store,
@@ -223,16 +256,18 @@ impl ChipNode {
         nodes: usize,
         addr: Address,
         is_write: bool,
-    ) -> Option<WritebackTrace> {
+    ) -> (Option<WritebackTrace>, Option<ResyncTrace>) {
         let line = self.gen.content(addr);
         let store = is_write.then(|| self.gen.store_data(addr));
-        let victim = fill_l2_l1(&mut self.l1, &mut self.l2, addr, line, store)?;
+        let Some(victim) = fill_l2_l1(&mut self.l1, &mut self.l2, addr, line, store) else {
+            return (None, None);
+        };
         let home = (victim.addr.page_number() % nodes as u64) as usize;
         let pipeline = &mut self.links[home];
         // Resident at the home: silent upgrade, the link compresses the
         // eventual write-back on home-side eviction.
         if pipeline.remote_store(victim.addr, victim.data) {
-            return None;
+            return (None, self.note_pipeline_op(home));
         }
         // Read-for-ownership through the link, then store. The wire call
         // is replayed even for zero delta bits — `SharedLink::transfer`
@@ -240,10 +275,11 @@ impl ChipNode {
         let before = pipeline.stats().wire_bits;
         pipeline.request_exclusive(victim.addr, victim.data);
         pipeline.remote_store(victim.addr, victim.data);
-        Some(WritebackTrace {
-            home,
-            delta_bits: pipeline.stats().wire_bits - before,
-        })
+        let delta_bits = pipeline.stats().wire_bits - before;
+        (
+            Some(WritebackTrace { home, delta_bits }),
+            self.note_pipeline_op(home),
+        )
     }
 
     pub(crate) fn retired(&self) -> u64 {
@@ -261,6 +297,9 @@ impl ChipNode {
     pub(crate) fn set_link_telemetry(&mut self, tel: &Telemetry) {
         for l in &mut self.links {
             l.set_telemetry(tel.clone());
+        }
+        for c in &mut self.controllers {
+            c.set_telemetry(tel);
         }
     }
 }
@@ -343,6 +382,20 @@ impl FabricSim {
                         link
                     })
                     .collect();
+                // One closed-loop controller per pipeline (local path
+                // included) when a degradation policy is armed.
+                let controllers = config
+                    .degrade
+                    .map(|policy| {
+                        (0..nodes)
+                            .map(|_| {
+                                let mut ctl = OnOffController::new(config.link_bytes_per_sec());
+                                ctl.arm_degradation(policy, config.link_width_bits);
+                                ctl
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
                 ChipNode {
                     gen: WorkloadGen::new(profile, i as u64),
                     l1: SetAssocCache::new(CacheGeometry::new(config.l1_bytes, config.l1_ways)),
@@ -352,6 +405,7 @@ impl FabricSim {
                     accesses: 0,
                     fn_clock: 0,
                     links,
+                    controllers,
                 }
             })
             .collect();
@@ -517,6 +571,19 @@ impl FabricSim {
                 self.wires[w].transfer(now, wb.delta_bits);
             }
         }
+        // Scheduled-resync repair traffic occupies the same wire the
+        // pipeline runs on, at the step's final clock: recovery is honest
+        // bandwidth the figures can see, but (like write-backs) it does
+        // not block the requester.
+        for rs in trace.resyncs.iter().flatten() {
+            let now = self.chips[idx].now_ps;
+            if rs.home == idx {
+                self.local_wires[idx].transfer(now, rs.cost_bits);
+            } else {
+                let w = self.wire_index(idx, rs.home);
+                self.wires[w].transfer(now, rs.cost_bits);
+            }
+        }
     }
 
     /// Aggregated statistics across the coherence pipelines only (the PTP
@@ -565,10 +632,64 @@ impl FabricSim {
                     t.fallback_raw += fs.fallback_raw;
                     t.retransmitted_bits += fs.retransmitted_bits;
                     t.escalations += fs.escalations;
+                    t.evict_buffer_hits += fs.evict_buffer_hits;
+                    t.resyncs += fs.resyncs;
+                    t.resync_repairs += fs.resync_repairs;
+                    t.reliable_frames += fs.reliable_frames;
                 }
             }
         }
         total
+    }
+
+    /// Aggregated degradation-controller statistics across every pipeline,
+    /// when `config.degrade` armed controllers.
+    #[must_use]
+    pub fn degradation_stats(&self) -> Option<DegradationStats> {
+        let mut total: Option<DegradationStats> = None;
+        for chip in &self.chips {
+            for ctl in &chip.controllers {
+                total
+                    .get_or_insert_with(DegradationStats::default)
+                    .accumulate(&ctl.degradation_stats());
+            }
+        }
+        total
+    }
+
+    /// Current ladder rung of every degradation controller, chip-major
+    /// (`nodes * nodes` entries, the local path in the diagonal slot);
+    /// empty when no policy is armed. `iter().max()` gives the fabric's
+    /// worst rung.
+    #[must_use]
+    pub fn degrade_levels(&self) -> Vec<DegradeLevel> {
+        self.chips
+            .iter()
+            .flat_map(|chip| chip.controllers.iter().map(OnOffController::level))
+            .collect()
+    }
+
+    /// Arms (`Some`) or disarms (`None`) fault injection on every CABLE
+    /// pipeline mid-run — the burst half of the degradation benchmark.
+    /// Arming decorrelates per-pipeline seeds exactly like
+    /// [`FabricSim::with_config`]; disarming settles synchronization debt
+    /// first (see `CableLink::disable_fault_injection`).
+    pub fn set_fault_injection(&mut self, fault: Option<FaultConfig>) {
+        self.config.fault = fault;
+        for (i, chip) in self.chips.iter_mut().enumerate() {
+            for (h, link) in chip.links.iter_mut().enumerate() {
+                match fault {
+                    Some(f) => {
+                        let instance = (i * self.nodes + h) as u64;
+                        link.enable_fault_injection(FaultConfig {
+                            seed: f.seed ^ instance.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                            ..f
+                        });
+                    }
+                    None => link.disable_fault_injection(),
+                }
+            }
+        }
     }
 
     /// A digest of every shared timing resource plus per-chip clocks and

@@ -49,7 +49,7 @@ pub mod single;
 pub mod thread;
 pub mod throughput;
 
-pub use adaptive::OnOffController;
+pub use adaptive::{DegradationStats, DegradeLevel, DegradePolicy, OnOffController};
 pub use arena::SimArena;
 pub use config::{CompressionLatency, SystemConfig};
 pub use fabric::{FabricResult, FabricSim};

@@ -8,12 +8,14 @@
 //! pages across nodes" — compression ratios come out slightly lower than
 //! the memory link "due to more dirty line transfers".
 
+use crate::adaptive::{DegradationStats, DegradeLevel, OnOffController};
+use crate::config::SystemConfig;
 use crate::sched::Scheduler;
 use crate::shard::{for_each_shard, ShardPlan};
 use crate::thread::{CompressedLink, Scheme};
 use cable_cache::CacheGeometry;
 use cable_common::{Address, LineData};
-use cable_core::LinkStats;
+use cable_core::{FaultConfig, FaultStats, LinkStats};
 use cable_telemetry::Telemetry;
 use cable_trace::{WorkloadGen, WorkloadProfile};
 
@@ -39,13 +41,23 @@ struct LinkOp {
     now_ps: u64,
 }
 
-/// Pairs each link with its op queue so one `chunks_mut` hands both to a
-/// worker.
+/// Pairs each link with its op queue and degradation controller so one
+/// `chunks_mut` hands all three to a worker.
 fn zip_queues<'a>(
     links: &'a mut [CompressedLink],
     queues: &'a mut [Vec<LinkOp>],
-) -> Vec<(&'a mut CompressedLink, &'a mut Vec<LinkOp>)> {
-    links.iter_mut().zip(queues.iter_mut()).collect()
+    controllers: &'a mut [OnOffController],
+) -> Vec<(
+    &'a mut CompressedLink,
+    &'a mut Vec<LinkOp>,
+    &'a mut OnOffController,
+)> {
+    links
+        .iter_mut()
+        .zip(queues.iter_mut())
+        .zip(controllers.iter_mut())
+        .map(|((l, q), c)| (l, q, c))
+        .collect()
 }
 
 /// A NUMA compression study over one benchmark.
@@ -54,6 +66,9 @@ pub struct NumaSim {
     nodes: usize,
     /// One compressed link per remote node (index 0 = node 1, …).
     links: Vec<CompressedLink>,
+    /// One degradation controller per link; unarmed (policy-less, free)
+    /// unless [`NumaSim::with_config`] saw `config.degrade`.
+    controllers: Vec<OnOffController>,
     local_accesses: u64,
     remote_accesses: u64,
     /// Coarse operation clock: advances [`NUMA_OP_PITCH_PS`] per access.
@@ -78,18 +93,56 @@ impl NumaSim {
         // disjoint.
         let remote = CacheGeometry::new(1 << 20, 8);
         let home = CacheGeometry::new(4 << 20, 16);
-        let links = (1..nodes)
+        let links: Vec<CompressedLink> = (1..nodes)
             .map(|_| CompressedLink::build(scheme, home, remote, 16))
+            .collect();
+        let controllers = (0..links.len())
+            .map(|_| OnOffController::new(SystemConfig::paper_defaults().link_bytes_per_sec()))
             .collect();
         NumaSim {
             gen: WorkloadGen::new(profile, 0),
             nodes,
             links,
+            controllers,
             local_accesses: 0,
             remote_accesses: 0,
             now_ps: 0,
             tel: Telemetry::disabled(),
         }
+    }
+
+    /// [`NumaSim::new`] with the fault/degradation knobs of a
+    /// [`SystemConfig`]: `config.fault` arms fault injection on every
+    /// coherence link with per-link decorrelated seeds (closing the gap
+    /// where the NUMA pair path ran fault-blind), and `config.degrade`
+    /// arms the closed-loop degradation ladder on each link's controller.
+    /// The NUMA study stays functional, so scheduled-resync work is
+    /// counted in [`DegradationStats`] but charges no busy time. The cache
+    /// geometries remain this study's own (full-sized WMT mirrors, see
+    /// [`NumaSim::new`]), not `config`'s.
+    #[must_use]
+    pub fn with_config(
+        profile: &'static WorkloadProfile,
+        scheme: Scheme,
+        nodes: usize,
+        config: &SystemConfig,
+    ) -> Self {
+        let mut sim = Self::new(profile, scheme, nodes);
+        if let Some(fault) = config.fault {
+            for (i, link) in sim.links.iter_mut().enumerate() {
+                let instance = i as u64;
+                link.enable_fault_injection(FaultConfig {
+                    seed: fault.seed ^ instance.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    ..fault
+                });
+            }
+        }
+        if let Some(policy) = config.degrade {
+            for ctl in &mut sim.controllers {
+                ctl.arm_degradation(policy, config.link_width_bits);
+            }
+        }
+        sim
     }
 
     /// Attaches a [`Telemetry`] handle to every coherence link and syncs
@@ -99,6 +152,9 @@ impl NumaSim {
         tel.set_now_ps(self.now_ps);
         for link in &mut self.links {
             link.set_telemetry(tel.clone());
+        }
+        for ctl in &mut self.controllers {
+            ctl.set_telemetry(&tel);
         }
         self.tel = tel;
     }
@@ -137,6 +193,7 @@ impl NumaSim {
             let op = self.next_op();
             if let Some(op) = op {
                 Self::apply_op(&mut self.links[op.link], &self.tel, &op);
+                self.controllers[op.link].note_op(&mut self.links[op.link]);
             }
             remaining -= 1;
             if remaining > 0 {
@@ -169,6 +226,7 @@ impl NumaSim {
             } else {
                 link.request(access.addr, memory);
             }
+            self.controllers[node - 1].note_op(&mut self.links[node - 1]);
         }
     }
 
@@ -193,6 +251,9 @@ impl NumaSim {
             for (i, link) in self.links.iter_mut().enumerate() {
                 link.set_telemetry(forks[plan.shard_of(i)].clone());
             }
+            for (i, ctl) in self.controllers.iter_mut().enumerate() {
+                ctl.set_telemetry(&forks[plan.shard_of(i)]);
+            }
         }
 
         let mut queues: Vec<Vec<LinkOp>> = vec![Vec::new(); self.links.len()];
@@ -208,12 +269,13 @@ impl NumaSim {
             }
             remaining -= epoch;
 
-            let mut work = zip_queues(&mut self.links, &mut queues);
+            let mut work = zip_queues(&mut self.links, &mut queues, &mut self.controllers);
             for_each_shard(&mut work, plan.chunk_len(), |shard, pairs| {
                 let tel = &forks[shard];
-                for (link, queue) in pairs.iter_mut() {
+                for (link, queue, ctl) in pairs.iter_mut() {
                     for op in queue.iter() {
                         Self::apply_op(link, tel, op);
+                        ctl.note_op(link);
                     }
                     queue.clear();
                 }
@@ -223,6 +285,9 @@ impl NumaSim {
         if parent.is_enabled() {
             for link in &mut self.links {
                 link.set_telemetry(parent.clone());
+            }
+            for ctl in &mut self.controllers {
+                ctl.set_telemetry(&parent);
             }
             parent.absorb_shards(&forks);
         }
@@ -293,6 +358,60 @@ impl NumaSim {
     #[must_use]
     pub fn access_split(&self) -> (u64, u64) {
         (self.local_accesses, self.remote_accesses)
+    }
+
+    /// Aggregated fault-injection statistics across every coherence link,
+    /// when [`NumaSim::with_config`] armed them.
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        let mut total: Option<FaultStats> = None;
+        for link in &self.links {
+            if let Some(fs) = link.fault_stats() {
+                let t = total.get_or_insert_with(FaultStats::default);
+                t.frames_sent += fs.frames_sent;
+                t.injected_frames += fs.injected_frames;
+                t.injected_bit_flips += fs.injected_bit_flips;
+                t.injected_truncations += fs.injected_truncations;
+                t.dropped_notices += fs.dropped_notices;
+                t.delayed_notices += fs.delayed_notices;
+                t.detected += fs.detected;
+                t.recovered += fs.recovered;
+                t.nacks += fs.nacks;
+                t.fallback_raw += fs.fallback_raw;
+                t.retransmitted_bits += fs.retransmitted_bits;
+                t.escalations += fs.escalations;
+                t.evict_buffer_hits += fs.evict_buffer_hits;
+                t.resyncs += fs.resyncs;
+                t.resync_repairs += fs.resync_repairs;
+                t.reliable_frames += fs.reliable_frames;
+            }
+        }
+        total
+    }
+
+    /// Aggregated degradation-controller statistics across every link,
+    /// when [`NumaSim::with_config`] armed a policy.
+    #[must_use]
+    pub fn degradation_stats(&self) -> Option<DegradationStats> {
+        let mut total: Option<DegradationStats> = None;
+        for ctl in &self.controllers {
+            if ctl.degradation_armed() {
+                total
+                    .get_or_insert_with(DegradationStats::default)
+                    .accumulate(&ctl.degradation_stats());
+            }
+        }
+        total
+    }
+
+    /// Current ladder rung of each link's controller (index 0 = the link
+    /// to node 1); all `Compressed` when no policy is armed.
+    #[must_use]
+    pub fn degrade_levels(&self) -> Vec<DegradeLevel> {
+        self.controllers
+            .iter()
+            .map(OnOffController::level)
+            .collect()
     }
 }
 

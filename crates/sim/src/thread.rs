@@ -183,6 +183,34 @@ impl CompressedLink {
         }
     }
 
+    /// Disarms fault injection on a CABLE link, settling synchronization
+    /// debt first (see [`CableLink::disable_fault_injection`]). A no-op
+    /// for baselines.
+    pub fn disable_fault_injection(&mut self) {
+        if let CompressedLink::Cable(l) = self {
+            l.disable_fault_injection();
+        }
+    }
+
+    /// Switches the escalated reliable delivery mode (the degradation
+    /// ladder's `LinkOff` rung; see [`CableLink::set_reliable_mode`]).
+    /// Baselines already model reliable wires and ignore the request.
+    pub fn set_reliable_mode(&mut self, reliable: bool) {
+        if let CompressedLink::Cable(l) = self {
+            l.set_reliable_mode(reliable);
+        }
+    }
+
+    /// Whether escalated reliable delivery is active (never, for
+    /// baselines).
+    #[must_use]
+    pub fn reliable_mode(&self) -> bool {
+        match self {
+            CompressedLink::Cable(l) => l.reliable_mode(),
+            CompressedLink::Baseline(_) => false,
+        }
+    }
+
     /// Fault-injection statistics, if this is a CABLE link in fault mode.
     #[must_use]
     pub fn fault_stats(&self) -> Option<&FaultStats> {

@@ -11,7 +11,7 @@
 use cable_common::SplitMix64;
 use cable_compress::EngineKind;
 use cable_core::{BaselineKind, FaultConfig, LinkStats};
-use cable_sim::{FabricSim, NumaSim, Scheme, SystemConfig};
+use cable_sim::{DegradeLevel, DegradePolicy, FabricSim, NumaSim, Scheme, SystemConfig};
 use cable_telemetry::Telemetry;
 use cable_trace::{by_name, WorkloadProfile, ALL_WORKLOADS};
 use proptest::prelude::*;
@@ -61,6 +61,8 @@ struct FabricDigest {
     locals: Vec<LinkStats>,
     fingerprint: Vec<u64>,
     fault: Option<String>,
+    degradation: Option<String>,
+    degrade_levels: Vec<DegradeLevel>,
 }
 
 fn digest(sim: &FabricSim, r: cable_sim::FabricResult) -> FabricDigest {
@@ -73,6 +75,8 @@ fn digest(sim: &FabricSim, r: cable_sim::FabricResult) -> FabricDigest {
         locals: sim.local_link_stats(),
         fingerprint: sim.timing_fingerprint(),
         fault: sim.fault_stats().map(|fs| format!("{fs:?}")),
+        degradation: sim.degradation_stats().map(|d| format!("{d:?}")),
+        degrade_levels: sim.degrade_levels(),
     }
 }
 
@@ -131,6 +135,24 @@ proptest! {
     }
 
     #[test]
+    fn prop_fabric_sharded_matches_oracles_with_degradation(seed in any::<u64>()) {
+        // The closed fault loop is purely functional (op-count windows,
+        // never sim time), so ladder transitions and scheduled resyncs
+        // must replay bit-identically for every worker count.
+        let mut rng = SplitMix64::new(seed);
+        let cfg = SystemConfig {
+            fault: Some(FaultConfig::with_rate(rng.next_u64(), 5e-3)),
+            degrade: Some(DegradePolicy {
+                window_ops: 64,
+                resync_interval_ops: 256,
+                ..DegradePolicy::paper_defaults()
+            }),
+            ..small_config()
+        };
+        run_fabric_case(&cfg, rng.next_u64(), 3_000);
+    }
+
+    #[test]
     fn prop_numa_sharded_is_bit_identical_across_worker_counts(seed in any::<u64>()) {
         let mut rng = SplitMix64::new(seed);
         let profile = profile_for(rng.next_u64());
@@ -161,6 +183,59 @@ proptest! {
                 (oracle_stats, oracle_split, oracle_now),
                 (sim.combined_stats(), sim.access_split(), sim.now_ps()),
                 "{}/{scheme:?}/{nodes}n: sharded({workers}) diverged",
+                profile.name
+            );
+        }
+    }
+
+    #[test]
+    fn prop_numa_sharded_with_degradation_matches_oracles(seed in any::<u64>()) {
+        // NUMA controllers sample per-link op counts; fault schedules and
+        // ladder state must agree across run / run_linear / run_sharded.
+        let mut rng = SplitMix64::new(seed);
+        let profile = profile_for(rng.next_u64());
+        let nodes = 2 + (rng.next_bounded(4) as usize); // 2..=5
+        let cfg = SystemConfig {
+            fault: Some(FaultConfig::with_rate(rng.next_u64(), 5e-3)),
+            degrade: Some(DegradePolicy {
+                window_ops: 64,
+                resync_interval_ops: 256,
+                ..DegradePolicy::paper_defaults()
+            }),
+            ..SystemConfig::paper_defaults()
+        };
+        let scheme = Scheme::Cable(EngineKind::Lbe);
+        let accesses = 6_000;
+
+        let build = || NumaSim::with_config(profile, scheme, nodes, &cfg);
+        let digest = |sim: &NumaSim| {
+            (
+                sim.combined_stats(),
+                sim.access_split(),
+                sim.now_ps(),
+                sim.fault_stats().map(|fs| format!("{fs:?}")),
+                sim.degradation_stats().map(|d| format!("{d:?}")),
+                sim.degrade_levels(),
+            )
+        };
+        let oracle = {
+            let mut sim = build();
+            sim.run_linear(accesses);
+            digest(&sim)
+        };
+        let event = {
+            let mut sim = build();
+            sim.run(accesses);
+            digest(&sim)
+        };
+        assert_eq!(oracle, event, "{}/{nodes}n: event core vs seed loop", profile.name);
+        for workers in WORKER_SWEEP {
+            let mut sim = build();
+            sim.run_sharded(accesses, workers);
+            assert_eq!(
+                oracle,
+                digest(&sim),
+                "{}/{nodes}n: sharded({workers}) diverged under degradation",
                 profile.name
             );
         }
@@ -219,6 +294,62 @@ fn sharded_telemetry_is_deterministic_across_worker_counts() {
         (events, metrics)
     };
     let one = trace_of(1);
+    for workers in [2, 4, 8] {
+        assert_eq!(one, trace_of(workers), "workers={workers}");
+    }
+}
+
+#[test]
+fn degradation_telemetry_is_deterministic_across_worker_counts() {
+    // Ladder markers (degrade.demote/promote), reliable-mode phases, and
+    // the adaptive counters ride the same fork/merge path as link
+    // telemetry; a fault burst must not make them worker-count dependent.
+    //
+    // Fault storms emit far more events than the default bounded ring
+    // holds, and ring *eviction* order depends on how chips share fork
+    // rings — so the determinism contract is exact only while nothing is
+    // dropped. Size the ring for the whole run and assert that premise.
+    let cfg = SystemConfig {
+        fault: Some(FaultConfig::with_rate(0xFA17, 8e-3)),
+        degrade: Some(DegradePolicy {
+            window_ops: 64,
+            resync_interval_ops: 256,
+            ..DegradePolicy::paper_defaults()
+        }),
+        ..small_config()
+    };
+    let trace_of = |workers: usize| {
+        let mut sim = FabricSim::with_config(
+            by_name("mcf").unwrap(),
+            Scheme::Cable(EngineKind::Lbe),
+            4,
+            19.2e9,
+            &cfg,
+        );
+        let tel = Telemetry::with_config(cable_telemetry::TracerConfig::with_capacity(1 << 20));
+        sim.set_telemetry(tel.clone());
+        sim.run_sharded(3_000, workers);
+        assert_eq!(tel.dropped_events(), 0, "ring must hold the whole run");
+        let events: Vec<(u64, cable_telemetry::Event)> = tel
+            .events()
+            .iter()
+            .map(|te| (te.now_ps, te.event))
+            .collect();
+        let mut metrics: Vec<String> = tel
+            .snapshot()
+            .metrics
+            .iter()
+            .map(|m| format!("{m:?}"))
+            .collect();
+        metrics.sort();
+        (events, metrics, sim.degrade_levels())
+    };
+    let one = trace_of(1);
+    assert!(
+        one.1.iter().any(|m| m.contains("adaptive.demotions")),
+        "burst must surface ladder counters: {:?}",
+        one.1
+    );
     for workers in [2, 4, 8] {
         assert_eq!(one, trace_of(workers), "workers={workers}");
     }

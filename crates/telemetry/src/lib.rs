@@ -61,7 +61,7 @@ pub mod tracer;
 pub use event::{Event, TraceEvent, TRACKS};
 pub use export::{chrome_trace, jsonl, ChromeTraceSink, JsonlSink};
 pub use registry::{Counter, Gauge, Histogram, MetricValue, Registry, Snapshot};
-pub use report::Report;
+pub use report::{diff_reports, DiffRow, Report, ReportDiff};
 pub use sink::{EventSink, SharedBuf};
 pub use tracer::{Tracer, TracerConfig, NUM_TRACKS};
 

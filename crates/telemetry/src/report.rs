@@ -526,6 +526,273 @@ impl Report {
     }
 }
 
+impl Report {
+    /// Parses a `cable_report` JSON artifact (the output of
+    /// [`Report::to_json`]) back into a [`Report`] — the inverse the
+    /// `cable report --diff` workflow needs to compare two runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or on an object that is not a
+    /// `cable_report` artifact.
+    pub fn from_report_json(text: &str) -> Result<Self, String> {
+        let val = parse_json(text.trim())?;
+        if val.get("type").and_then(Value::as_str) != Some("cable_report") {
+            return Err("not a cable_report artifact (run `cable report` first)".into());
+        }
+        let u = |key: &str| val.get(key).and_then(Value::as_u64).unwrap_or(0);
+        let mut report = Report {
+            span_start_ps: u("span_start_ps"),
+            span_end_ps: u("span_end_ps"),
+            events: u("events"),
+            dropped_events: u("dropped_events"),
+            ..Report::default()
+        };
+        if let Some(Value::Arr(phases)) = val.get("phases") {
+            for p in phases {
+                let pu = |key: &str| p.get(key).and_then(Value::as_u64).unwrap_or(0);
+                let eu = |key: &str| {
+                    p.get("encodes")
+                        .and_then(|e| e.get(key))
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0)
+                };
+                let lane = |label: &str| Lane {
+                    busy_ps: pu(&format!("{label}_busy_ps")),
+                    util_permille: p
+                        .get(&format!("{label}_util_permille"))
+                        .and_then(Value::as_u64_array)
+                        .unwrap_or_default(),
+                };
+                report.phases.push(PhaseReport {
+                    name: p
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    start_ps: pu("start_ps"),
+                    end_ps: pu("end_ps"),
+                    encodes: EncodeMix {
+                        raw: eu("raw"),
+                        unseeded: eu("unseeded"),
+                        diff: eu("diff"),
+                        remote_hit: eu("remote_hit"),
+                    },
+                    nacks: pu("nacks"),
+                    retransmits: pu("retransmits"),
+                    fallback_raw: pu("fallback_raw"),
+                    escalations: pu("escalations"),
+                    link: lane("link"),
+                    dram: lane("dram"),
+                    mesh: lane("mesh"),
+                });
+            }
+        }
+        if let Some(Value::Arr(hists)) = val.get("histograms") {
+            for h in hists {
+                let hu = |key: &str| h.get(key).and_then(Value::as_u64).unwrap_or(0);
+                report.histograms.push(HistogramReport {
+                    id: h
+                        .get("id")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    count: hu("count"),
+                    sum: hu("sum"),
+                    p50: hu("p50"),
+                    p90: hu("p90"),
+                    p99: hu("p99"),
+                });
+            }
+        }
+        for (key, out) in [
+            ("counters", &mut report.counters),
+            ("gauges", &mut report.gauges),
+        ] {
+            if let Some(Value::Obj(pairs)) = val.get(key) {
+                for (id, v) in pairs {
+                    out.push((id.clone(), v.as_u64().unwrap_or(0)));
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// One compared field of a [`ReportDiff`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiffRow {
+    /// Field name (`encodes.raw`, `hist.link.payload_bits.p99`, a
+    /// counter id, ...).
+    pub field: String,
+    /// Value in the first (baseline) report.
+    pub a: u64,
+    /// Value in the second (candidate) report.
+    pub b: u64,
+}
+
+impl DiffRow {
+    /// Relative drift `|b - a| / a` in permille. A field that appears
+    /// from zero reports [`u64::MAX`] (infinite drift); equal values
+    /// report 0.
+    #[must_use]
+    pub fn delta_permille(&self) -> u64 {
+        if self.a == self.b {
+            return 0;
+        }
+        (self.a.abs_diff(self.b))
+            .saturating_mul(1000)
+            .checked_div(self.a)
+            .unwrap_or(u64::MAX)
+    }
+}
+
+/// Field-by-field comparison of two [`Report`]s (see [`diff_reports`]).
+#[derive(Clone, Debug)]
+pub struct ReportDiff {
+    /// Largest tolerated [`DiffRow::delta_permille`] before a row counts
+    /// as a breach.
+    pub threshold_permille: u64,
+    /// All compared rows where either side is nonzero, in a stable
+    /// order: phase totals, histogram percentiles, counters, gauges.
+    pub rows: Vec<DiffRow>,
+}
+
+impl ReportDiff {
+    /// Rows whose drift exceeds the threshold.
+    #[must_use]
+    pub fn breaches(&self) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.delta_permille() > self.threshold_permille)
+            .collect()
+    }
+
+    /// Renders the delta table; breached rows are flagged with `!`.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:34} {:>14} {:>14} {:>9}", "field", "a", "b", "delta");
+        for r in &self.rows {
+            let delta = r.delta_permille();
+            let rendered = if delta == u64::MAX {
+                "+inf".to_string()
+            } else {
+                format!("{delta}\u{2030}")
+            };
+            let _ = writeln!(
+                out,
+                "{:34} {:>14} {:>14} {:>9}{}",
+                r.field,
+                r.a,
+                r.b,
+                rendered,
+                if delta > self.threshold_permille {
+                    "  !"
+                } else {
+                    ""
+                }
+            );
+        }
+        out
+    }
+}
+
+/// Compares two reports field by field: phase-aggregated encode mix and
+/// fault counts, lane busy time, per-histogram count and percentiles,
+/// and every counter and gauge (matched by id, union of both sides).
+/// Rows where both sides are zero are elided.
+#[must_use]
+pub fn diff_reports(a: &Report, b: &Report, threshold_permille: u64) -> ReportDiff {
+    let mut rows = Vec::new();
+    let mut push = |field: String, va: u64, vb: u64| {
+        if va != 0 || vb != 0 {
+            rows.push(DiffRow {
+                field,
+                a: va,
+                b: vb,
+            });
+        }
+    };
+    let totals = |r: &Report| {
+        let mut t = [0u64; 11];
+        for p in &r.phases {
+            t[0] += p.encodes.raw;
+            t[1] += p.encodes.unseeded;
+            t[2] += p.encodes.diff;
+            t[3] += p.encodes.remote_hit;
+            t[4] += p.nacks;
+            t[5] += p.retransmits;
+            t[6] += p.fallback_raw;
+            t[7] += p.escalations;
+            t[8] += p.link.busy_ps;
+            t[9] += p.dram.busy_ps;
+            t[10] += p.mesh.busy_ps;
+        }
+        t
+    };
+    const TOTAL_FIELDS: [&str; 11] = [
+        "encodes.raw",
+        "encodes.unseeded",
+        "encodes.diff",
+        "encodes.remote_hit",
+        "nacks",
+        "retransmits",
+        "fallback_raw",
+        "escalations",
+        "link_busy_ps",
+        "dram_busy_ps",
+        "mesh_busy_ps",
+    ];
+    let (ta, tb) = (totals(a), totals(b));
+    for (field, (va, vb)) in TOTAL_FIELDS.iter().zip(ta.iter().zip(tb.iter())) {
+        push((*field).to_string(), *va, *vb);
+    }
+
+    // Histograms by id, union of both sides in id order.
+    let mut hist_ids: Vec<&str> = a
+        .histograms
+        .iter()
+        .chain(&b.histograms)
+        .map(|h| h.id.as_str())
+        .collect();
+    hist_ids.sort_unstable();
+    hist_ids.dedup();
+    let find = |r: &'_ Report, id: &str| -> [u64; 4] {
+        r.histograms
+            .iter()
+            .find(|h| h.id == id)
+            .map_or([0; 4], |h| [h.count, h.p50, h.p90, h.p99])
+    };
+    for id in hist_ids {
+        let (ha, hb) = (find(a, id), find(b, id));
+        for (i, part) in ["count", "p50", "p90", "p99"].iter().enumerate() {
+            push(format!("hist.{id}.{part}"), ha[i], hb[i]);
+        }
+    }
+
+    // Counters and gauges by id, union of both sides in id order.
+    for (label, pa, pb) in [
+        ("counter", &a.counters, &b.counters),
+        ("gauge", &a.gauges, &b.gauges),
+    ] {
+        let mut ids: Vec<&str> = pa.iter().chain(pb).map(|(id, _)| id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let get = |pairs: &[(String, u64)], id: &str| {
+            pairs.iter().find(|(k, _)| k == id).map_or(0, |(_, v)| *v)
+        };
+        for id in ids {
+            push(format!("{label}.{id}"), get(pa, id), get(pb, id));
+        }
+    }
+
+    ReportDiff {
+        threshold_permille,
+        rows,
+    }
+}
+
 /// Renders a permille timeline as a compact digit strip (`.` 0, `9`
 /// ≥900, `+` above 1000 — parallel occupancy).
 fn spark_line(permille: &[u64]) -> String {
@@ -1187,6 +1454,52 @@ mod tests {
         assert!(text.contains("lat"));
         assert!(text.contains("p99"));
         assert!(text.contains("trace span 0 .. 2500 ps"));
+    }
+
+    #[test]
+    fn report_json_round_trips_through_the_parser() {
+        let r = Report::from_telemetry(&sample_tel());
+        let parsed = Report::from_report_json(&r.to_json()).expect("artifact parses");
+        assert_eq!(r, parsed, "to_json -> from_report_json must be lossless");
+        assert!(Report::from_report_json("{\"type\":\"other\"}")
+            .unwrap_err()
+            .contains("not a cable_report"));
+        assert!(Report::from_report_json("nonsense").is_err());
+    }
+
+    #[test]
+    fn identical_reports_diff_clean() {
+        let r = Report::from_telemetry(&sample_tel());
+        let diff = diff_reports(&r, &r, 0);
+        assert!(!diff.rows.is_empty());
+        assert!(diff.breaches().is_empty(), "no drift between equal runs");
+        assert!(diff.rows.iter().all(|row| row.delta_permille() == 0));
+    }
+
+    #[test]
+    fn drifted_fields_breach_the_threshold() {
+        let a = Report::from_telemetry(&sample_tel());
+        let mut b = a.clone();
+        b.phases[0].nacks *= 3; // 2000 permille drift
+        b.phases[0].encodes.raw += 1; // raw: 1 -> 2, 1000 permille drift
+        let diff = diff_reports(&a, &b, 1500);
+        let breached: Vec<&str> = diff.breaches().iter().map(|r| r.field.as_str()).collect();
+        assert_eq!(
+            breached,
+            ["nacks"],
+            "only the drift above 1500 permille breaches"
+        );
+        let text = diff.render_text();
+        assert!(text.contains("nacks"));
+        assert!(text
+            .lines()
+            .any(|l| l.contains("nacks") && l.ends_with('!')));
+        // A field appearing from zero is infinite drift: always a breach.
+        let mut c = a.clone();
+        c.phases[0].escalations = 7;
+        let diff = diff_reports(&a, &c, u64::MAX - 1);
+        assert_eq!(diff.breaches().len(), 1);
+        assert!(diff.render_text().contains("+inf"));
     }
 
     #[test]
