@@ -518,7 +518,9 @@ fn worst_level(sim: &FabricSim) -> cable_sim::DegradeLevel {
 
 /// Closed-loop degradation sweep: steady-state fault-rate x policy grid
 /// (`ladder/<rate>` with the acting controller armed vs `fixed/<rate>`
-/// without one), then the burst storyline on a single fabric —
+/// without one), two mesh-path rows (`mesh/1e-3` whole-mesh,
+/// `mesh/pinned` a 1e-2 storm on one wire — the `cable report --hops`
+/// localization scenario), then the burst storyline on a single fabric —
 /// `burst/pre` (healthy), `burst/1e-3` (fault injection armed mid-run),
 /// `burst/recovered` (injection disarmed, quiet windows re-arm the
 /// ladder). The final `CABLE+LBE` row repeats the recovered phase and is
@@ -580,6 +582,44 @@ pub fn run_degrade_bench() -> FigureResult<'static> {
             prev_rate_tp = row[0];
             rows.push((format!("{family}/{rate:.0e}"), row));
         }
+    }
+
+    // Mesh-path faults fold into the same acting ladder: one row with the
+    // whole mesh lossy at the burst rate, one with a 1e-2 storm pinned to
+    // a single wire (the localization scenario `cable report --hops`
+    // renders). The per-hop rollup must keep the faults on the armed
+    // wires while the controllers absorb them.
+    for (label, rate, hop) in [("mesh/1e-3", 1e-3, None), ("mesh/pinned", 1e-2, Some(0u32))] {
+        let cfg = SystemConfig {
+            mesh_fault: Some(FaultConfig::with_rate(FAULT_BENCH_SEED, rate)),
+            mesh_fault_hop: hop,
+            degrade: Some(degrade_bench_policy()),
+            ..base_cfg
+        };
+        let mut sim = FabricSim::with_config(
+            profile,
+            Scheme::Cable(EngineKind::Lbe),
+            DEGRADE_BENCH_NODES,
+            ptp,
+            &cfg,
+        );
+        let r = sim.run(steady_instrs);
+        let hops = sim.hop_stats();
+        match hop {
+            Some(h) => assert!(
+                hops.iter().all(|s| (s.hop == h) == s.fault.is_some()),
+                "pinned mesh faults must stay on wire {h}: {hops:?}"
+            ),
+            None => assert!(
+                hops.iter().all(|s| s.fault.is_some()),
+                "a whole-mesh schedule arms every wire: {hops:?}"
+            ),
+        }
+        let mesh_nacks: u64 = hops.iter().filter_map(|s| s.fault).map(|f| f.nacks).sum();
+        assert!(mesh_nacks > 0, "{label}: mesh faults must surface NACKs");
+        let snap = degrade_snap(&sim, r.elapsed_ps);
+        let row = degrade_row(&snap, &DegradeSnap::default(), worst_level(&sim));
+        rows.push((label.to_string(), row));
     }
 
     // Burst storyline: healthy -> 1e-3 burst -> recovery, one fabric.

@@ -310,8 +310,8 @@ fn degrade_bench_steps_down_and_recovers() {
     let steady = 2 * DEGRADE_BENCH_RATES.len();
     assert_eq!(
         result.rows.len(),
-        steady + 4,
-        "ladder+fixed grid, three burst phases, one gated row"
+        steady + 6,
+        "ladder+fixed grid, two mesh rows, three burst phases, one gated row"
     );
 
     let col = |label: &str, name: &str| -> f64 {

@@ -32,7 +32,13 @@ commands:
                                    arms lossy links (per-bit flip rate R)
                                    and --degrade the closed-loop ladder
                                    (Compressed -> RawOnly -> LinkOff with
-                                   scheduled resyncs)
+                                   scheduled resyncs); --mesh-fault-rate R
+                                   arms the mesh wires only (overriding
+                                   --fault-rate there), --mesh-fault-hop H
+                                   pins the faults to one wire, and
+                                   --trace PREFIX streams the CABLE run's
+                                   telemetry to <PREFIX>.jsonl for
+                                   `cable report --hops`
   stats <workload> [lines]         data-pattern statistics of a workload
   area                             Table III-style area overhead report
   trace <workload> [ins] [prefix]  run with telemetry; write <prefix>.jsonl
@@ -41,7 +47,11 @@ commands:
                                    any region length runs in O(ring) memory
   report <trace.jsonl> [out.json]  analyse a trace: per-phase link/DRAM/mesh
                                    utilization, encode mix, NACK rates, and
-                                   histogram p50/p90/p99 (tables + JSON)
+                                   histogram p50/p90/p99 (tables + JSON);
+                                   --hops prints only the per-hop mesh wire
+                                   table (busy permille, queue-depth p50/p99,
+                                   fault counts, heatmap) with the --top K
+                                   hottest/faultiest wires (default 3)
   report --diff <A.json> <B.json>  field-by-field delta of two report
                                    artifacts (encode mix, fault counts,
                                    percentiles); exits nonzero when a field
@@ -89,16 +99,20 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             throughput(name, threads as usize)
         }
         Some("fabric") => {
-            let mut shards = None;
-            let mut fault_rate = None;
-            let mut degrade = false;
+            let mut opts = FabricOpts::default();
             let mut rest: Vec<&String> = Vec::new();
             let mut it = args[1..].iter();
+            let parse_rate = |flag: &str, s: &str| {
+                s.parse::<f64>()
+                    .ok()
+                    .filter(|r| *r > 0.0 && *r < 1.0)
+                    .ok_or_else(|| format!("`{s}` is not a per-bit fault rate in (0, 1) ({flag})"))
+            };
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--shards" => {
                         let s = it.next().ok_or("--shards needs a value")?;
-                        shards = Some(
+                        opts.shards = Some(
                             s.parse::<usize>()
                                 .ok()
                                 .filter(|&w| w >= 1)
@@ -107,16 +121,24 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
                     }
                     "--fault-rate" => {
                         let s = it.next().ok_or("--fault-rate needs a value")?;
-                        fault_rate = Some(
-                            s.parse::<f64>()
-                                .ok()
-                                .filter(|r| *r > 0.0 && *r < 1.0)
-                                .ok_or_else(|| {
-                                    format!("`{s}` is not a per-bit fault rate in (0, 1)")
-                                })?,
+                        opts.fault_rate = Some(parse_rate("--fault-rate", s)?);
+                    }
+                    "--mesh-fault-rate" => {
+                        let s = it.next().ok_or("--mesh-fault-rate needs a value")?;
+                        opts.mesh_fault_rate = Some(parse_rate("--mesh-fault-rate", s)?);
+                    }
+                    "--mesh-fault-hop" => {
+                        let s = it.next().ok_or("--mesh-fault-hop needs a value")?;
+                        opts.mesh_fault_hop = Some(
+                            s.parse::<u32>()
+                                .map_err(|_| format!("`{s}` is not a mesh hop index"))?,
                         );
                     }
-                    "--degrade" => degrade = true,
+                    "--trace" => {
+                        let s = it.next().ok_or("--trace needs an output prefix")?;
+                        opts.trace_prefix = Some(s.clone());
+                    }
+                    "--degrade" => opts.degrade = true,
                     _ => rest.push(a),
                 }
             }
@@ -133,7 +155,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
                 })
                 .transpose()?
                 .unwrap_or(2.4);
-            fabric(name, nodes, gbps, shards, fault_rate, degrade)
+            fabric(name, nodes, gbps, &opts)
         }
         Some("stats") => {
             let name = args.get(1).ok_or("stats needs a workload name")?;
@@ -161,8 +183,20 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
                 })
                 .transpose()?
                 .unwrap_or(DIFF_THRESHOLD_PERMILLE);
+            let rest_owned: Vec<String> = rest.iter().map(|s| (*s).clone()).collect();
+            let (rest, top) = split_flag_value(&rest_owned, "--top")?;
+            let top = top
+                .map(|s| {
+                    s.parse::<usize>()
+                        .ok()
+                        .filter(|&k| k >= 1)
+                        .ok_or_else(|| format!("`{s}` is not a top-K count (>= 1)"))
+                })
+                .transpose()?
+                .unwrap_or(cable_telemetry::DEFAULT_HOP_TOP);
+            let hops = rest.iter().any(|a| *a == "--hops");
             if rest.iter().any(|a| *a == "--diff") {
-                let rest: Vec<&&String> = rest.iter().filter(|a| **a != "--diff").collect();
+                let rest: Vec<&&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
                 let a = rest
                     .first()
                     .ok_or("report --diff needs two report.json files")?;
@@ -171,8 +205,9 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
                     .ok_or("report --diff needs two report.json files")?;
                 report_diff(a, b, threshold)
             } else {
+                let rest: Vec<&&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
                 let trace_path = rest.first().ok_or("report needs a trace.jsonl file")?;
-                report(trace_path, rest.get(1).map(|s| s.as_str()))
+                report(trace_path, rest.get(1).map(|s| s.as_str()), hops, top)
             }
         }
         Some(other) => Err(format!("unknown command `{other}`")),
@@ -377,38 +412,67 @@ fn throughput(name: &str, threads: usize) -> Result<(), String> {
 /// Seed of the CLI's fault schedules (`fabric --fault-rate`).
 const FABRIC_FAULT_SEED: u64 = 0x000c_ab1e_c11e;
 
-fn fabric(
-    name: &str,
-    nodes: usize,
-    gbps: f64,
+/// Parsed `fabric` flags.
+#[derive(Clone, Debug, Default)]
+struct FabricOpts {
     shards: Option<usize>,
     fault_rate: Option<f64>,
     degrade: bool,
-) -> Result<(), String> {
+    mesh_fault_rate: Option<f64>,
+    mesh_fault_hop: Option<u32>,
+    trace_prefix: Option<String>,
+}
+
+fn fabric(name: &str, nodes: usize, gbps: f64, opts: &FabricOpts) -> Result<(), String> {
     if nodes < 2 {
         return Err("a fabric needs at least two chips".into());
     }
     if gbps <= 0.0 {
         return Err("PTP bandwidth must be positive".into());
     }
+    let wires = nodes * (nodes - 1) / 2;
+    if opts.mesh_fault_hop.is_some() && opts.mesh_fault_rate.is_none() {
+        return Err("--mesh-fault-hop requires --mesh-fault-rate".into());
+    }
+    if let Some(h) = opts.mesh_fault_hop {
+        if h as usize >= wires {
+            return Err(format!(
+                "mesh hop {h} is out of range: a {nodes}-chip mesh has {wires} wires (0..{})",
+                wires - 1
+            ));
+        }
+    }
     let p = profile(name)?;
     let cfg = SystemConfig {
-        fault: fault_rate.map(|r| FaultConfig::with_rate(FABRIC_FAULT_SEED, r)),
-        degrade: degrade.then(DegradePolicy::paper_defaults),
+        fault: opts
+            .fault_rate
+            .map(|r| FaultConfig::with_rate(FABRIC_FAULT_SEED, r)),
+        degrade: opts.degrade.then(DegradePolicy::paper_defaults),
+        mesh_fault: opts
+            .mesh_fault_rate
+            .map(|r| FaultConfig::with_rate(FABRIC_FAULT_SEED, r)),
+        mesh_fault_hop: opts.mesh_fault_hop,
         ..SystemConfig::paper_defaults()
     };
-    let engine = match shards {
+    let engine = match opts.shards {
         Some(w) => format!(", sharded across {w} workers"),
         None => String::new(),
     };
-    let loop_desc = match (fault_rate, degrade) {
+    let loop_desc = match (opts.fault_rate, opts.degrade) {
         (Some(r), true) => format!(", {r:.0e} faults/bit + degradation ladder"),
         (Some(r), false) => format!(", {r:.0e} faults/bit"),
         (None, true) => ", degradation ladder armed".to_string(),
         (None, false) => String::new(),
     };
-    println!("{name}: {nodes}-chip fabric, {gbps} GB/s per PTP link{engine}{loop_desc}\n");
-    let run = |f: &mut cable_sim::FabricSim| match shards {
+    let mesh_desc = match (opts.mesh_fault_rate, opts.mesh_fault_hop) {
+        (Some(r), Some(h)) => format!(", {r:.0e} mesh faults/bit pinned to hop {h}"),
+        (Some(r), None) => format!(", {r:.0e} mesh faults/bit"),
+        (None, _) => String::new(),
+    };
+    println!(
+        "{name}: {nodes}-chip fabric, {gbps} GB/s per PTP link{engine}{loop_desc}{mesh_desc}\n"
+    );
+    let run = |f: &mut cable_sim::FabricSim| match opts.shards {
         Some(w) => f.run_sharded(20_000, w),
         None => f.run(20_000),
     };
@@ -421,6 +485,24 @@ fn fabric(
         Scheme::Cable(EngineKind::Lbe),
     ] {
         let mut f = cable_sim::FabricSim::with_config(p, scheme, nodes, gbps * 1e9, &cfg);
+        // `--trace` streams the CABLE run (the scheme the per-hop fault
+        // counters instrument) to <prefix>.jsonl for `report --hops`.
+        let traced = matches!(scheme, Scheme::Cable(_));
+        let tel = match (&opts.trace_prefix, traced) {
+            (Some(prefix), true) => {
+                let jsonl_path = format!("{prefix}.jsonl");
+                let file = std::fs::File::create(&jsonl_path)
+                    .map_err(|e| format!("cannot create {jsonl_path}: {e}"))?;
+                let sink = JsonlSink::streaming(std::io::BufWriter::new(file))
+                    .map_err(|e| format!("cannot write {jsonl_path}: {e}"))?;
+                let mut tcfg = TracerConfig::with_capacity(STREAM_TRACK_CAPACITY);
+                tcfg.drain_threshold = Some(STREAM_DRAIN_THRESHOLD);
+                let tel = Telemetry::streaming(tcfg, Box::new(sink));
+                f.set_telemetry(tel.clone());
+                Some((tel, jsonl_path))
+            }
+            _ => None,
+        };
         let r = run(&mut f);
         let s = f.coherence_stats();
         println!(
@@ -434,6 +516,24 @@ fn fabric(
             println!(
                 "{:12} faults: {} injected, {} detected, {} recovered, {} NACKs, {} reliable frames",
                 "", fs.injected_frames, fs.detected, fs.recovered, fs.nacks, fs.reliable_frames
+            );
+        }
+        if cfg.mesh_fault.is_some() {
+            for h in f.hop_stats() {
+                let (inj, nacks) = h.fault.map_or((0, 0), |fs| (fs.injected_frames, fs.nacks));
+                println!(
+                    "{:12} hop {} ({}-{}): {} wire bits, {} ps busy, {} injected, {} NACKs",
+                    "", h.hop, h.chips.0, h.chips.1, h.bits_sent, h.busy_ps, inj, nacks
+                );
+            }
+        }
+        if let Some((tel, jsonl_path)) = tel {
+            let (events, dropped) = tel
+                .finish_stream()
+                .map_err(|e| format!("cannot finish {jsonl_path}: {e}"))?;
+            println!(
+                "{:12} wrote {jsonl_path} ({events} events, {dropped} dropped) — next: `cable report {jsonl_path} --hops`",
+                ""
             );
         }
         if let Some(deg) = f.degradation_stats() {
@@ -558,7 +658,7 @@ fn trace(name: &str, instructions: u64, prefix: &str, stream: bool) -> Result<()
     Ok(())
 }
 
-fn report(trace_path: &str, out: Option<&str>) -> Result<(), String> {
+fn report(trace_path: &str, out: Option<&str>, hops_only: bool, top: usize) -> Result<(), String> {
     let text = std::fs::read_to_string(trace_path)
         .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
     let rep = Report::from_jsonl(&text).map_err(|e| format!("cannot parse {trace_path}: {e}"))?;
@@ -572,7 +672,17 @@ fn report(trace_path: &str, out: Option<&str>) -> Result<(), String> {
         ),
     };
     std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
-    print!("{}", rep.render_text());
+    if hops_only {
+        if rep.hops.is_empty() {
+            println!(
+                "no mesh-hop data in {trace_path} (trace a fabric run with `cable fabric --trace`)"
+            );
+        } else {
+            print!("{}", rep.render_hops(top));
+        }
+    } else {
+        print!("{}", rep.render_text());
+    }
     println!("\nwrote {out_path} ({} bytes)", json.len());
     Ok(())
 }
@@ -752,6 +862,87 @@ mod tests {
         assert!(run(&["fabric", "gcc", "--fault-rate", "x"])
             .unwrap_err()
             .contains("fault rate"));
+    }
+
+    #[test]
+    fn fabric_validates_mesh_fault_flags() {
+        assert!(run(&["fabric", "gcc", "--mesh-fault-rate"])
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(run(&["fabric", "gcc", "--mesh-fault-rate", "2.0"])
+            .unwrap_err()
+            .contains("fault rate"));
+        assert!(run(&["fabric", "gcc", "--mesh-fault-hop", "1"])
+            .unwrap_err()
+            .contains("requires --mesh-fault-rate"));
+        assert!(run(&["fabric", "gcc", "--mesh-fault-hop", "x"])
+            .unwrap_err()
+            .contains("mesh hop index"));
+        // A 4-chip mesh has wires 0..=5.
+        assert!(run(&[
+            "fabric",
+            "gcc",
+            "4",
+            "2.4",
+            "--mesh-fault-rate",
+            "1e-3",
+            "--mesh-fault-hop",
+            "6"
+        ])
+        .unwrap_err()
+        .contains("out of range"));
+        assert!(run(&["fabric", "gcc", "--trace"])
+            .unwrap_err()
+            .contains("output prefix"));
+    }
+
+    #[test]
+    fn mesh_faulted_fabric_trace_localizes_the_armed_wire() {
+        // The acceptance scenario: a 4-chip mesh with one asymmetrically
+        // faulted wire; `cable report --hops` on the streamed trace must
+        // rank that wire first on BOTH the fault-count and busy-permille
+        // columns.
+        let prefix = std::env::temp_dir().join("cable_cli_mesh_fault_test");
+        let prefix = prefix.to_str().unwrap();
+        assert!(run(&[
+            "fabric",
+            "mcf",
+            "4",
+            "2.4",
+            "--mesh-fault-rate",
+            "1e-2",
+            "--mesh-fault-hop",
+            "2",
+            "--trace",
+            prefix
+        ])
+        .is_ok());
+        let jsonl_path = format!("{prefix}.jsonl");
+        assert!(run(&["report", &jsonl_path, "--hops", "--top", "2"]).is_ok());
+        let out_path = format!("{prefix}.report.json");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        let rep = Report::from_report_json(&json).expect("hop artifact parses");
+        assert_eq!(rep.hops.len(), 6, "all six wires carried traffic");
+        let faultiest = rep.hops.iter().max_by_key(|h| h.faults).unwrap();
+        assert_eq!(faultiest.hop, 2, "fault counters localize the armed wire");
+        assert!(faultiest.faults > 0);
+        assert!(faultiest.nacks > 0);
+        let hottest = rep.hops.iter().max_by_key(|h| h.busy_permille).unwrap();
+        assert_eq!(
+            hottest.hop, 2,
+            "retransmissions make the armed wire the busiest: {:?}",
+            rep.hops
+        );
+        assert!(
+            rep.hops.iter().all(|h| h.hop == 2 || h.faults == 0),
+            "unfaulted wires stay clean: {:?}",
+            rep.hops
+        );
+        assert!(run(&["report", &jsonl_path, "--top", "0"])
+            .unwrap_err()
+            .contains("top-K"));
+        std::fs::remove_file(jsonl_path).ok();
+        std::fs::remove_file(out_path).ok();
     }
 
     #[test]

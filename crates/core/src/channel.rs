@@ -164,6 +164,30 @@ pub struct FaultStats {
     pub resync_repairs: u64,
 }
 
+impl FaultStats {
+    /// Folds `other` into `self`, field by field — the reduction
+    /// aggregate views (a whole fabric, the two directions of one mesh
+    /// wire) use to sum per-pipeline stats.
+    pub fn accumulate(&mut self, other: &FaultStats) {
+        self.frames_sent += other.frames_sent;
+        self.injected_frames += other.injected_frames;
+        self.injected_bit_flips += other.injected_bit_flips;
+        self.injected_truncations += other.injected_truncations;
+        self.dropped_notices += other.dropped_notices;
+        self.delayed_notices += other.delayed_notices;
+        self.detected += other.detected;
+        self.recovered += other.recovered;
+        self.nacks += other.nacks;
+        self.fallback_raw += other.fallback_raw;
+        self.retransmitted_bits += other.retransmitted_bits;
+        self.escalations += other.escalations;
+        self.reliable_frames += other.reliable_frames;
+        self.evict_buffer_hits += other.evict_buffer_hits;
+        self.resyncs += other.resyncs;
+        self.resync_repairs += other.resync_repairs;
+    }
+}
+
 /// The outcome of pushing one frame through a [`FaultyChannel`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Transmission {

@@ -24,7 +24,7 @@ use crate::wmt::WayMapTable;
 use cable_cache::{CoherenceState, EvictedLine, LineId, SetAssocCache};
 use cable_common::{crc32, Address, BitWriter, LineData, LINE_BYTES};
 use cable_compress::SeededCompressor;
-use cable_telemetry::{Counter, Event, Histogram, Telemetry};
+use cable_telemetry::{hop_metric_id, Counter, Event, Histogram, Telemetry};
 use std::fmt;
 
 /// How a line crossed the link.
@@ -99,6 +99,12 @@ pub(crate) struct LinkTelemetry {
     evict_buffer_hits: Counter,
     resyncs: Counter,
     reliable_frames: Counter,
+    /// Hop-scoped fault counters (`mesh.hop.{N}.*`), resolved by
+    /// [`LinkTelemetry::set_wire_hop`] when the link rides a known mesh
+    /// wire; no-op handles otherwise.
+    hop_faults: Counter,
+    hop_nacks: Counter,
+    hop_retransmitted_bits: Counter,
 }
 
 impl LinkTelemetry {
@@ -118,8 +124,22 @@ impl LinkTelemetry {
             evict_buffer_hits: handle.counter("link.fault.evict_buffer_hits"),
             resyncs: handle.counter("link.fault.resyncs"),
             reliable_frames: handle.counter("link.fault.reliable_frames"),
+            hop_faults: Counter::default(),
+            hop_nacks: Counter::default(),
+            hop_retransmitted_bits: Counter::default(),
             handle,
         }
+    }
+
+    /// Resolves the hop-scoped fault counters once the owning mesh wire
+    /// is known, so this link's injected faults, NACKs, and
+    /// retransmissions are also charged to `mesh.hop.{hop}.*`.
+    pub(crate) fn set_wire_hop(&mut self, hop: u32) {
+        self.hop_faults = self.handle.counter(hop_metric_id(hop, "faults"));
+        self.hop_nacks = self.handle.counter(hop_metric_id(hop, "nacks"));
+        self.hop_retransmitted_bits = self
+            .handle
+            .counter(hop_metric_id(hop, "retransmitted_bits"));
     }
 
     /// Counts one encode outcome into the kind-specific counter.
@@ -404,6 +424,10 @@ pub struct CableLink {
     reliable_mode: bool,
     /// Resolved-once telemetry handles; disabled (free) by default.
     tel: LinkTelemetry,
+    /// The mesh wire (hop) this link rides, when it is one directional
+    /// pipeline of a mesh pair; fault counters then also publish under
+    /// `mesh.hop.{N}.*`. Persists across [`CableLink::set_telemetry`].
+    wire_hop: Option<u32>,
 }
 
 /// How a detected delivery failure should be retried.
@@ -465,6 +489,7 @@ impl CableLink {
             fault: None,
             reliable_mode: false,
             tel: LinkTelemetry::default(),
+            wire_hop: None,
             config,
         }
     }
@@ -476,6 +501,26 @@ impl CableLink {
     /// is identical either way (property-tested in `cable-sim`).
     pub fn set_telemetry(&mut self, tel: Telemetry) {
         self.tel = LinkTelemetry::new(tel);
+        if let Some(hop) = self.wire_hop {
+            self.tel.set_wire_hop(hop);
+        }
+    }
+
+    /// Tags this link as one directional pipeline of mesh wire `hop`:
+    /// injected faults, NACKs, and retransmitted bits are additionally
+    /// charged to the hop-keyed counters (`mesh.hop.{hop}.*`), which is
+    /// what lets `cable report --hops` localize a faulty wire. Purely
+    /// observational — the simulated outcome is identical with or
+    /// without a tag.
+    pub fn set_wire_hop(&mut self, hop: u32) {
+        self.wire_hop = Some(hop);
+        self.tel.set_wire_hop(hop);
+    }
+
+    /// The mesh wire this link was tagged with, if any.
+    #[must_use]
+    pub fn wire_hop(&self) -> Option<u32> {
+        self.wire_hop
     }
 
     /// The attached telemetry handle (disabled unless
@@ -1019,6 +1064,7 @@ impl CableLink {
             let flips_before = fs.channel.stats().injected_bit_flips;
             let tx = fs.channel.transmit(current.as_slice(), current.len_bits());
             if tx.corrupted {
+                self.tel.hop_faults.inc();
                 self.tel.handle.record(Event::FaultInjected {
                     bit_flips: (fs.channel.stats().injected_bit_flips - flips_before) as u32,
                     truncated: tx.len_bits < current.len_bits(),
@@ -1042,6 +1088,7 @@ impl CableLink {
                     self.stats.wire_bits += u64::from(self.config.link_width_bits);
                     self.stats.flits += 1;
                     self.tel.nacks.inc();
+                    self.tel.hop_nacks.inc();
                     self.tel.handle.record(Event::Nack {
                         class: match class {
                             FailureClass::Transient => "transient",
@@ -1094,6 +1141,7 @@ impl CableLink {
         self.account_toggles(frame);
         fs.channel.stats_mut().retransmitted_bits += wire_bits;
         self.tel.retransmitted_bits.add(wire_bits);
+        self.tel.hop_retransmitted_bits.add(wire_bits);
         self.tel.handle.record(Event::Retransmit { wire_bits });
     }
 

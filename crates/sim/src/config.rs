@@ -60,6 +60,17 @@ pub struct SystemConfig {
     /// observables and firing scheduled resyncs whose wire cost is
     /// charged to link busy time.
     pub degrade: Option<DegradePolicy>,
+    /// Fault injection on the mesh (PTP) coherence pipelines. When set it
+    /// *overrides* `fault` on those pipelines: each remote `(requester,
+    /// home)` pipeline is armed with a schedule decorrelated per hop and
+    /// per direction from this master seed, so the sharded engine replays
+    /// bit-identically and `cable report --hops` can localize a lossy
+    /// wire. Chip-local pipelines and NUMA-pair links are unaffected.
+    pub mesh_fault: Option<FaultConfig>,
+    /// Restricts `mesh_fault` to the single mesh wire with this
+    /// triangular pair index (`None` = every wire) — the
+    /// asymmetric-fault localization scenario.
+    pub mesh_fault_hop: Option<u32>,
 }
 
 impl SystemConfig {
@@ -88,6 +99,8 @@ impl SystemConfig {
             dram_banks: 16,
             fault: None,
             degrade: None,
+            mesh_fault: None,
+            mesh_fault_hop: None,
         }
     }
 

@@ -46,6 +46,56 @@ use cable_telemetry::Telemetry;
 use cable_trace::{WorkloadGen, WorkloadProfile};
 use std::fmt;
 
+/// Triangular index of the unordered chip pair `(a, b)` over the
+/// `nodes * (nodes - 1) / 2` PTP mesh wires — the hop id used by per-hop
+/// telemetry, [`HopStats`], and `--mesh-fault-hop`.
+#[must_use]
+pub fn wire_pair_index(nodes: usize, a: usize, b: usize) -> usize {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    lo * nodes - lo * (lo + 1) / 2 + (hi - lo - 1)
+}
+
+/// Decorrelates the master mesh-fault schedule for one directional
+/// pipeline: every `(hop, direction)` lane gets its own seed, derived
+/// purely from the master seed, so single-threaded and sharded runs
+/// replay the same per-wire fault history bit for bit. The multiplier is
+/// distinct from the node-keyed one in [`FabricSim::set_fault_injection`]
+/// so mesh and plain schedules never collide.
+fn mesh_fault_config(fault: FaultConfig, hop: usize, requester: usize, home: usize) -> FaultConfig {
+    let dir = u64::from(requester > home);
+    let lane = 2 * hop as u64 + dir + 1;
+    FaultConfig {
+        seed: fault.seed ^ lane.wrapping_mul(0xd1b5_4a32_d192_ed03),
+        ..fault
+    }
+}
+
+/// The fault schedule a `(requester, home)` pipeline should run under the
+/// given config: the mesh override on matched mesh pipelines, else the
+/// plain node-decorrelated schedule, else `None`.
+fn pipeline_fault_config(
+    nodes: usize,
+    requester: usize,
+    home: usize,
+    config: &SystemConfig,
+) -> Option<FaultConfig> {
+    if requester != home {
+        if let Some(mf) = config.mesh_fault {
+            let hop = wire_pair_index(nodes, requester, home);
+            if config.mesh_fault_hop.is_none_or(|t| t as usize == hop) {
+                return Some(mesh_fault_config(mf, hop, requester, home));
+            }
+        }
+    }
+    config.fault.map(|f| {
+        let instance = (requester * nodes + home) as u64;
+        FaultConfig {
+            seed: f.seed ^ instance.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ..f
+        }
+    })
+}
+
 /// Result of a fabric run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FabricResult {
@@ -61,6 +111,27 @@ impl FabricResult {
     pub fn ips(&self) -> f64 {
         self.instructions as f64 / (self.elapsed_ps as f64 * 1e-12)
     }
+}
+
+/// Per-wire rollup of one PTP mesh hop: the shared wire's occupancy
+/// counters plus the fault counters of the two directional pipelines
+/// riding it. Rows come back in triangular hop order from
+/// [`FabricSim::hop_stats`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HopStats {
+    /// Triangular pair index of the wire ([`wire_pair_index`]).
+    pub hop: u32,
+    /// The unordered chip pair `(lo, hi)` the wire connects.
+    pub chips: (usize, usize),
+    /// Wire bits that crossed the hop (retransmissions included).
+    pub bits_sent: u64,
+    /// Total picoseconds the wire spent busy.
+    pub busy_ps: u64,
+    /// Non-empty transfers the wire carried.
+    pub transfers: u64,
+    /// Summed fault counters of the two directional pipelines, when
+    /// fault injection armed at least one of them.
+    pub fault: Option<FaultStats>,
 }
 
 /// The timing-relevant record of one functional step, replayed against the
@@ -348,7 +419,9 @@ impl FabricSim {
     /// geometries make 10k-endpoint meshes affordable, and `config.fault`
     /// arms fault injection on every CABLE pipeline with per-pipeline
     /// decorrelated seeds (same schedule-splitting idiom as
-    /// [`crate::ThreadSim`]).
+    /// [`crate::ThreadSim`]). `config.mesh_fault` arms (and overrides
+    /// `fault` on) the mesh coherence pipelines only, optionally pinned to
+    /// a single wire by `config.mesh_fault_hop`.
     ///
     /// # Panics
     ///
@@ -372,12 +445,14 @@ impl FabricSim {
                     .map(|h| {
                         let mut link =
                             CompressedLink::build(scheme, home, remote, config.link_width_bits);
-                        if let Some(fault) = config.fault {
-                            let instance = (i * nodes + h) as u64;
-                            link.enable_fault_injection(FaultConfig {
-                                seed: fault.seed ^ instance.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                                ..fault
-                            });
+                        if h != i {
+                            // Tag the pipeline with the mesh wire it rides
+                            // so its fault counters publish hop-keyed
+                            // metric ids (purely observational).
+                            link.set_wire_hop(wire_pair_index(nodes, i, h) as u32);
+                        }
+                        if let Some(f) = pipeline_fault_config(nodes, i, h, &config) {
+                            link.enable_fault_injection(f);
                         }
                         link
                     })
@@ -466,9 +541,7 @@ impl FabricSim {
     }
 
     fn wire_index(&self, a: usize, b: usize) -> usize {
-        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        // Triangular index over unordered pairs.
-        lo * self.nodes - lo * (lo + 1) / 2 + (hi - lo - 1)
+        wire_pair_index(self.nodes, a, b)
     }
 
     /// The home chip of an address (round-robin page allocation).
@@ -619,27 +692,41 @@ impl FabricSim {
         for chip in &self.chips {
             for l in &chip.links {
                 if let Some(fs) = l.fault_stats() {
-                    let t = total.get_or_insert_with(FaultStats::default);
-                    t.frames_sent += fs.frames_sent;
-                    t.injected_frames += fs.injected_frames;
-                    t.injected_bit_flips += fs.injected_bit_flips;
-                    t.injected_truncations += fs.injected_truncations;
-                    t.dropped_notices += fs.dropped_notices;
-                    t.delayed_notices += fs.delayed_notices;
-                    t.detected += fs.detected;
-                    t.recovered += fs.recovered;
-                    t.nacks += fs.nacks;
-                    t.fallback_raw += fs.fallback_raw;
-                    t.retransmitted_bits += fs.retransmitted_bits;
-                    t.escalations += fs.escalations;
-                    t.evict_buffer_hits += fs.evict_buffer_hits;
-                    t.resyncs += fs.resyncs;
-                    t.resync_repairs += fs.resync_repairs;
-                    t.reliable_frames += fs.reliable_frames;
+                    total.get_or_insert_with(FaultStats::default).accumulate(fs);
                 }
             }
         }
         total
+    }
+
+    /// Per-wire rollup of every PTP mesh hop in triangular hop order:
+    /// wire occupancy from the shared link, fault counters summed over the
+    /// two directional pipelines riding the wire. The localization surface
+    /// of `cable report --hops` and the shard-equivalence digests.
+    #[must_use]
+    pub fn hop_stats(&self) -> Vec<HopStats> {
+        let mut out = Vec::with_capacity(self.wires.len());
+        for lo in 0..self.nodes {
+            for hi in lo + 1..self.nodes {
+                let hop = wire_pair_index(self.nodes, lo, hi);
+                let mut fault: Option<FaultStats> = None;
+                for (req, home) in [(lo, hi), (hi, lo)] {
+                    if let Some(fs) = self.chips[req].links[home].fault_stats() {
+                        fault.get_or_insert_with(FaultStats::default).accumulate(fs);
+                    }
+                }
+                let w = &self.wires[hop];
+                out.push(HopStats {
+                    hop: hop as u32,
+                    chips: (lo, hi),
+                    bits_sent: w.bits_sent(),
+                    busy_ps: w.busy_ps_total(),
+                    transfers: w.transfers(),
+                    fault,
+                });
+            }
+        }
+        out
     }
 
     /// Aggregated degradation-controller statistics across every pipeline,
@@ -676,16 +763,27 @@ impl FabricSim {
     /// first (see `CableLink::disable_fault_injection`).
     pub fn set_fault_injection(&mut self, fault: Option<FaultConfig>) {
         self.config.fault = fault;
+        self.rearm_fault_injection();
+    }
+
+    /// Arms (`Some`) or disarms (`None`) the mesh-pipeline fault override
+    /// mid-run, optionally pinned to one wire — the mesh half of the
+    /// degradation sweep. Seeds decorrelate per `(hop, direction)` exactly
+    /// like [`FabricSim::with_config`], so a sharded replay of the same
+    /// arming sequence stays bit-identical.
+    pub fn set_mesh_fault_injection(&mut self, fault: Option<FaultConfig>, hop: Option<u32>) {
+        self.config.mesh_fault = fault;
+        self.config.mesh_fault_hop = hop;
+        self.rearm_fault_injection();
+    }
+
+    /// Re-derives every pipeline's fault schedule from the current config
+    /// (mesh override first, then the plain schedule, else disarm).
+    fn rearm_fault_injection(&mut self) {
         for (i, chip) in self.chips.iter_mut().enumerate() {
             for (h, link) in chip.links.iter_mut().enumerate() {
-                match fault {
-                    Some(f) => {
-                        let instance = (i * self.nodes + h) as u64;
-                        link.enable_fault_injection(FaultConfig {
-                            seed: f.seed ^ instance.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                            ..f
-                        });
-                    }
+                match pipeline_fault_config(self.nodes, i, h, &self.config) {
+                    Some(f) => link.enable_fault_injection(f),
                     None => link.disable_fault_injection(),
                 }
             }
@@ -866,6 +964,75 @@ mod tests {
         let local: u64 = f.local_link_stats().iter().map(|s| s.fills).sum();
         assert!(coherence.fills > 0);
         assert!(local > 0);
+    }
+
+    #[test]
+    fn mesh_faults_arm_only_the_selected_wire() {
+        let cfg = SystemConfig {
+            mesh_fault: Some(cable_core::FaultConfig::with_rate(0xfab, 1e-2)),
+            mesh_fault_hop: Some(2),
+            ..SystemConfig::paper_defaults()
+        };
+        let mut f = FabricSim::with_config(
+            by_name("mcf").unwrap(),
+            Scheme::Cable(EngineKind::Lbe),
+            4,
+            19.2e9,
+            &cfg,
+        );
+        f.run(20_000);
+        let hops = f.hop_stats();
+        assert_eq!(hops.len(), 6, "six wires in a 4-chip mesh");
+        assert!(
+            hops.iter().enumerate().all(|(i, h)| h.hop as usize == i),
+            "rows come back in triangular hop order"
+        );
+        for h in &hops {
+            assert!(h.bits_sent > 0, "page interleave exercises every wire");
+            if h.hop == 2 {
+                assert_eq!(h.chips, (0, 3));
+                let fs = h.fault.expect("the armed wire reports fault stats");
+                assert!(fs.injected_frames > 0, "rate 1e-2 must corrupt frames");
+                assert_eq!(fs.recovered, fs.detected);
+            } else {
+                assert!(h.fault.is_none(), "only hop 2 is armed: {h:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_fault_direction_seeds_decorrelate() {
+        // Both directional pipelines of the armed wire run *different*
+        // fault schedules: identical per-direction injected counters would
+        // mean the lanes share a seed.
+        let cfg = SystemConfig {
+            mesh_fault: Some(cable_core::FaultConfig::with_rate(0xfab, 1e-2)),
+            mesh_fault_hop: None,
+            ..SystemConfig::paper_defaults()
+        };
+        let mut f = FabricSim::with_config(
+            by_name("mcf").unwrap(),
+            Scheme::Cable(EngineKind::Lbe),
+            4,
+            19.2e9,
+            &cfg,
+        );
+        f.run(20_000);
+        let seeds: std::collections::HashSet<u64> = (0..4)
+            .flat_map(|i| (0..4).filter(move |&h| h != i).map(move |h| (i, h)))
+            .map(|(i, h)| pipeline_fault_config(4, i, h, &cfg).unwrap().seed)
+            .collect();
+        assert_eq!(
+            seeds.len(),
+            12,
+            "every (hop, direction) lane gets its own seed"
+        );
+        let total = f.fault_stats().expect("mesh arming feeds fault_stats");
+        assert!(total.injected_frames > 0);
+        // Local pipelines stay unarmed under a mesh-only schedule.
+        for (i, chip) in f.chips.iter().enumerate() {
+            assert!(chip.links[i].fault_stats().is_none());
+        }
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod throughput;
 pub use adaptive::{DegradationStats, DegradeLevel, DegradePolicy, OnOffController};
 pub use arena::SimArena;
 pub use config::{CompressionLatency, SystemConfig};
-pub use fabric::{FabricResult, FabricSim};
+pub use fabric::{wire_pair_index, FabricResult, FabricSim, HopStats};
 pub use numa::NumaSim;
 pub use resources::{DramModel, SharedLink};
 pub use sched::{DoneTracker, Scheduler};

@@ -7,8 +7,30 @@
 
 use crate::config::SystemConfig;
 use cable_common::Address;
-use cable_telemetry::{Event, Telemetry};
+use cable_telemetry::{hop_metric_id, Counter, Event, Histogram, Telemetry, HOP_DEPTH_EDGES};
 use std::collections::VecDeque;
+
+/// Hop-keyed wire metrics (`mesh.hop.{N}.*`), resolved once when a link
+/// has both a hop id and an enabled telemetry handle. Counters commute,
+/// so per-hop totals are identical between sequential and sharded runs.
+#[derive(Clone, Debug, Default)]
+struct HopWireTelemetry {
+    bits: Counter,
+    busy_ps: Counter,
+    transfers: Counter,
+    depth: Histogram,
+}
+
+impl HopWireTelemetry {
+    fn new(tel: &Telemetry, hop: u32) -> Self {
+        HopWireTelemetry {
+            bits: tel.counter(hop_metric_id(hop, "bits")),
+            busy_ps: tel.counter(hop_metric_id(hop, "busy_ps")),
+            transfers: tel.counter(hop_metric_id(hop, "transfers")),
+            depth: tel.histogram(hop_metric_id(hop, "depth"), HOP_DEPTH_EDGES),
+        }
+    }
+}
 
 /// A serialized, FCFS off-chip link with a configurable bandwidth share.
 ///
@@ -22,11 +44,17 @@ pub struct SharedLink {
     busy_until_ps: u64,
     bits_sent: u64,
     busy_ps_total: u64,
+    /// Transfers that actually moved bits (`wire_bits > 0`), telemetry
+    /// or not — `FabricSim::hop_stats` reads this directly.
+    transfers: u64,
     tel: Telemetry,
     /// Mesh-hop id, when this link models one point-to-point mesh wire.
     /// Set by `FabricSim`; hop links trace [`Event::MeshHop`] slices
     /// (with queue depth) instead of [`Event::LinkBusy`].
     hop: Option<u32>,
+    /// Resolved hop metric handles, present only when a hop id is set
+    /// AND telemetry is enabled.
+    hop_tel: Option<HopWireTelemetry>,
     /// Completion times of in-flight transfers, maintained only while a
     /// hop id is set AND telemetry is enabled (queue-depth observation).
     pending: VecDeque<u64>,
@@ -48,8 +76,10 @@ impl SharedLink {
             busy_until_ps: 0,
             bits_sent: 0,
             busy_ps_total: 0,
+            transfers: 0,
             tel: Telemetry::disabled(),
             hop: None,
+            hop_tel: None,
             pending: VecDeque::new(),
         }
     }
@@ -59,14 +89,25 @@ impl SharedLink {
     /// Timing is unaffected (disabled handles cost one branch).
     pub fn set_telemetry(&mut self, tel: Telemetry) {
         self.tel = tel;
+        self.rebuild_hop_tel();
     }
 
     /// Marks this link as mesh hop `hop`. Occupancy intervals are then
     /// traced as [`Event::MeshHop`] carrying the instantaneous queue
-    /// depth, so per-hop contention is visible in `cable report`'s mesh
-    /// lane. Timing is unchanged.
+    /// depth, and the wire's bits / busy time / transfers / queue depths
+    /// publish under the hop-keyed metric ids (`mesh.hop.{hop}.*`), so
+    /// per-hop contention is visible in `cable report`'s mesh lane and
+    /// hop table. Timing is unchanged.
     pub fn set_hop(&mut self, hop: u32) {
         self.hop = Some(hop);
+        self.rebuild_hop_tel();
+    }
+
+    fn rebuild_hop_tel(&mut self) {
+        self.hop_tel = match self.hop {
+            Some(hop) if self.tel.is_enabled() => Some(HopWireTelemetry::new(&self.tel, hop)),
+            _ => None,
+        };
     }
 
     /// Full-channel link from the Table IV configuration.
@@ -84,6 +125,7 @@ impl SharedLink {
         self.bits_sent += wire_bits;
         self.busy_ps_total += duration;
         if wire_bits > 0 {
+            self.transfers += 1;
             match self.hop {
                 Some(hop) if self.tel.is_enabled() => {
                     // Queue depth observed at arrival: transfers still in
@@ -91,16 +133,23 @@ impl SharedLink {
                     while self.pending.front().is_some_and(|&done| done <= now_ps) {
                         self.pending.pop_front();
                     }
+                    let depth = self.pending.len() as u32;
                     self.tel.record_at(
                         start,
                         Event::MeshHop {
                             hop,
-                            depth: self.pending.len() as u32,
+                            depth,
                             start_ps: start,
                             dur_ps: duration,
                         },
                     );
                     self.pending.push_back(self.busy_until_ps);
+                    if let Some(ht) = &self.hop_tel {
+                        ht.bits.add(wire_bits);
+                        ht.busy_ps.add(duration);
+                        ht.transfers.inc();
+                        ht.depth.record(u64::from(depth));
+                    }
                 }
                 Some(_) => {}
                 None => self.tel.record_at(
@@ -119,6 +168,12 @@ impl SharedLink {
     #[must_use]
     pub fn bits_sent(&self) -> u64 {
         self.bits_sent
+    }
+
+    /// Transfers that moved at least one bit.
+    #[must_use]
+    pub fn transfers(&self) -> u64 {
+        self.transfers
     }
 
     /// Link utilization over `elapsed_ps` of simulated time.
@@ -275,6 +330,35 @@ mod tests {
                 .any(|te| matches!(te.event, Event::LinkBusy { .. })),
             "hop links must not double-trace as link_busy"
         );
+    }
+
+    #[test]
+    fn hop_links_publish_hop_keyed_metrics() {
+        let mut link = SharedLink::new(19.2e9, 0);
+        let tel = Telemetry::enabled();
+        // Order-independent: hop may be tagged before telemetry attaches.
+        link.set_hop(5);
+        link.set_telemetry(tel.clone());
+        link.transfer(0, 528);
+        link.transfer(0, 528); // queues: depth 1
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter(hop_metric_id(5, "bits")), Some(1_056));
+        assert_eq!(snap.counter(hop_metric_id(5, "transfers")), Some(2));
+        assert_eq!(
+            snap.counter(hop_metric_id(5, "busy_ps")),
+            Some(link.busy_ps_total())
+        );
+        assert_eq!(link.transfers(), 2);
+        // Untagged links publish nothing hop-keyed.
+        let mut plain = SharedLink::new(19.2e9, 0);
+        let tel2 = Telemetry::enabled();
+        plain.set_telemetry(tel2.clone());
+        plain.transfer(0, 528);
+        assert!(tel2
+            .snapshot()
+            .metrics
+            .iter()
+            .all(|m| !format!("{m:?}").contains("mesh.hop.")));
     }
 
     #[test]

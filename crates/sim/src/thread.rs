@@ -192,6 +192,16 @@ impl CompressedLink {
         }
     }
 
+    /// Tags a CABLE link as one directional pipeline of mesh wire `hop`
+    /// (see [`CableLink::set_wire_hop`]): its fault-protocol counters
+    /// then also publish under `mesh.hop.{hop}.*`. Purely observational;
+    /// a no-op for baselines.
+    pub fn set_wire_hop(&mut self, hop: u32) {
+        if let CompressedLink::Cable(l) = self {
+            l.set_wire_hop(hop);
+        }
+    }
+
     /// Switches the escalated reliable delivery mode (the degradation
     /// ladder's `LinkOff` rung; see [`CableLink::set_reliable_mode`]).
     /// Baselines already model reliable wires and ignore the request.

@@ -63,6 +63,9 @@ struct FabricDigest {
     fault: Option<String>,
     degradation: Option<String>,
     degrade_levels: Vec<DegradeLevel>,
+    /// Per-hop wire occupancy and fault frames ([`FabricSim::hop_stats`]),
+    /// one row per mesh wire in triangular order.
+    hops: Vec<String>,
 }
 
 fn digest(sim: &FabricSim, r: cable_sim::FabricResult) -> FabricDigest {
@@ -77,6 +80,7 @@ fn digest(sim: &FabricSim, r: cable_sim::FabricResult) -> FabricDigest {
         fault: sim.fault_stats().map(|fs| format!("{fs:?}")),
         degradation: sim.degradation_stats().map(|d| format!("{d:?}")),
         degrade_levels: sim.degrade_levels(),
+        hops: sim.hop_stats().iter().map(|h| format!("{h:?}")).collect(),
     }
 }
 
@@ -129,6 +133,23 @@ proptest! {
         let mut rng = SplitMix64::new(seed);
         let cfg = SystemConfig {
             fault: Some(FaultConfig::with_rate(rng.next_u64(), 2e-3)),
+            ..small_config()
+        };
+        run_fabric_case(&cfg, rng.next_u64(), 3_000);
+    }
+
+    #[test]
+    fn prop_fabric_sharded_matches_oracles_under_mesh_faults(seed in any::<u64>()) {
+        // The mesh-only fault override arms the directional coherence
+        // pipelines with per-(hop, direction) seeds — chip-private state,
+        // so per-hop fault frames and wire counters must replay
+        // bit-identically for every worker count, whether the schedule
+        // covers the whole mesh or is pinned to one wire.
+        let mut rng = SplitMix64::new(seed);
+        let pinned = (rng.next_bounded(2) == 0).then_some(0u32);
+        let cfg = SystemConfig {
+            mesh_fault: Some(FaultConfig::with_rate(rng.next_u64(), 5e-3)),
+            mesh_fault_hop: pinned,
             ..small_config()
         };
         run_fabric_case(&cfg, rng.next_u64(), 3_000);
@@ -296,6 +317,53 @@ fn sharded_telemetry_is_deterministic_across_worker_counts() {
     let one = trace_of(1);
     for workers in [2, 4, 8] {
         assert_eq!(one, trace_of(workers), "workers={workers}");
+    }
+}
+
+#[test]
+fn mesh_faulted_hop_metrics_are_worker_count_invariant() {
+    // The per-hop surface end to end: `mesh.hop.*` registry metrics (wire
+    // occupancy from the shared links, fault counters from the armed
+    // pipelines) and the `hop_stats()` rollup must be bit-identical
+    // between `run` and `run_sharded` for every worker count.
+    let cfg = SystemConfig {
+        mesh_fault: Some(FaultConfig::with_rate(0xFA17, 5e-3)),
+        mesh_fault_hop: Some(1),
+        ..small_config()
+    };
+    let hop_view = |workers: Option<usize>| {
+        let mut sim = FabricSim::with_config(
+            by_name("mcf").unwrap(),
+            Scheme::Cable(EngineKind::Lbe),
+            4,
+            19.2e9,
+            &cfg,
+        );
+        let tel = Telemetry::enabled();
+        sim.set_telemetry(tel.clone());
+        match workers {
+            Some(w) => sim.run_sharded(3_000, w),
+            None => sim.run(3_000),
+        };
+        let mut metrics: Vec<String> = tel
+            .snapshot()
+            .metrics
+            .iter()
+            .map(|m| format!("{m:?}"))
+            .filter(|m| m.contains("mesh.hop."))
+            .collect();
+        metrics.sort();
+        let hops: Vec<String> = sim.hop_stats().iter().map(|h| format!("{h:?}")).collect();
+        (metrics, hops)
+    };
+    let sequential = hop_view(None);
+    assert!(
+        sequential.0.iter().any(|m| m.contains("mesh.hop.1.faults")),
+        "the pinned wire must surface hop-keyed fault counters: {:?}",
+        sequential.0
+    );
+    for workers in WORKER_SWEEP {
+        assert_eq!(sequential, hop_view(Some(workers)), "workers={workers}");
     }
 }
 

@@ -123,6 +123,65 @@ pub enum Event {
 /// position in this table.
 pub const TRACKS: [&str; 7] = ["encode", "fault", "sched", "link", "dram", "mesh", "marker"];
 
+/// The three occupancy lanes a busy interval can land on. This is the
+/// single source of truth tying each lane to its event name
+/// ([`LaneKind::event_name`]) and report label ([`LaneKind::label`]) —
+/// the report parser dispatches through [`LaneKind::from_event_name`]
+/// instead of matching lane strings ad hoc.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaneKind {
+    /// The shared off-chip link ([`Event::LinkBusy`]).
+    Link,
+    /// A DRAM bank + bus ([`Event::DramBusy`]).
+    Dram,
+    /// A mesh-hop PTP wire ([`Event::MeshHop`]).
+    Mesh,
+}
+
+impl LaneKind {
+    /// Every lane, in report/rendering order.
+    pub const ALL: [LaneKind; 3] = [LaneKind::Link, LaneKind::Dram, LaneKind::Mesh];
+
+    /// Stable lowercase label used in report tables and artifact keys
+    /// (`{label}_busy_ps`, `{label}_util_permille`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            LaneKind::Link => "link",
+            LaneKind::Dram => "dram",
+            LaneKind::Mesh => "mesh",
+        }
+    }
+
+    /// The [`Event::name`] of this lane's busy-interval event.
+    #[must_use]
+    pub fn event_name(self) -> &'static str {
+        match self {
+            LaneKind::Link => "link_busy",
+            LaneKind::Dram => "dram_busy",
+            LaneKind::Mesh => "mesh_hop",
+        }
+    }
+
+    /// Inverse of [`LaneKind::event_name`]: the lane whose busy event is
+    /// named `name`, if any.
+    #[must_use]
+    pub fn from_event_name(name: &str) -> Option<LaneKind> {
+        LaneKind::ALL.into_iter().find(|l| l.event_name() == name)
+    }
+
+    /// The lane a live [`Event`] occupies (`None` for non-busy events).
+    #[must_use]
+    pub fn of_event(event: &Event) -> Option<LaneKind> {
+        match event {
+            Event::LinkBusy { .. } => Some(LaneKind::Link),
+            Event::DramBusy { .. } => Some(LaneKind::Dram),
+            Event::MeshHop { .. } => Some(LaneKind::Mesh),
+            _ => None,
+        }
+    }
+}
+
 impl Event {
     /// Stable name used by the exporters.
     #[must_use]
@@ -273,6 +332,36 @@ mod tests {
             "mesh"
         );
         assert_eq!(Event::Phase { name: "measure" }.track(), "marker");
+    }
+
+    #[test]
+    fn lane_kinds_round_trip_event_names() {
+        for lane in LaneKind::ALL {
+            assert_eq!(LaneKind::from_event_name(lane.event_name()), Some(lane));
+        }
+        assert_eq!(LaneKind::from_event_name("encode"), None);
+        let busy = Event::LinkBusy {
+            start_ps: 0,
+            dur_ps: 1,
+        };
+        assert_eq!(LaneKind::of_event(&busy), Some(LaneKind::Link));
+        assert_eq!(busy.name(), LaneKind::Link.event_name());
+        let mesh = Event::MeshHop {
+            hop: 1,
+            depth: 0,
+            start_ps: 0,
+            dur_ps: 1,
+        };
+        assert_eq!(LaneKind::of_event(&mesh), Some(LaneKind::Mesh));
+        assert_eq!(mesh.name(), LaneKind::Mesh.event_name());
+        let dram = Event::DramBusy {
+            start_ps: 0,
+            dur_ps: 1,
+        };
+        assert_eq!(LaneKind::of_event(&dram), Some(LaneKind::Dram));
+        assert_eq!(dram.name(), LaneKind::Dram.event_name());
+        assert_eq!(LaneKind::of_event(&Event::FallbackRaw), None);
+        assert_eq!(LaneKind::Mesh.label(), "mesh");
     }
 
     #[test]

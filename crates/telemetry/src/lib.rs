@@ -52,16 +52,18 @@
 
 pub mod event;
 pub mod export;
+pub mod hop;
 pub mod json;
 pub mod registry;
 pub mod report;
 pub mod sink;
 pub mod tracer;
 
-pub use event::{Event, TraceEvent, TRACKS};
+pub use event::{Event, LaneKind, TraceEvent, TRACKS};
 pub use export::{chrome_trace, jsonl, ChromeTraceSink, JsonlSink};
+pub use hop::{hop_metric_id, parse_hop_metric, HOP_DEPTH_EDGES, HOP_METRIC_PREFIX};
 pub use registry::{Counter, Gauge, Histogram, MetricValue, Registry, Snapshot};
-pub use report::{diff_reports, DiffRow, Report, ReportDiff};
+pub use report::{diff_reports, DiffRow, HopReport, Report, ReportDiff, DEFAULT_HOP_TOP};
 pub use sink::{EventSink, SharedBuf};
 pub use tracer::{Tracer, TracerConfig, NUM_TRACKS};
 

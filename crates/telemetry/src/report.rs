@@ -14,14 +14,20 @@
 //! first boundary form a synthetic `(pre)` phase, and a trace with no
 //! boundaries gets a single `(all)` phase.
 
-use crate::event::Event;
+use crate::event::{Event, LaneKind};
+use crate::hop::parse_hop_metric;
 use crate::json;
 use crate::registry::MetricValue;
 use crate::Telemetry;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Buckets per phase-utilization timeline.
 pub const TIMELINE_BUCKETS: usize = 20;
+
+/// Default entry count for the "hottest / faultiest wires" summaries
+/// ([`Report::render_hops`]; override with `cable report --hops --top K`).
+pub const DEFAULT_HOP_TOP: usize = 3;
 
 /// Encode-outcome mix of one phase.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -116,6 +122,43 @@ pub struct HistogramReport {
     pub p99: u64,
 }
 
+/// Per-hop (mesh wire) breakdown of one trace: where on the mesh the
+/// bits, the queueing, and the faults actually landed. Built from the
+/// hop-stamped [`Event::MeshHop`] slices plus the hop-keyed registry
+/// metrics (`mesh.hop.{N}.*`), so counts survive even when the event
+/// ring dropped slices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HopReport {
+    /// Mesh wire (hop) index — the triangular pair index of the two
+    /// chips the wire connects.
+    pub hop: u64,
+    /// Busy picoseconds clipped to the trace span (from events).
+    pub busy_ps: u64,
+    /// Busy time in permille of the whole trace span.
+    pub busy_permille: u64,
+    /// Transfers carried (from the `mesh.hop.{N}.transfers` counter when
+    /// present, else the number of hop slices seen).
+    pub transfers: u64,
+    /// Wire bits carried (`mesh.hop.{N}.bits`), retransmissions
+    /// included — faults charge the owning hop.
+    pub bits: u64,
+    /// Median queue depth on arrival (`mesh.hop.{N}.depth` histogram
+    /// when present, else event depths).
+    pub depth_p50: u64,
+    /// 99th-percentile queue depth on arrival.
+    pub depth_p99: u64,
+    /// Receiver NACKs charged to this hop (`mesh.hop.{N}.nacks`).
+    pub nacks: u64,
+    /// Frames the fault injector corrupted on this hop
+    /// (`mesh.hop.{N}.faults`).
+    pub faults: u64,
+    /// Bits retransmitted over this hop (`mesh.hop.{N}.retransmitted_bits`).
+    pub retransmitted_bits: u64,
+    /// Occupancy heatmap: permille per 1/[`TIMELINE_BUCKETS`] of the
+    /// whole trace span (empty for a zero-width span).
+    pub util_permille: Vec<u64>,
+}
+
 /// The aggregated analysis of one trace.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Report {
@@ -129,6 +172,9 @@ pub struct Report {
     pub dropped_events: u64,
     /// Per-phase aggregates, in trace order.
     pub phases: Vec<PhaseReport>,
+    /// Per-hop mesh wire breakdown, hop-sorted (empty for meshless
+    /// traces).
+    pub hops: Vec<HopReport>,
     /// Percentile summaries, one per histogram metric, id-sorted.
     pub histograms: Vec<HistogramReport>,
     /// Counter metrics, id-sorted.
@@ -148,6 +194,8 @@ enum Sample {
     Escalation,
     Busy {
         lane: LaneKind,
+        /// `(hop, queue depth)` for mesh-hop slices, `None` otherwise.
+        hop: Option<(u64, u64)>,
         start_ps: u64,
         dur_ps: u64,
     },
@@ -161,13 +209,6 @@ enum EncodeKind {
     Unseeded,
     Diff,
     RemoteHit,
-}
-
-#[derive(Clone, Copy, Debug)]
-enum LaneKind {
-    Link,
-    Dram,
-    Mesh,
 }
 
 #[derive(Clone, Debug)]
@@ -207,18 +248,24 @@ impl Report {
                 Event::Escalation => Sample::Escalation,
                 Event::LinkBusy { start_ps, dur_ps } => Sample::Busy {
                     lane: LaneKind::Link,
+                    hop: None,
                     start_ps,
                     dur_ps,
                 },
                 Event::DramBusy { start_ps, dur_ps } => Sample::Busy {
                     lane: LaneKind::Dram,
+                    hop: None,
                     start_ps,
                     dur_ps,
                 },
                 Event::MeshHop {
-                    start_ps, dur_ps, ..
+                    hop,
+                    depth,
+                    start_ps,
+                    dur_ps,
                 } => Sample::Busy {
                     lane: LaneKind::Mesh,
+                    hop: Some((u64::from(hop), u64::from(depth))),
                     start_ps,
                     dur_ps,
                 },
@@ -330,8 +377,17 @@ impl Report {
                         .and_then(Value::as_u64)
                         .ok_or_else(|| fail("event without now_ps"))?;
                     let busy = |lane: LaneKind| -> Sample {
+                        // Mesh-hop slices carry the wire id and the queue
+                        // depth on arrival as event args.
+                        let hop = (lane == LaneKind::Mesh).then(|| {
+                            (
+                                val.get("hop").and_then(Value::as_u64).unwrap_or(0),
+                                val.get("depth").and_then(Value::as_u64).unwrap_or(0),
+                            )
+                        });
                         Sample::Busy {
                             lane,
+                            hop,
                             start_ps: val
                                 .get("start_ps")
                                 .and_then(Value::as_u64)
@@ -339,27 +395,30 @@ impl Report {
                             dur_ps: val.get("dur_ps").and_then(Value::as_u64).unwrap_or(0),
                         }
                     };
-                    let sample = match name {
-                        "encode" => Sample::Encode(match val.get("kind").and_then(Value::as_str) {
-                            Some("raw") => EncodeKind::Raw,
-                            Some("unseeded") => EncodeKind::Unseeded,
-                            Some("diff") => EncodeKind::Diff,
-                            _ => EncodeKind::RemoteHit,
-                        }),
-                        "nack" => Sample::Nack,
-                        "retransmit" => Sample::Retransmit,
-                        "fallback_raw" => Sample::FallbackRaw,
-                        "escalation" => Sample::Escalation,
-                        "link_busy" => busy(LaneKind::Link),
-                        "dram_busy" => busy(LaneKind::Dram),
-                        "mesh_hop" => busy(LaneKind::Mesh),
-                        "phase" => Sample::PhaseMark(
-                            val.get("phase")
-                                .and_then(Value::as_str)
-                                .unwrap_or("")
-                                .to_string(),
-                        ),
-                        _ => Sample::Other,
+                    let sample = if let Some(lane) = LaneKind::from_event_name(name) {
+                        busy(lane)
+                    } else {
+                        match name {
+                            "encode" => {
+                                Sample::Encode(match val.get("kind").and_then(Value::as_str) {
+                                    Some("raw") => EncodeKind::Raw,
+                                    Some("unseeded") => EncodeKind::Unseeded,
+                                    Some("diff") => EncodeKind::Diff,
+                                    _ => EncodeKind::RemoteHit,
+                                })
+                            }
+                            "nack" => Sample::Nack,
+                            "retransmit" => Sample::Retransmit,
+                            "fallback_raw" => Sample::FallbackRaw,
+                            "escalation" => Sample::Escalation,
+                            "phase" => Sample::PhaseMark(
+                                val.get("phase")
+                                    .and_then(Value::as_str)
+                                    .unwrap_or("")
+                                    .to_string(),
+                            ),
+                            _ => Sample::Other,
+                        }
                     };
                     samples.push(Stamped { now_ps, sample });
                 }
@@ -428,6 +487,7 @@ impl Report {
                 let _ = writeln!(out, "  {}", spark_line(&lane.util_permille));
             }
         }
+        out.push_str(&self.render_hops(DEFAULT_HOP_TOP));
         if !self.histograms.is_empty() {
             let _ = writeln!(
                 out,
@@ -442,6 +502,78 @@ impl Report {
                 );
             }
         }
+        out
+    }
+
+    /// Renders the per-hop mesh wire table — hop id, busy time, busy
+    /// permille of the span, transfers, wire bits, queue-depth p50/p99,
+    /// fault counts, and an occupancy heatmap — plus top-`top` "hottest
+    /// wires" / "faultiest wires" summaries (`cable report --hops`).
+    /// Returns an empty string when the trace carries no mesh hops.
+    #[must_use]
+    pub fn render_hops(&self, top: usize) -> String {
+        use std::cmp::Reverse;
+        if self.hops.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "\n{:>4} {:>12} {:>8} {:>10} {:>14} {:>6} {:>6} {:>6} {:>7} {:>13}  heatmap",
+            "hop",
+            "busy_ps",
+            "busy_pm",
+            "transfers",
+            "bits",
+            "d_p50",
+            "d_p99",
+            "nacks",
+            "faults",
+            "retrans_bits"
+        );
+        for h in &self.hops {
+            let _ = writeln!(
+                out,
+                "{:>4} {:>12} {:>8} {:>10} {:>14} {:>6} {:>6} {:>6} {:>7} {:>13}  {}",
+                h.hop,
+                h.busy_ps,
+                h.busy_permille,
+                h.transfers,
+                h.bits,
+                h.depth_p50,
+                h.depth_p99,
+                h.nacks,
+                h.faults,
+                h.retransmitted_bits,
+                spark_line(&h.util_permille)
+            );
+        }
+        let mut hottest: Vec<&HopReport> = self.hops.iter().collect();
+        hottest.sort_by_key(|h| (Reverse(h.busy_permille), Reverse(h.busy_ps), h.hop));
+        let line = hottest
+            .iter()
+            .take(top)
+            .map(|h| format!("hop {} ({} permille)", h.hop, h.busy_permille))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "hottest wires:   {line}");
+        let mut faultiest: Vec<&HopReport> = self
+            .hops
+            .iter()
+            .filter(|h| h.faults + h.nacks + h.retransmitted_bits > 0)
+            .collect();
+        faultiest.sort_by_key(|h| (Reverse(h.faults), Reverse(h.nacks), h.hop));
+        let line = if faultiest.is_empty() {
+            "(none)".to_string()
+        } else {
+            faultiest
+                .iter()
+                .take(top)
+                .map(|h| format!("hop {} ({} faults, {} nacks)", h.hop, h.faults, h.nacks))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(out, "faultiest wires: {line}");
         out
     }
 
@@ -490,6 +622,27 @@ impl Report {
                 );
             }
             out.push('}');
+        }
+        out.push_str("],\"hops\":[");
+        for (i, h) in self.hops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"hop\":{},\"busy_ps\":{},\"busy_permille\":{},\"transfers\":{},\"bits\":{},\"depth_p50\":{},\"depth_p99\":{},\"nacks\":{},\"faults\":{},\"retransmitted_bits\":{},\"util_permille\":{}}}",
+                h.hop,
+                h.busy_ps,
+                h.busy_permille,
+                h.transfers,
+                h.bits,
+                h.depth_p50,
+                h.depth_p99,
+                h.nacks,
+                h.faults,
+                h.retransmitted_bits,
+                int_array(&h.util_permille)
+            );
         }
         out.push_str("],\"histograms\":[");
         for (i, h) in self.histograms.iter().enumerate() {
@@ -588,6 +741,27 @@ impl Report {
                 });
             }
         }
+        if let Some(Value::Arr(hops)) = val.get("hops") {
+            for h in hops {
+                let hu = |key: &str| h.get(key).and_then(Value::as_u64).unwrap_or(0);
+                report.hops.push(HopReport {
+                    hop: hu("hop"),
+                    busy_ps: hu("busy_ps"),
+                    busy_permille: hu("busy_permille"),
+                    transfers: hu("transfers"),
+                    bits: hu("bits"),
+                    depth_p50: hu("depth_p50"),
+                    depth_p99: hu("depth_p99"),
+                    nacks: hu("nacks"),
+                    faults: hu("faults"),
+                    retransmitted_bits: hu("retransmitted_bits"),
+                    util_permille: h
+                        .get("util_permille")
+                        .and_then(Value::as_u64_array)
+                        .unwrap_or_default(),
+                });
+            }
+        }
         if let Some(Value::Arr(hists)) = val.get("histograms") {
             for h in hists {
                 let hu = |key: &str| h.get(key).and_then(Value::as_u64).unwrap_or(0);
@@ -654,7 +828,8 @@ pub struct ReportDiff {
     /// as a breach.
     pub threshold_permille: u64,
     /// All compared rows where either side is nonzero, in a stable
-    /// order: phase totals, histogram percentiles, counters, gauges.
+    /// order: phase totals, per-hop mesh rows, histogram percentiles,
+    /// counters, gauges.
     pub rows: Vec<DiffRow>,
 }
 
@@ -747,6 +922,25 @@ pub fn diff_reports(a: &Report, b: &Report, threshold_permille: u64) -> ReportDi
     let (ta, tb) = (totals(a), totals(b));
     for (field, (va, vb)) in TOTAL_FIELDS.iter().zip(ta.iter().zip(tb.iter())) {
         push((*field).to_string(), *va, *vb);
+    }
+
+    // Per-hop mesh drift, union of both sides in hop order.
+    let mut hop_ids: Vec<u64> = a.hops.iter().chain(&b.hops).map(|h| h.hop).collect();
+    hop_ids.sort_unstable();
+    hop_ids.dedup();
+    let hop_fields = |r: &Report, hop: u64| -> [u64; 5] {
+        r.hops.iter().find(|h| h.hop == hop).map_or([0; 5], |h| {
+            [h.busy_ps, h.bits, h.nacks, h.faults, h.retransmitted_bits]
+        })
+    };
+    for hop in hop_ids {
+        let (ha, hb) = (hop_fields(a, hop), hop_fields(b, hop));
+        for (i, part) in ["busy_ps", "bits", "nacks", "faults", "retransmitted_bits"]
+            .iter()
+            .enumerate()
+        {
+            push(format!("hop.{hop}.{part}"), ha[i], hb[i]);
+        }
     }
 
     // Histograms by id, union of both sides in id order.
@@ -892,6 +1086,7 @@ fn aggregate(
             lane,
             start_ps,
             dur_ps,
+            ..
         } = s.sample
         {
             for p in &mut phases {
@@ -945,23 +1140,19 @@ fn aggregate(
         if width == 0 {
             continue;
         }
-        for lane in [LaneKind::Link, LaneKind::Dram, LaneKind::Mesh] {
+        for lane in LaneKind::ALL {
             let mut buckets = [0u64; TIMELINE_BUCKETS];
             for s in &samples {
                 let Sample::Busy {
                     lane: l,
                     start_ps,
                     dur_ps,
+                    ..
                 } = s.sample
                 else {
                     continue;
                 };
-                if !matches!(
-                    (l, lane),
-                    (LaneKind::Link, LaneKind::Link)
-                        | (LaneKind::Dram, LaneKind::Dram)
-                        | (LaneKind::Mesh, LaneKind::Mesh)
-                ) {
+                if l != lane {
                     continue;
                 }
                 for (b, bucket) in buckets.iter_mut().enumerate() {
@@ -991,6 +1182,122 @@ fn aggregate(
         }
     }
 
+    // Per-hop mesh breakdown. Busy time, queue depths and the heatmap
+    // come from the hop-stamped slices; bits, transfers and fault counts
+    // come from the hop-keyed registry counters (`mesh.hop.{N}.*`), which
+    // stay exact even when the event ring dropped slices.
+    struct HopAcc {
+        busy_ps: u64,
+        slices: u64,
+        depths: Vec<u64>,
+        bucket_busy: [u64; TIMELINE_BUCKETS],
+    }
+    let span_width = span_end - span_start;
+    let mut hop_accs: BTreeMap<u64, HopAcc> = BTreeMap::new();
+    for s in &samples {
+        let Sample::Busy {
+            hop: Some((hop, depth)),
+            start_ps,
+            dur_ps,
+            ..
+        } = s.sample
+        else {
+            continue;
+        };
+        let acc = hop_accs.entry(hop).or_insert_with(|| HopAcc {
+            busy_ps: 0,
+            slices: 0,
+            depths: Vec::new(),
+            bucket_busy: [0; TIMELINE_BUCKETS],
+        });
+        acc.busy_ps += (start_ps + dur_ps).min(span_end) - start_ps.max(span_start);
+        acc.slices += 1;
+        acc.depths.push(depth);
+        for (b, bucket) in acc.bucket_busy.iter_mut().enumerate() {
+            let b_lo = span_start + span_width * b as u64 / TIMELINE_BUCKETS as u64;
+            let b_hi = span_start + span_width * (b as u64 + 1) / TIMELINE_BUCKETS as u64;
+            let lo = start_ps.max(b_lo);
+            let hi = (start_ps + dur_ps).min(b_hi);
+            if hi > lo {
+                *bucket += hi - lo;
+            }
+        }
+    }
+    // Counter slots per hop: bits, transfers, nacks, faults,
+    // retransmitted bits.
+    let mut hop_counts: BTreeMap<u64, [u64; 5]> = BTreeMap::new();
+    for (id, value) in &counters {
+        let Some((hop, suffix)) = parse_hop_metric(id) else {
+            continue;
+        };
+        let slot = match suffix {
+            "bits" => 0,
+            "transfers" => 1,
+            "nacks" => 2,
+            "faults" => 3,
+            "retransmitted_bits" => 4,
+            _ => continue,
+        };
+        hop_counts.entry(u64::from(hop)).or_default()[slot] += *value;
+    }
+    let mut hop_ids: Vec<u64> = hop_accs.keys().chain(hop_counts.keys()).copied().collect();
+    hop_ids.sort_unstable();
+    hop_ids.dedup();
+    let mut hops = Vec::new();
+    for hop in hop_ids {
+        let counts = hop_counts.get(&hop).copied().unwrap_or_default();
+        let depth_id = format!("mesh.hop.{hop}.depth");
+        let depth_hist = hists.iter().find(|h| h.id == depth_id);
+        let (busy_ps, slices, util_permille, event_p50, event_p99) = match hop_accs.get_mut(&hop) {
+            Some(acc) => {
+                acc.depths.sort_unstable();
+                let rank = |q: u64| {
+                    let n = acc.depths.len() as u64;
+                    acc.depths[((n * q).div_ceil(100).max(1) - 1) as usize]
+                };
+                let util: Vec<u64> = if span_width == 0 {
+                    Vec::new()
+                } else {
+                    acc.bucket_busy
+                        .iter()
+                        .enumerate()
+                        .map(|(b, &busy)| {
+                            let b_lo = span_start + span_width * b as u64 / TIMELINE_BUCKETS as u64;
+                            let b_hi =
+                                span_start + span_width * (b as u64 + 1) / TIMELINE_BUCKETS as u64;
+                            (busy * 1000).checked_div(b_hi - b_lo).unwrap_or(0)
+                        })
+                        .collect()
+                };
+                (acc.busy_ps, acc.slices, util, rank(50), rank(99))
+            }
+            None => (0, 0, Vec::new(), 0, 0),
+        };
+        let all_zero = busy_ps == 0 && slices == 0 && counts.iter().all(|&c| c == 0);
+        if all_zero {
+            // An armed but idle wire: registered counters exist at zero
+            // and no slices were traced. Elide the row.
+            continue;
+        }
+        let (depth_p50, depth_p99) = match depth_hist {
+            Some(h) => (percentile(h, 50), percentile(h, 99)),
+            None => (event_p50, event_p99),
+        };
+        hops.push(HopReport {
+            hop,
+            busy_ps,
+            busy_permille: (busy_ps * 1000).checked_div(span_width).unwrap_or(0),
+            transfers: if counts[1] > 0 { counts[1] } else { slices },
+            bits: counts[0],
+            depth_p50,
+            depth_p99,
+            nacks: counts[2],
+            faults: counts[3],
+            retransmitted_bits: counts[4],
+            util_permille,
+        });
+    }
+
     counters.sort();
     gauges.sort();
     let mut histograms: Vec<HistogramReport> = hists
@@ -1013,6 +1320,7 @@ fn aggregate(
         events,
         dropped_events: dropped,
         phases,
+        hops,
         histograms,
         counters,
         gauges,
@@ -1500,6 +1808,115 @@ mod tests {
         let diff = diff_reports(&a, &c, u64::MAX - 1);
         assert_eq!(diff.breaches().len(), 1);
         assert!(diff.render_text().contains("+inf"));
+    }
+
+    fn mesh_tel() -> Telemetry {
+        use crate::hop::{hop_metric_id, HOP_DEPTH_EDGES};
+        let tel = Telemetry::enabled();
+        tel.record_at(
+            0,
+            Event::MeshHop {
+                hop: 0,
+                depth: 0,
+                start_ps: 0,
+                dur_ps: 400,
+            },
+        );
+        tel.record_at(
+            100,
+            Event::MeshHop {
+                hop: 2,
+                depth: 1,
+                start_ps: 100,
+                dur_ps: 800,
+            },
+        );
+        tel.record_at(
+            500,
+            Event::MeshHop {
+                hop: 2,
+                depth: 3,
+                start_ps: 500,
+                dur_ps: 500,
+            },
+        );
+        tel.counter(hop_metric_id(0, "bits")).add(512);
+        tel.counter(hop_metric_id(2, "bits")).add(2048);
+        tel.counter(hop_metric_id(2, "transfers")).add(2);
+        tel.counter(hop_metric_id(2, "nacks")).add(3);
+        tel.counter(hop_metric_id(2, "faults")).add(2);
+        tel.counter(hop_metric_id(2, "retransmitted_bits")).add(256);
+        tel.histogram(hop_metric_id(2, "depth"), HOP_DEPTH_EDGES)
+            .record(1);
+        tel.histogram(hop_metric_id(2, "depth"), HOP_DEPTH_EDGES)
+            .record(3);
+        tel
+    }
+
+    #[test]
+    fn hop_breakdown_merges_events_and_counters() {
+        let r = Report::from_telemetry(&mesh_tel());
+        assert_eq!((r.span_start_ps, r.span_end_ps), (0, 1000));
+        assert_eq!(r.hops.len(), 2);
+        let h0 = &r.hops[0];
+        assert_eq!((h0.hop, h0.busy_ps, h0.busy_permille), (0, 400, 400));
+        // No transfers counter for hop 0: falls back to the slice count.
+        assert_eq!((h0.transfers, h0.bits), (1, 512));
+        // No depth histogram for hop 0: falls back to event depths.
+        assert_eq!((h0.depth_p50, h0.depth_p99), (0, 0));
+        let h2 = &r.hops[1];
+        assert_eq!((h2.hop, h2.busy_ps, h2.busy_permille), (2, 1300, 1300));
+        assert_eq!((h2.transfers, h2.bits), (2, 2048));
+        assert_eq!((h2.depth_p50, h2.depth_p99), (1, 4));
+        assert_eq!((h2.nacks, h2.faults, h2.retransmitted_bits), (3, 2, 256));
+        assert_eq!(h2.util_permille.len(), TIMELINE_BUCKETS);
+        assert!(h2.util_permille.iter().any(|&v| v > 1000), "depth overlap");
+    }
+
+    #[test]
+    fn live_and_parsed_hop_reports_agree() {
+        let tel = mesh_tel();
+        let live = Report::from_telemetry(&tel);
+        let parsed = Report::from_jsonl(&crate::export::jsonl(&tel)).expect("trace parses");
+        assert_eq!(live, parsed);
+    }
+
+    #[test]
+    fn hop_table_renders_and_ranks_wires() {
+        let r = Report::from_telemetry(&mesh_tel());
+        let text = r.render_hops(2);
+        assert!(text.contains("heatmap"), "{text}");
+        assert!(text.contains("hop 2 (1300 permille)"), "{text}");
+        assert!(
+            text.contains("faultiest wires: hop 2 (2 faults, 3 nacks)"),
+            "{text}"
+        );
+        // The full text report embeds the same table.
+        assert!(r.render_text().contains("hottest wires:"));
+        // Meshless traces render no hop section.
+        assert!(Report::from_telemetry(&sample_tel())
+            .render_hops(3)
+            .is_empty());
+    }
+
+    #[test]
+    fn hop_reports_round_trip_through_json() {
+        let r = Report::from_telemetry(&mesh_tel());
+        json::validate_json(&r.to_json()).expect("report JSON parses");
+        let parsed = Report::from_report_json(&r.to_json()).expect("artifact parses");
+        assert_eq!(r, parsed, "hops must survive to_json -> from_report_json");
+        assert_eq!(parsed.hops.len(), 2);
+    }
+
+    #[test]
+    fn diff_reports_include_per_hop_rows() {
+        let a = Report::from_telemetry(&mesh_tel());
+        let mut b = a.clone();
+        b.hops[1].faults *= 10; // 2 -> 20, 9000 permille drift
+        let diff = diff_reports(&a, &b, 1000);
+        assert!(diff.rows.iter().any(|r| r.field == "hop.0.busy_ps"));
+        let breached: Vec<&str> = diff.breaches().iter().map(|r| r.field.as_str()).collect();
+        assert_eq!(breached, ["hop.2.faults"]);
     }
 
     #[test]
