@@ -8,13 +8,16 @@
 //! the group timing simulator per scheme, sweeps CABLE over rising link
 //! fault rates (dealII and mcf), runs the closed-loop degradation
 //! storyline (fault-rate x policy sweep plus the 1e-3 burst/recovery
-//! phases), and replays the encode workload with telemetry enabled; prints
+//! phases), replays the encode workload with telemetry enabled, and
+//! simulates the per-stage access-latency attribution fabric; prints
 //! accesses/sec and writes `BENCH_encode.json`, `BENCH_sim.json`,
-//! `BENCH_fault.json`, `BENCH_degrade.json`, and `BENCH_telemetry.json` in
-//! the current directory. `CABLE_QUICK=1` shrinks the runs for CI.
+//! `BENCH_fault.json`, `BENCH_degrade.json`, `BENCH_telemetry.json`, and
+//! `BENCH_latency.json` in the current directory. `CABLE_QUICK=1` shrinks
+//! the runs for CI.
 
 use cable_bench::perf::{
-    run_degrade_bench, run_encode_bench, run_fault_bench, run_sim_bench, run_telemetry_bench,
+    run_degrade_bench, run_encode_bench, run_fault_bench, run_latency_bench, run_sim_bench,
+    run_telemetry_bench,
 };
 use cable_bench::print_table;
 use cable_bench::FigureResult;
@@ -37,4 +40,5 @@ fn main() {
     emit(&run_fault_bench());
     emit(&run_degrade_bench());
     emit(&run_telemetry_bench());
+    emit(&run_latency_bench());
 }

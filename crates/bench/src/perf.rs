@@ -19,7 +19,7 @@ use cable_compress::EngineKind;
 use cable_core::{BaselineKind, FaultConfig};
 use cable_sim::throughput::{run_group_arena, run_group_warmed_linear};
 use cable_sim::{FabricResult, FabricSim, Scheme, SimArena, SystemConfig};
-use cable_telemetry::{JsonlSink, Telemetry, TracerConfig};
+use cable_telemetry::{JsonlSink, Report, Telemetry, TracerConfig, LATENCY_METRIC_PREFIX};
 use cable_trace::WorkloadGen;
 use std::time::Instant;
 
@@ -791,6 +791,163 @@ pub fn run_telemetry_bench() -> FigureResult<'static> {
         id: TELEMETRY_BENCH_ID,
         title: "Telemetry registry view of the encode workload (per scheme)",
         columns: TELEMETRY_BENCH_COLUMNS
+            .iter()
+            .map(|c| (*c).to_string())
+            .collect(),
+        rows,
+    }
+}
+
+/// Identifier of the emitted latency-attribution JSON result
+/// (`BENCH_latency.json`).
+pub const LATENCY_BENCH_ID: &str = "BENCH_latency";
+
+/// The workload the latency benchmark simulates (shared with the
+/// degradation figure: mcf's miss-heavy stream keeps every stage busy).
+pub const LATENCY_BENCH_WORKLOAD: &str = "mcf";
+
+/// Chips in the latency benchmark's fabric.
+pub const LATENCY_BENCH_NODES: usize = 4;
+
+/// Columns of the emitted latency figure, in order. Every value is a
+/// *simulated* picosecond quantity read from the `lat.*` streaming
+/// histograms — zero wall-clock jitter, so the bench-history gate on
+/// `total_p99_ps` flags any real attribution regression.
+pub const LATENCY_BENCH_COLUMNS: &[&str] = &[
+    "samples",
+    "total_p50_ps",
+    "total_p90_ps",
+    "total_p99_ps",
+    "total_p999_ps",
+    "queue_p99_ps",
+    "retry_p99_ps",
+    "dram_p99_ps",
+];
+
+/// The full percentile-table state of one run's `lat.*` histograms,
+/// sorted by id: `(id, count, sum, p50, p90, p99, p999)` per histogram.
+type LatTable = Vec<(String, u64, u64, u64, u64, u64, u64)>;
+
+/// Runs the latency fabric once and returns its latency-table state.
+fn latency_fabric_table(scheme: Scheme, cfg: &SystemConfig, workers: Option<usize>) -> LatTable {
+    let profile = cable_trace::by_name(LATENCY_BENCH_WORKLOAD).expect("benchmark workload exists");
+    let instrs = if is_quick() { 1_500 } else { 6_000 };
+    let mut sim = FabricSim::with_config(profile, scheme, LATENCY_BENCH_NODES, 19.2e9, cfg);
+    let tel = Telemetry::enabled();
+    sim.set_telemetry(tel.clone());
+    match workers {
+        Some(w) => sim.run_sharded(instrs, w),
+        None => sim.run(instrs),
+    };
+    let rep = Report::from_telemetry(&tel);
+    let mut table: LatTable = rep
+        .histograms
+        .iter()
+        .filter(|h| h.id.starts_with(LATENCY_METRIC_PREFIX))
+        .map(|h| (h.id.clone(), h.count, h.sum, h.p50, h.p90, h.p99, h.p999))
+        .collect();
+    table.sort();
+    table
+}
+
+/// Looks one stage's row up in a latency table.
+fn lat_stage<'a>(
+    table: &'a LatTable,
+    label: &str,
+    stage: &str,
+) -> &'a (String, u64, u64, u64, u64, u64, u64) {
+    let id = format!("{LATENCY_METRIC_PREFIX}{label}.measure.{stage}");
+    table
+        .iter()
+        .find(|r| r.0 == id)
+        .unwrap_or_else(|| panic!("no {id} histogram in {table:?}"))
+}
+
+/// Builds one figure row from a run's latency table and asserts the
+/// attribution invariant on it: per-stage counts equal the total count
+/// and stage sums add up to the total sum exactly.
+fn latency_row(table: &LatTable, label: &str) -> Vec<f64> {
+    let total = lat_stage(table, label, "total");
+    let mut span_sum = 0u64;
+    for stage in ["hier", "codec", "queue", "wire", "retry", "dram"] {
+        let s = lat_stage(table, label, stage);
+        assert_eq!(s.1, total.1, "{label}/{stage}: count diverges from total");
+        span_sum += s.2;
+    }
+    assert_eq!(
+        span_sum, total.2,
+        "{label}: stage spans must sum to the end-to-end total exactly"
+    );
+    assert!(total.1 > 0, "{label}: no latency samples");
+    vec![
+        total.1 as f64,
+        total.3 as f64,
+        total.4 as f64,
+        total.5 as f64,
+        total.6 as f64,
+        lat_stage(table, label, "queue").5 as f64,
+        lat_stage(table, label, "retry").5 as f64,
+        lat_stage(table, label, "dram").5 as f64,
+    ]
+}
+
+/// Simulates the latency-attribution fabric per scheme (plus one faulted
+/// CABLE row) and reports per-stage percentile columns. All columns are
+/// simulated quantities; before returning, the gated scheme's run is
+/// replayed under `run_sharded` for every swept worker count and its
+/// *entire* latency-table state (every histogram's count, sum, and
+/// p50/p90/p99/p999) must be bit-identical to the single-threaded run.
+/// Honors `CABLE_QUICK` and `CABLE_SHARD_WORKERS`.
+///
+/// # Panics
+///
+/// Panics if the workload is missing, a stage histogram is absent, the
+/// exact-sum attribution invariant breaks, the faulted row charges no
+/// retry time, or a sharded replay diverges from the sequential oracle.
+#[must_use]
+pub fn run_latency_bench() -> FigureResult<'static> {
+    let cfg = shard_mesh_config();
+    let mut rows = Vec::new();
+    for scheme in [
+        Scheme::Uncompressed,
+        Scheme::Baseline(BaselineKind::Cpack),
+        Scheme::Cable(EngineKind::Lbe),
+    ] {
+        let table = latency_fabric_table(scheme, &cfg, None);
+        let label = scheme.label();
+        rows.push((label.clone(), latency_row(&table, &label)));
+        if scheme == Scheme::Cable(EngineKind::Lbe) {
+            // The gated scheme's percentile state must be worker-count
+            // invariant — the acceptance bar for the sharded engine.
+            for workers in shard_worker_sweep() {
+                let sharded = latency_fabric_table(scheme, &cfg, Some(workers));
+                assert_eq!(
+                    sharded, table,
+                    "sharded({workers}) latency state diverged from the sequential run"
+                );
+            }
+        }
+    }
+
+    // One faulted row: retry/resync penalties must show up in the retry
+    // stage without breaking the decomposition.
+    let faulted_cfg = SystemConfig {
+        fault: Some(FaultConfig::with_rate(FAULT_BENCH_SEED, 5e-3)),
+        ..cfg
+    };
+    let label = Scheme::Cable(EngineKind::Lbe).label();
+    let table = latency_fabric_table(Scheme::Cable(EngineKind::Lbe), &faulted_cfg, None);
+    let row = latency_row(&table, &label);
+    assert!(
+        lat_stage(&table, &label, "retry").2 > 0,
+        "faulted run must charge retry time"
+    );
+    rows.push((format!("{label}/faulted"), row));
+
+    FigureResult {
+        id: LATENCY_BENCH_ID,
+        title: "End-to-end access-latency attribution (simulated ps percentiles)",
+        columns: LATENCY_BENCH_COLUMNS
             .iter()
             .map(|c| (*c).to_string())
             .collect(),

@@ -38,9 +38,12 @@ struct Track {
     suffix: &'static str,
     root_artifact: &'static str,
     figure_id: &'static str,
-    /// Rate columns gated per snapshot (all must exist and never drop
+    /// Columns gated per snapshot (all must exist and never regress
     /// more than [`MAX_REGRESSION`] between consecutive snapshots).
     gated_columns: &'static [&'static str],
+    /// Gate direction: `false` for throughput columns (a *drop* is a
+    /// regression), `true` for latency columns (a *rise* is).
+    lower_is_better: bool,
 }
 
 const TRACKS: &[Track] = &[
@@ -49,6 +52,7 @@ const TRACKS: &[Track] = &[
         root_artifact: "BENCH_encode.json",
         figure_id: "BENCH_encode",
         gated_columns: &[RATE_COLUMN],
+        lower_is_better: false,
     },
     Track {
         suffix: ".sim.json",
@@ -58,6 +62,7 @@ const TRACKS: &[Track] = &[
         // event-driven + `SimArena` pipeline, `linear_accesses_per_sec`
         // the seed linear scan it is measured against.
         gated_columns: &[RATE_COLUMN, "linear_accesses_per_sec"],
+        lower_is_better: false,
     },
     Track {
         suffix: ".fault.json",
@@ -68,6 +73,18 @@ const TRACKS: &[Track] = &[
         // figure is deterministic), so run-to-run jitter is zero and any
         // drop is a real behavioral regression in the closed fault loop.
         gated_columns: &[RATE_COLUMN],
+        lower_is_better: false,
+    },
+    Track {
+        suffix: ".latency.json",
+        root_artifact: "BENCH_latency.json",
+        figure_id: "BENCH_latency",
+        // Simulated end-to-end access-latency tail of the healthy CABLE
+        // fabric. The figure is deterministic like the fault track, but
+        // the gate is inverted: the p99 must not *rise* more than
+        // [`MAX_REGRESSION`] between snapshots.
+        gated_columns: &["total_p99_ps"],
+        lower_is_better: true,
     },
 ];
 
@@ -119,6 +136,8 @@ fn snapshot_names_partition_cleanly_between_tracks() {
     assert!(belongs_to("pr0008.fault.json", ".fault.json"));
     assert!(!belongs_to("pr0008.fault.json", ".json"));
     assert!(!belongs_to("pr0008.fault.json", ".sim.json"));
+    assert!(belongs_to("pr0010.latency.json", ".latency.json"));
+    assert!(!belongs_to("pr0010.latency.json", ".json"));
     assert!(!belongs_to("README.md", ".json"));
 }
 
@@ -178,12 +197,21 @@ fn throughput_never_regresses_more_than_15_percent() {
             for column in track.gated_columns {
                 let before = gated_rate(prev_name, prev, column);
                 let after = gated_rate(next_name, next, column);
-                assert!(
-                    after >= before * (1.0 - MAX_REGRESSION),
-                    "{next_name}: {GATED_SCHEME} {column} fell to {after:.0} \
-                     accesses/sec from {before:.0} in {prev_name} (> {:.0}% regression)",
-                    MAX_REGRESSION * 100.0
-                );
+                if track.lower_is_better {
+                    assert!(
+                        after <= before * (1.0 + MAX_REGRESSION),
+                        "{next_name}: {GATED_SCHEME} {column} rose to {after:.0} \
+                         from {before:.0} in {prev_name} (> {:.0}% regression)",
+                        MAX_REGRESSION * 100.0
+                    );
+                } else {
+                    assert!(
+                        after >= before * (1.0 - MAX_REGRESSION),
+                        "{next_name}: {GATED_SCHEME} {column} fell to {after:.0} \
+                         accesses/sec from {before:.0} in {prev_name} (> {:.0}% regression)",
+                        MAX_REGRESSION * 100.0
+                    );
+                }
             }
         }
     }

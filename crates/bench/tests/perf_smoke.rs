@@ -5,12 +5,12 @@
 //! paying the full measurement cost in every local `cargo test`.
 
 use cable_bench::perf::{
-    run_degrade_bench, run_encode_bench, run_fault_bench, run_shard_bench, run_sim_bench,
-    run_telemetry_bench, shard_bench_endpoints, shard_bench_nodes, BENCH_COLUMNS, BENCH_ID,
-    DEGRADE_BENCH_COLUMNS, DEGRADE_BENCH_ID, DEGRADE_BENCH_RATES, FAULT_BENCH_COLUMNS,
-    FAULT_BENCH_ID, FAULT_BENCH_RATES, FAULT_BENCH_WORKLOADS, SHARD_BENCH_COLUMNS, SHARD_BENCH_ID,
-    SHARD_BENCH_WORKERS, SIM_BENCH_COLUMNS, SIM_BENCH_ID, TELEMETRY_BENCH_COLUMNS,
-    TELEMETRY_BENCH_ID,
+    run_degrade_bench, run_encode_bench, run_fault_bench, run_latency_bench, run_shard_bench,
+    run_sim_bench, run_telemetry_bench, shard_bench_endpoints, shard_bench_nodes, BENCH_COLUMNS,
+    BENCH_ID, DEGRADE_BENCH_COLUMNS, DEGRADE_BENCH_ID, DEGRADE_BENCH_RATES, FAULT_BENCH_COLUMNS,
+    FAULT_BENCH_ID, FAULT_BENCH_RATES, FAULT_BENCH_WORKLOADS, LATENCY_BENCH_COLUMNS,
+    LATENCY_BENCH_ID, SHARD_BENCH_COLUMNS, SHARD_BENCH_ID, SHARD_BENCH_WORKERS, SIM_BENCH_COLUMNS,
+    SIM_BENCH_ID, TELEMETRY_BENCH_COLUMNS, TELEMETRY_BENCH_ID,
 };
 use cable_bench::report::load_json;
 use cable_bench::runner::default_schemes;
@@ -367,6 +367,86 @@ fn degrade_bench_steps_down_and_recovers() {
     assert_eq!(loaded.columns, DEGRADE_BENCH_COLUMNS);
     for (label, values) in &result.rows {
         for (col, v) in DEGRADE_BENCH_COLUMNS.iter().zip(values) {
+            let got = loaded
+                .value(label, col)
+                .unwrap_or_else(|| panic!("{label}/{col} missing after roundtrip"));
+            assert!(
+                (got - v).abs() <= v.abs() * 1e-9,
+                "{label}/{col}: {got} != {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn latency_bench_attributes_stages_and_roundtrips_schema() {
+    if !quick() {
+        eprintln!("skipping: set CABLE_QUICK=1 to run the latency benchmark");
+        return;
+    }
+
+    // run_latency_bench asserts the hard claims itself: exact per-stage
+    // decomposition on every row, retry time on the faulted row, and
+    // bit-identical sharded percentile state for every worker count. This
+    // test pins the figure schema and the simulated-determinism contract.
+    let result = run_latency_bench();
+    assert_eq!(result.id, LATENCY_BENCH_ID);
+    assert_eq!(result.columns, LATENCY_BENCH_COLUMNS);
+    assert_eq!(
+        result.rows.len(),
+        4,
+        "three healthy schemes plus one faulted CABLE row"
+    );
+
+    for (label, values) in &result.rows {
+        assert_eq!(values.len(), LATENCY_BENCH_COLUMNS.len(), "{label}: cols");
+        let (samples, p50, p90, p99, p999) =
+            (values[0], values[1], values[2], values[3], values[4]);
+        assert!(samples > 0.0 && samples.fract() == 0.0, "{label}: samples");
+        assert!(p50 > 0.0, "{label}: total p50 must be positive");
+        // Percentiles are monotone in rank by construction.
+        assert!(
+            p50 <= p90 && p90 <= p99 && p99 <= p999,
+            "{label}: percentile ranks out of order: {values:?}"
+        );
+        assert!(
+            values
+                .iter()
+                .all(|v| v.is_finite() && *v >= 0.0 && v.fract() == 0.0),
+            "{label}: every column is an exact simulated ps integer"
+        );
+    }
+
+    // The faulted row must charge retry time the healthy row does not.
+    let retry_idx = LATENCY_BENCH_COLUMNS
+        .iter()
+        .position(|c| *c == "retry_p99_ps")
+        .expect("retry column");
+    let row = |label: &str| {
+        &result
+            .rows
+            .iter()
+            .find(|(l, _)| l == label)
+            .unwrap_or_else(|| panic!("missing row {label}"))
+            .1
+    };
+    assert_eq!(
+        row("CABLE+LBE")[retry_idx],
+        0.0,
+        "healthy run must charge no retry time"
+    );
+
+    // Determinism: every column is simulated, so a second run reproduces
+    // the figure exactly.
+    let again = run_latency_bench();
+    assert_eq!(result.rows, again.rows, "latency figure must be exact");
+
+    // The emitted JSON parses back with the same schema and values.
+    let loaded = load_json(&result.to_json()).expect("emitted JSON parses");
+    assert_eq!(loaded.id, LATENCY_BENCH_ID);
+    assert_eq!(loaded.columns, LATENCY_BENCH_COLUMNS);
+    for (label, values) in &result.rows {
+        for (col, v) in LATENCY_BENCH_COLUMNS.iter().zip(values) {
             let got = loaded
                 .value(label, col)
                 .unwrap_or_else(|| panic!("{label}/{col} missing after roundtrip"));

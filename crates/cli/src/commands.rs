@@ -11,7 +11,7 @@ use cable_sim::{
     run_group, run_single_telemetry, CompressedLink, DegradePolicy, Scheme, SystemConfig,
 };
 use cable_telemetry::json::{validate_json, validate_jsonl};
-use cable_telemetry::{diff_reports, JsonlSink, Report, Telemetry, TracerConfig};
+use cable_telemetry::{diff_reports, JsonlSink, Report, SloSpec, Telemetry, TracerConfig};
 use cable_trace::record::{record_synthetic, TraceReader, TraceRecord};
 use cable_trace::WorkloadGen;
 
@@ -46,17 +46,23 @@ commands:
                                    --stream drains the JSONL incrementally so
                                    any region length runs in O(ring) memory
   report <trace.jsonl> [out.json]  analyse a trace: per-phase link/DRAM/mesh
-                                   utilization, encode mix, NACK rates, and
-                                   histogram p50/p90/p99 (tables + JSON);
+                                   utilization, encode mix, NACK rates,
+                                   histogram p50/p90/p99/p999, and per-stage
+                                   access-latency percentile tables (hier/
+                                   codec/queue/wire/retry/dram/total);
                                    --hops prints only the per-hop mesh wire
                                    table (busy permille, queue-depth p50/p99,
                                    fault counts, heatmap) with the --top K
-                                   hottest/faultiest wires (default 3)
+                                   hottest/faultiest wires (default 3);
+                                   --slo stage.pXX<=N_ps gates a latency
+                                   percentile (e.g. total.p99<=1_200_000_ps)
+                                   and exits nonzero on breach
   report --diff <A.json> <B.json>  field-by-field delta of two report
                                    artifacts (encode mix, fault counts,
                                    percentiles); exits nonzero when a field
                                    drifts more than --threshold permille
-                                   (default 100)
+                                   (default 100); --slo additionally gates
+                                   the candidate (B) artifact
   help                             this text";
 
 /// Parses and runs one invocation.
@@ -194,6 +200,9 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
                 })
                 .transpose()?
                 .unwrap_or(cable_telemetry::DEFAULT_HOP_TOP);
+            let rest_owned: Vec<String> = rest.iter().map(|s| (*s).clone()).collect();
+            let (rest, slo) = split_flag_value(&rest_owned, "--slo")?;
+            let slo = slo.map(|s| SloSpec::parse(s)).transpose()?;
             let hops = rest.iter().any(|a| *a == "--hops");
             if rest.iter().any(|a| *a == "--diff") {
                 let rest: Vec<&&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
@@ -203,11 +212,17 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
                 let b = rest
                     .get(1)
                     .ok_or("report --diff needs two report.json files")?;
-                report_diff(a, b, threshold)
+                report_diff(a, b, threshold, slo.as_ref())
             } else {
                 let rest: Vec<&&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
                 let trace_path = rest.first().ok_or("report needs a trace.jsonl file")?;
-                report(trace_path, rest.get(1).map(|s| s.as_str()), hops, top)
+                report(
+                    trace_path,
+                    rest.get(1).map(|s| s.as_str()),
+                    hops,
+                    top,
+                    slo.as_ref(),
+                )
             }
         }
         Some(other) => Err(format!("unknown command `{other}`")),
@@ -658,7 +673,13 @@ fn trace(name: &str, instructions: u64, prefix: &str, stream: bool) -> Result<()
     Ok(())
 }
 
-fn report(trace_path: &str, out: Option<&str>, hops_only: bool, top: usize) -> Result<(), String> {
+fn report(
+    trace_path: &str,
+    out: Option<&str>,
+    hops_only: bool,
+    top: usize,
+    slo: Option<&SloSpec>,
+) -> Result<(), String> {
     let text = std::fs::read_to_string(trace_path)
         .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
     let rep = Report::from_jsonl(&text).map_err(|e| format!("cannot parse {trace_path}: {e}"))?;
@@ -684,13 +705,36 @@ fn report(trace_path: &str, out: Option<&str>, hops_only: bool, top: usize) -> R
         print!("{}", rep.render_text());
     }
     println!("\nwrote {out_path} ({} bytes)", json.len());
-    Ok(())
+    check_slo(slo, &rep)
+}
+
+/// Applies an `--slo` gate to a report: `Ok` when every matching latency
+/// percentile is within bound, a gate-failure `Err` (nonzero exit) on any
+/// breach — or when the spec matches no latency histogram at all, since a
+/// gate that measures nothing must not read as a pass.
+fn check_slo(slo: Option<&SloSpec>, rep: &Report) -> Result<(), String> {
+    let Some(slo) = slo else { return Ok(()) };
+    let breaches = slo.check(rep)?;
+    if breaches.is_empty() {
+        println!("SLO {slo}: ok");
+        return Ok(());
+    }
+    let detail: Vec<String> = breaches
+        .iter()
+        .map(|(id, v)| format!("{id} = {v} ps"))
+        .collect();
+    Err(format!("SLO {slo} breached: {}", detail.join(", ")))
 }
 
 /// Default drift tolerance of `report --diff`, in permille (10%).
 const DIFF_THRESHOLD_PERMILLE: u64 = 100;
 
-fn report_diff(a_path: &str, b_path: &str, threshold_permille: u64) -> Result<(), String> {
+fn report_diff(
+    a_path: &str,
+    b_path: &str,
+    threshold_permille: u64,
+    slo: Option<&SloSpec>,
+) -> Result<(), String> {
     let load = |path: &str| -> Result<Report, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         Report::from_report_json(&text).map_err(|e| format!("{path}: {e}"))
@@ -700,17 +744,24 @@ fn report_diff(a_path: &str, b_path: &str, threshold_permille: u64) -> Result<()
     let diff = diff_reports(&a, &b, threshold_permille);
     println!("report diff: a = {a_path}, b = {b_path} (threshold {threshold_permille}\u{2030})\n");
     print!("{}", diff.render_text());
+    // `--slo` composes with `--diff`: the gate judges the candidate (b),
+    // and a drift failure and an SLO breach each force a nonzero exit.
+    let slo_result = check_slo(slo, &b);
     let breaches = diff.breaches();
     if breaches.is_empty() {
         println!("\nno field drifted more than {threshold_permille}\u{2030}");
-        Ok(())
+        slo_result
     } else {
         let fields: Vec<&str> = breaches.iter().map(|r| r.field.as_str()).collect();
-        Err(format!(
+        let mut msg = format!(
             "{} field(s) drifted more than {threshold_permille}\u{2030}: {}",
             breaches.len(),
             fields.join(", ")
-        ))
+        );
+        if let Err(slo_msg) = slo_result {
+            msg = format!("{msg}; {slo_msg}");
+        }
+        Err(msg)
     }
 }
 

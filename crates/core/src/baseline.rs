@@ -181,6 +181,15 @@ impl BaselineLink {
         self.stats = LinkStats::default();
     }
 
+    /// Bits retransmitted by fault recovery: always 0 — baseline links
+    /// model reliable wires. Mirrors
+    /// [`crate::CableLink::retransmitted_wire_bits`] so scheme-generic
+    /// latency attribution charges retry spans uniformly.
+    #[must_use]
+    pub fn retransmitted_wire_bits(&self) -> u64 {
+        0
+    }
+
     /// The remote (smaller) cache.
     #[must_use]
     pub fn remote(&self) -> &SetAssocCache {

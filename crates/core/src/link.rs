@@ -610,6 +610,16 @@ impl CableLink {
         self.fault.as_ref().map(|fs| fs.channel.stats())
     }
 
+    /// Bits the fault-recovery protocol retransmitted so far (0 on a
+    /// reliable link). These bits are already included in
+    /// [`LinkStats::wire_bits`]; the latency attribution reads deltas of
+    /// this counter to split the retry penalty out of plain wire
+    /// serialization.
+    #[must_use]
+    pub fn retransmitted_wire_bits(&self) -> u64 {
+        self.fault_stats().map_or(0, |fs| fs.retransmitted_bits)
+    }
+
     /// Enables/disables compression (the §VI-D on/off control knob).
     /// Actual transitions mark a trace phase boundary, so `cable report`
     /// splits its per-phase stats at each controller decision.

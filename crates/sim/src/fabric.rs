@@ -42,7 +42,10 @@ use crate::thread::{CompressedLink, Scheme};
 use cable_cache::{CacheGeometry, SetAssocCache};
 use cable_common::Address;
 use cable_core::{FaultConfig, FaultStats, LinkStats, TransferKind};
-use cable_telemetry::Telemetry;
+use cable_telemetry::{
+    latency_hop_metric_id, Histogram, LatencyRecorder, LatencyStage, StageSpans, Telemetry,
+    LATENCY_EDGES,
+};
 use cable_trace::{WorkloadGen, WorkloadProfile};
 use std::fmt;
 
@@ -161,6 +164,9 @@ struct BlockingTrace {
     addr: Address,
     home_hit: bool,
     delta_bits: u64,
+    /// Bits of `delta_bits` that were fault-recovery retransmissions —
+    /// the replay splits their serialization time into the retry span.
+    retry_bits: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -261,9 +267,10 @@ impl ChipNode {
         let memory = self.gen.content(access.addr);
         wait_ps += c.cycles_to_ps(c.llc_latency_cy);
 
-        let (t, delta_bits) = {
+        let (t, delta_bits, retry_bits) = {
             let pipeline = &mut self.links[home];
             let before = pipeline.stats().wire_bits;
+            let retry_before = pipeline.retransmitted_wire_bits();
             let t = if access.is_write {
                 let t = pipeline.request_exclusive(access.addr, memory);
                 let data = self.gen.store_data(access.addr);
@@ -272,7 +279,11 @@ impl ChipNode {
             } else {
                 pipeline.request(access.addr, memory)
             };
-            (t, pipeline.stats().wire_bits - before)
+            (
+                t,
+                pipeline.stats().wire_bits - before,
+                pipeline.retransmitted_wire_bits() - retry_before,
+            )
         };
         let miss_resync = self.note_pipeline_op(home);
         if t.kind() == TransferKind::RemoteHit {
@@ -292,6 +303,7 @@ impl ChipNode {
             addr: access.addr,
             home_hit: t.home_hit(),
             delta_bits,
+            retry_bits,
         });
         let (writeback, fill_resync) = self.fill_upper(nodes, access.addr, access.is_write);
         // Contention-free stamp advance: the fixed latencies, without the
@@ -375,6 +387,19 @@ impl ChipNode {
     }
 }
 
+/// Per-access latency probes, resolved once when an enabled telemetry
+/// handle attaches. Recording happens exclusively inside
+/// [`FabricSim::apply_step_timing`] — the only clock-advancing code,
+/// which the shard engine replays sequentially in heap order — so the
+/// histogram state is bit-identical for every worker count.
+struct FabricLatency {
+    /// Fabric-wide per-stage histograms (`lat.{scheme}.measure.{stage}`).
+    access: LatencyRecorder,
+    /// Per mesh wire, hop-keyed queue and wire span histograms
+    /// (`lat.{scheme}.measure.h{hop}.{queue,wire}`), triangular order.
+    hops: Vec<(Histogram, Histogram)>,
+}
+
 /// A fully-connected multi-chip CMP with compressed coherence links.
 pub struct FabricSim {
     nodes: usize,
@@ -384,10 +409,12 @@ pub struct FabricSim {
     local_wires: Vec<SharedLink>,
     drams: Vec<DramModel>,
     config: SystemConfig,
+    scheme: Scheme,
     latency: CompressionLatency,
     /// PTP link bandwidth in bytes/s.
     ptp_bytes_per_sec: f64,
     pub(crate) tel: Telemetry,
+    lat: Option<FabricLatency>,
 }
 
 impl FabricSim {
@@ -500,9 +527,11 @@ impl FabricSim {
             local_wires,
             drams,
             config,
+            scheme,
             latency: scheme.latency(),
             ptp_bytes_per_sec,
             tel: Telemetry::disabled(),
+            lat: None,
         }
     }
 
@@ -527,6 +556,21 @@ impl FabricSim {
         for d in &mut self.drams {
             d.set_telemetry(tel.clone());
         }
+        self.lat = tel.is_enabled().then(|| {
+            let label = self.scheme.label();
+            FabricLatency {
+                access: LatencyRecorder::new(&tel, &label, "measure"),
+                hops: (0..self.wires.len())
+                    .map(|h| {
+                        let id = |stage| latency_hop_metric_id(&label, "measure", h as u32, stage);
+                        (
+                            tel.histogram(id(LatencyStage::Queue), LATENCY_EDGES),
+                            tel.histogram(id(LatencyStage::Wire), LATENCY_EDGES),
+                        )
+                    })
+                    .collect(),
+            }
+        });
         self.tel = tel;
     }
 
@@ -622,18 +666,56 @@ impl FabricSim {
         let c = &self.config;
         self.chips[idx].now_ps += trace.gap_ps + trace.wait_ps;
         if let Some(b) = &trace.blocking {
-            let mut ready = self.chips[idx].now_ps + c.cycles_to_ps(c.l4_latency_cy);
+            let l4_ps = c.cycles_to_ps(c.l4_latency_cy);
+            let mut ready = self.chips[idx].now_ps + l4_ps;
+            let dram_in = ready;
             if !b.home_hit {
                 ready = self.drams[b.home].access(ready, b.addr);
             }
-            ready += c.cycles_to_ps(self.latency.total_cycles());
-            ready = if b.home == idx {
-                self.local_wires[idx].transfer(ready, b.delta_bits)
-            } else {
-                let w = self.wire_index(idx, b.home);
-                self.wires[w].transfer(ready, b.delta_bits)
+            let dram_ps = ready - dram_in;
+            let codec_ps = c.cycles_to_ps(self.latency.total_cycles());
+            ready += codec_ps;
+            let wire_in = ready;
+            let hop = (b.home != idx).then(|| self.wire_index(idx, b.home));
+            // Read the queue depth and serialization constants while the
+            // wire borrow is live, then drop it before touching the probes.
+            let (queue_ps, ser_full, ser_clean, done) = {
+                let wire = match hop {
+                    Some(w) => &mut self.wires[w],
+                    None => &mut self.local_wires[idx],
+                };
+                let queue_ps = wire.busy_until().saturating_sub(wire_in);
+                let done = wire.transfer(ready, b.delta_bits);
+                (
+                    queue_ps,
+                    wire.serialize_ps(b.delta_bits),
+                    wire.serialize_ps(b.delta_bits - b.retry_bits),
+                    done,
+                )
             };
-            self.chips[idx].now_ps = ready;
+            if let Some(lat) = &self.lat {
+                let retry_ps = ser_full - ser_clean;
+                let wire_ps = done - wire_in - queue_ps - retry_ps;
+                lat.access.record(&StageSpans {
+                    hier: trace.wait_ps + l4_ps,
+                    codec: codec_ps,
+                    queue: queue_ps,
+                    wire: wire_ps,
+                    retry: retry_ps,
+                    dram: dram_ps,
+                });
+                if let Some(w) = hop {
+                    lat.hops[w].0.record(queue_ps);
+                    lat.hops[w].1.record(wire_ps);
+                }
+            }
+            self.chips[idx].now_ps = done;
+        } else if let Some(lat) = &self.lat {
+            // Locally-satisfied step: the whole access is hierarchy time.
+            lat.access.record(&StageSpans {
+                hier: trace.wait_ps,
+                ..StageSpans::default()
+            });
         }
         if let Some(wb) = &trace.writeback {
             let now = self.chips[idx].now_ps;
@@ -650,11 +732,24 @@ impl FabricSim {
         // not block the requester.
         for rs in trace.resyncs.iter().flatten() {
             let now = self.chips[idx].now_ps;
-            if rs.home == idx {
+            let cost_ps = if rs.home == idx {
+                let cost = self.local_wires[idx].serialize_ps(rs.cost_bits);
                 self.local_wires[idx].transfer(now, rs.cost_bits);
+                cost
             } else {
                 let w = self.wire_index(idx, rs.home);
+                let cost = self.wires[w].serialize_ps(rs.cost_bits);
                 self.wires[w].transfer(now, rs.cost_bits);
+                cost
+            };
+            // Resync repair is charged as a standalone retry-only sample:
+            // it never blocks the requester, but it is honest recovery
+            // latency the percentile tables must not hide.
+            if let Some(lat) = &self.lat {
+                lat.access.record(&StageSpans {
+                    retry: cost_ps,
+                    ..StageSpans::default()
+                });
             }
         }
     }

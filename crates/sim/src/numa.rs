@@ -16,7 +16,7 @@ use crate::thread::{CompressedLink, Scheme};
 use cable_cache::CacheGeometry;
 use cable_common::{Address, LineData};
 use cable_core::{FaultConfig, FaultStats, LinkStats};
-use cable_telemetry::Telemetry;
+use cable_telemetry::{LatencyRecorder, StageSpans, Telemetry};
 use cable_trace::{WorkloadGen, WorkloadProfile};
 
 /// Simulated time charged per access by the NUMA study's coarse clock
@@ -64,6 +64,7 @@ fn zip_queues<'a>(
 pub struct NumaSim {
     gen: WorkloadGen,
     nodes: usize,
+    scheme: Scheme,
     /// One compressed link per remote node (index 0 = node 1, …).
     links: Vec<CompressedLink>,
     /// One degradation controller per link; unarmed (policy-less, free)
@@ -74,6 +75,12 @@ pub struct NumaSim {
     /// Coarse operation clock: advances [`NUMA_OP_PITCH_PS`] per access.
     now_ps: u64,
     tel: Telemetry,
+    /// Per-remote-op latency probe. The study is functional, so every
+    /// remote access charges one coarse [`NUMA_OP_PITCH_PS`] hierarchy
+    /// span — the percentile tables still gain the access *counts* per
+    /// scheme, and the recorder's histograms live in the shared registry,
+    /// so sharded drains produce bit-identical state.
+    lat: Option<LatencyRecorder>,
 }
 
 impl NumaSim {
@@ -102,12 +109,14 @@ impl NumaSim {
         NumaSim {
             gen: WorkloadGen::new(profile, 0),
             nodes,
+            scheme,
             links,
             controllers,
             local_accesses: 0,
             remote_accesses: 0,
             now_ps: 0,
             tel: Telemetry::disabled(),
+            lat: None,
         }
     }
 
@@ -156,6 +165,9 @@ impl NumaSim {
         for ctl in &mut self.controllers {
             ctl.set_telemetry(&tel);
         }
+        self.lat = tel
+            .is_enabled()
+            .then(|| LatencyRecorder::new(&tel, &self.scheme.label(), "measure"));
         self.tel = tel;
     }
 
@@ -192,7 +204,7 @@ impl NumaSim {
             self.tel.set_now_ps(self.now_ps);
             let op = self.next_op();
             if let Some(op) = op {
-                Self::apply_op(&mut self.links[op.link], &self.tel, &op);
+                Self::apply_op(&mut self.links[op.link], &self.tel, self.lat.as_ref(), &op);
                 self.controllers[op.link].note_op(&mut self.links[op.link]);
             }
             remaining -= 1;
@@ -225,6 +237,12 @@ impl NumaSim {
                 link.remote_store(access.addr, data);
             } else {
                 link.request(access.addr, memory);
+            }
+            if let Some(lat) = &self.lat {
+                lat.record(&StageSpans {
+                    hier: NUMA_OP_PITCH_PS,
+                    ..StageSpans::default()
+                });
             }
             self.controllers[node - 1].note_op(&mut self.links[node - 1]);
         }
@@ -269,12 +287,13 @@ impl NumaSim {
             }
             remaining -= epoch;
 
+            let lat = self.lat.as_ref();
             let mut work = zip_queues(&mut self.links, &mut queues, &mut self.controllers);
             for_each_shard(&mut work, plan.chunk_len(), |shard, pairs| {
                 let tel = &forks[shard];
                 for (link, queue, ctl) in pairs.iter_mut() {
                     for op in queue.iter() {
-                        Self::apply_op(link, tel, op);
+                        Self::apply_op(link, tel, lat, op);
                         ctl.note_op(link);
                     }
                     queue.clear();
@@ -318,13 +337,24 @@ impl NumaSim {
     }
 
     /// Drives one queued operation into its link under `tel`'s clock.
-    fn apply_op(link: &mut CompressedLink, tel: &Telemetry, op: &LinkOp) {
+    fn apply_op(
+        link: &mut CompressedLink,
+        tel: &Telemetry,
+        lat: Option<&LatencyRecorder>,
+        op: &LinkOp,
+    ) {
         tel.set_now_ps(op.now_ps);
         if let Some(data) = op.store {
             link.request_exclusive(op.addr, op.memory);
             link.remote_store(op.addr, data);
         } else {
             link.request(op.addr, op.memory);
+        }
+        if let Some(lat) = lat {
+            lat.record(&StageSpans {
+                hier: NUMA_OP_PITCH_PS,
+                ..StageSpans::default()
+            });
         }
     }
 

@@ -192,6 +192,15 @@ impl SharedLink {
         self.busy_until_ps
     }
 
+    /// Pure serialization time for `bits` at this link's bandwidth,
+    /// excluding setup latency and queueing. Applies the same `f64 ->
+    /// u64` truncation as [`SharedLink::transfer`], so latency-span
+    /// arithmetic built on differences of this value is exact.
+    #[must_use]
+    pub fn serialize_ps(&self, bits: u64) -> u64 {
+        (bits as f64 * self.ps_per_bit) as u64
+    }
+
     /// Cumulative busy time in picoseconds (utilization sampling).
     #[must_use]
     pub fn busy_ps_total(&self) -> u64 {

@@ -19,7 +19,7 @@ use cable_core::{
     LinkStats, ResyncReport, Transfer, TransferKind,
 };
 use cable_energy::ActivityCounts;
-use cable_telemetry::Telemetry;
+use cable_telemetry::{LatencyRecorder, StageSpans, Telemetry};
 use cable_trace::{WorkloadGen, WorkloadProfile};
 use std::fmt;
 
@@ -230,6 +230,18 @@ impl CompressedLink {
         }
     }
 
+    /// Bits retransmitted by fault recovery so far (0 for baselines and
+    /// reliable CABLE links); see
+    /// [`CableLink::retransmitted_wire_bits`]. The latency attribution
+    /// reads deltas of this to split the retry span out of wire time.
+    #[must_use]
+    pub fn retransmitted_wire_bits(&self) -> u64 {
+        match self {
+            CompressedLink::Cable(l) => l.retransmitted_wire_bits(),
+            CompressedLink::Baseline(l) => l.retransmitted_wire_bits(),
+        }
+    }
+
     /// Audits home/remote synchronization (see
     /// [`CableLink::audit_and_resync`]); a no-op report for baselines.
     pub fn audit_and_resync(&mut self) -> ResyncReport {
@@ -286,11 +298,16 @@ pub struct ThreadSim {
     l2: SetAssocCache,
     link: CompressedLink,
     config: SystemConfig,
+    scheme: Scheme,
     latency: CompressionLatency,
     now_ps: u64,
     retired: u64,
     counts: ThreadCounts,
     tel: Telemetry,
+    /// Per-stage latency histograms (`lat.{scheme}.measure.{stage}`),
+    /// resolved once when an enabled telemetry handle attaches. `None`
+    /// keeps the uninstrumented hot path span-free.
+    lat: Option<LatencyRecorder>,
     /// Reusable transfer buffer for [`CompressedLink::request_batch`] — the
     /// step loop issues its link requests through the batch entry point.
     xfers: Vec<Transfer>,
@@ -322,12 +339,14 @@ impl ThreadSim {
             l1: SetAssocCache::new(CacheGeometry::new(config.l1_bytes, config.l1_ways)),
             l2: SetAssocCache::new(CacheGeometry::new(config.l2_bytes, config.l2_ways)),
             link,
+            scheme,
             latency: scheme.latency(),
             config,
             now_ps: 0,
             retired: 0,
             counts: ThreadCounts::default(),
             tel: Telemetry::disabled(),
+            lat: None,
             xfers: Vec::with_capacity(1),
         }
     }
@@ -339,6 +358,9 @@ impl ThreadSim {
     /// Attach *after* [`ThreadSim::warm`] so warm-up traffic is not traced.
     pub fn set_telemetry(&mut self, tel: Telemetry) {
         self.link.set_telemetry(tel.clone());
+        self.lat = tel
+            .is_enabled()
+            .then(|| LatencyRecorder::new(&tel, &self.scheme.label(), "measure"));
         self.tel = tel;
     }
 
@@ -403,24 +425,38 @@ impl ThreadSim {
 
         // L1.
         self.counts.l1 += 1;
-        self.now_ps += c.cycles_to_ps(c.l1_latency_cy);
+        let l1_ps = c.cycles_to_ps(c.l1_latency_cy);
+        self.now_ps += l1_ps;
         if self.l1.access(access.addr).is_some() {
             if access.is_write {
                 let data = self.gen.store_data(access.addr);
                 self.l1.write(access.addr, data);
+            }
+            if let Some(lat) = &self.lat {
+                lat.record(&StageSpans {
+                    hier: l1_ps,
+                    ..StageSpans::default()
+                });
             }
             return;
         }
 
         // L2.
         self.counts.l2 += 1;
-        self.now_ps += c.cycles_to_ps(c.l2_latency_cy);
+        let hier_base = l1_ps + c.cycles_to_ps(c.l2_latency_cy);
+        self.now_ps += hier_base - l1_ps;
         let line = if self.l2.access(access.addr).is_some() {
             let lid = self.l2.lookup(access.addr).expect("hit");
+            if let Some(lat) = &self.lat {
+                lat.record(&StageSpans {
+                    hier: hier_base,
+                    ..StageSpans::default()
+                });
+            }
             self.l2.read_by_id(lid).expect("valid")
         } else {
             // LLC / off-chip level, through the compressed link.
-            self.fetch_from_llc(access.addr, access.is_write, wire, dram)
+            self.fetch_from_llc(access.addr, access.is_write, hier_base, wire, dram)
         };
 
         // Fill L2 then L1 (shared mechanics); dirty L2 victims spill
@@ -436,14 +472,17 @@ impl ThreadSim {
         &mut self,
         addr: Address,
         is_write: bool,
+        hier_base: u64,
         wire: &mut SharedLink,
         dram: &mut DramModel,
     ) -> LineData {
         self.counts.llc += 1;
-        self.now_ps += self.config.cycles_to_ps(self.config.llc_latency_cy);
+        let llc_ps = self.config.cycles_to_ps(self.config.llc_latency_cy);
+        self.now_ps += llc_ps;
         self.tel.set_now_ps(self.now_ps);
         let memory = self.gen.content(addr);
         let bits_before = self.link.stats().wire_bits;
+        let retry_before = self.link.retransmitted_wire_bits();
         // One-element batch: the timing model serializes accesses on the
         // shared wire, so the step loop cannot coalesce further — but it
         // still enters the link through the batch path (one dispatch, same
@@ -457,22 +496,51 @@ impl ThreadSim {
         self.link.request_batch(&[access], &mut self.xfers);
         let transfer = self.xfers[0];
         if transfer.kind() == TransferKind::RemoteHit {
+            if let Some(lat) = &self.lat {
+                lat.record(&StageSpans {
+                    hier: hier_base + llc_ps,
+                    ..StageSpans::default()
+                });
+            }
             return memory;
         }
         // Off-chip: L4 lookup, optional DRAM, compression, wire transfer.
         self.counts.l4 += 1;
-        let mut ready = self.now_ps + self.config.cycles_to_ps(self.config.l4_latency_cy);
+        let l4_ps = self.config.cycles_to_ps(self.config.l4_latency_cy);
+        let mut ready = self.now_ps + l4_ps;
+        let dram_in = ready;
         if !transfer.home_hit() {
             self.counts.dram += 1;
             ready = dram.access(ready, addr);
         }
-        ready += self
+        let dram_ps = ready - dram_in;
+        let codec_ps = self
             .config
             .cycles_to_ps(self.compression_cycles(transfer.kind()));
+        ready += codec_ps;
         // Charge the wire for everything this request put on the link,
         // including any internal dirty-victim write-backs.
         let delta_bits = self.link.stats().wire_bits - bits_before;
+        let wire_in = ready;
+        let queue_ps = wire.busy_until().saturating_sub(wire_in);
         ready = wire.transfer(ready, delta_bits);
+        if let Some(lat) = &self.lat {
+            // The retry span is the marginal serialization cost of the
+            // retransmitted bits; deltas of the truncating serialize_ps
+            // keep every span u64-exact, so the stage sums reproduce the
+            // end-to-end total without rounding slop.
+            let retry_bits = self.link.retransmitted_wire_bits() - retry_before;
+            let retry_ps =
+                wire.serialize_ps(delta_bits) - wire.serialize_ps(delta_bits - retry_bits);
+            lat.record(&StageSpans {
+                hier: hier_base + llc_ps + l4_ps,
+                codec: codec_ps,
+                queue: queue_ps,
+                wire: ready - wire_in - queue_ps - retry_ps,
+                retry: retry_ps,
+                dram: dram_ps,
+            });
+        }
         self.now_ps = ready;
         self.tel.set_now_ps(self.now_ps);
         memory

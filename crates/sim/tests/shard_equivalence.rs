@@ -312,6 +312,17 @@ fn sharded_telemetry_is_deterministic_across_worker_counts() {
             .map(|m| format!("{m:?}"))
             .collect();
         metrics.sort();
+        // The equality below must cover the latency-attribution state:
+        // guard that the snapshot actually carries populated `lat.*`
+        // histograms, so percentile tables are provably bit-identical
+        // between single-threaded and sharded runs.
+        assert!(
+            tel.snapshot().metrics.iter().any(|m| {
+                m.id().starts_with("lat.")
+                    && matches!(m, cable_telemetry::MetricValue::Histogram { count, .. } if *count > 0)
+            }),
+            "snapshot must include populated latency histograms"
+        );
         (events, metrics)
     };
     let one = trace_of(1);

@@ -12,7 +12,7 @@ use cable_compress::EngineKind;
 use cable_core::{BaselineKind, FaultConfig};
 use cable_sim::throughput::{run_group_telemetry, run_group_warmed};
 use cable_sim::{run_single_telemetry, run_single_warmed, Scheme, SystemConfig};
-use cable_telemetry::{Event, Telemetry};
+use cable_telemetry::{parse_latency_metric, Event, LatencyStage, MetricValue, Telemetry};
 use cable_trace::{by_name, ALL_WORKLOADS};
 
 fn spot_schemes() -> [Scheme; 3] {
@@ -39,8 +39,31 @@ fn enabled_telemetry_changes_no_single_thread_outcome() {
             assert_eq!(plain.instructions, traced.instructions);
             assert_eq!(plain.link, traced.link, "{}/{scheme:?}", profile.name);
             assert_eq!(plain.activity, traced.activity);
+            // The latency-attribution layer rides on the same handle and
+            // must obey the same observer rule: outcomes above are equal,
+            // yet every measured access landed in the lat.* histograms.
+            let samples = latency_total_count(&tel);
+            assert!(
+                samples > 0,
+                "{}/{scheme:?}: no latency samples recorded",
+                profile.name
+            );
         }
     }
+}
+
+/// Sample count of the non-hop `lat.*.*.total` histogram in `tel`.
+fn latency_total_count(tel: &Telemetry) -> u64 {
+    tel.snapshot()
+        .metrics
+        .iter()
+        .filter_map(|m| match m {
+            MetricValue::Histogram { id, count, .. } => parse_latency_metric(id)
+                .filter(|k| k.hop.is_none() && k.stage == LatencyStage::Total)
+                .map(|_| *count),
+            _ => None,
+        })
+        .sum()
 }
 
 #[test]
@@ -82,6 +105,27 @@ fn enabled_telemetry_changes_no_faulty_link_outcome() {
             .iter()
             .any(|e| matches!(e.event, Event::FaultInjected { .. })),
         "5e-3 BER over 2k instructions should inject at least one fault"
+    );
+    // Retry penalties from the fault machinery are charged into the
+    // latency decomposition without perturbing the run they describe.
+    assert!(
+        latency_total_count(&tel) > 0,
+        "faulted run must still attribute access latency"
+    );
+    let retry_sum: u64 = tel
+        .snapshot()
+        .metrics
+        .iter()
+        .filter_map(|m| match m {
+            MetricValue::Histogram { id, sum, .. } => parse_latency_metric(id)
+                .filter(|k| k.hop.is_none() && k.stage == LatencyStage::Retry)
+                .map(|_| *sum),
+            _ => None,
+        })
+        .sum();
+    assert!(
+        retry_sum > 0,
+        "injected faults must charge retry time into the retry stage"
     );
 }
 

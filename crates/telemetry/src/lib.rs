@@ -54,6 +54,7 @@ pub mod event;
 pub mod export;
 pub mod hop;
 pub mod json;
+pub mod latency;
 pub mod registry;
 pub mod report;
 pub mod sink;
@@ -62,8 +63,16 @@ pub mod tracer;
 pub use event::{Event, LaneKind, TraceEvent, TRACKS};
 pub use export::{chrome_trace, jsonl, ChromeTraceSink, JsonlSink};
 pub use hop::{hop_metric_id, parse_hop_metric, HOP_DEPTH_EDGES, HOP_METRIC_PREFIX};
+pub use latency::{
+    latency_hop_metric_id, latency_metric_id, parse_latency_metric, LatencyKey, LatencyRecorder,
+    LatencyStage, StageSpans, LATENCY_ALL_STAGES, LATENCY_EDGES, LATENCY_METRIC_PREFIX,
+    LATENCY_SPAN_STAGES,
+};
 pub use registry::{Counter, Gauge, Histogram, MetricValue, Registry, Snapshot};
-pub use report::{diff_reports, DiffRow, HopReport, Report, ReportDiff, DEFAULT_HOP_TOP};
+pub use report::{
+    diff_reports, DiffRow, HistogramReport, HopReport, Report, ReportDiff, RowPresence, SloSpec,
+    DEFAULT_HOP_TOP,
+};
 pub use sink::{EventSink, SharedBuf};
 pub use tracer::{Tracer, TracerConfig, NUM_TRACKS};
 

@@ -4,10 +4,11 @@
 //! order-agnostic) or a live [`Telemetry`] handle, and aggregates it into
 //! the per-phase view the paper's evaluation reasons about: link /
 //! DRAM / mesh-hop utilization timelines, the encode-kind mix, NACK and
-//! retransmission rates, and histogram percentiles (p50/p90/p99).
-//! Renders as human-readable tables ([`Report::render_text`]) and as a
-//! machine-readable JSON artifact ([`Report::to_json`], integer-only so
-//! two runs byte-match).
+//! retransmission rates, and histogram percentiles (p50/p90/p99/p999) —
+//! including the per-stage access-latency tables and the machine-checkable
+//! SLO gates ([`SloSpec`]) built on them. Renders as human-readable
+//! tables ([`Report::render_text`]) and as a machine-readable JSON
+//! artifact ([`Report::to_json`], integer-only so two runs byte-match).
 //!
 //! Phases come from [`Event::Phase`] boundary events: the timeline
 //! between consecutive phase events is one phase; events before the
@@ -17,6 +18,9 @@
 use crate::event::{Event, LaneKind};
 use crate::hop::parse_hop_metric;
 use crate::json;
+use crate::latency::{
+    parse_latency_metric, LatencyStage, LATENCY_ALL_STAGES, LATENCY_METRIC_PREFIX,
+};
 use crate::registry::MetricValue;
 use crate::Telemetry;
 use std::collections::BTreeMap;
@@ -120,6 +124,8 @@ pub struct HistogramReport {
     pub p90: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
 }
 
 /// Per-hop (mesh wire) breakdown of one trace: where on the mesh the
@@ -170,6 +176,10 @@ pub struct Report {
     pub events: u64,
     /// Events dropped by the tracer before export.
     pub dropped_events: u64,
+    /// Malformed trace lines skipped by [`Report::from_jsonl`] (0 for
+    /// live handles and parsed artifacts; never more than a permille of
+    /// the trace — the parser fails outright above that).
+    pub malformed_lines: u64,
     /// Per-phase aggregates, in trace order.
     pub phases: Vec<PhaseReport>,
     /// Per-hop mesh wire breakdown, hop-sorted (empty for meshless
@@ -305,127 +315,56 @@ impl Report {
     /// Parses and aggregates a JSONL trace (classic or streaming
     /// layout).
     ///
+    /// Malformed lines (bad JSON, missing schema fields, unknown types)
+    /// are counted into [`Report::malformed_lines`] and skipped, so a
+    /// truncated tail or an interleaved foreign line does not discard an
+    /// otherwise healthy trace.
+    ///
     /// # Errors
     ///
-    /// Returns a message naming the offending line on malformed JSON or
-    /// on a line whose shape does not match the export schema.
+    /// Returns a message naming the first offending line number when
+    /// more than one per thousand non-blank lines are malformed — above
+    /// that the trace is treated as corrupt rather than merely frayed.
     pub fn from_jsonl(text: &str) -> Result<Self, String> {
         let mut samples = Vec::new();
         let mut counters = Vec::new();
         let mut gauges = Vec::new();
         let mut hists = Vec::new();
         let mut dropped = 0u64;
+        let mut lines = 0u64;
+        let mut malformed = 0u64;
+        let mut first_error: Option<String> = None;
         for (lineno, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            let val = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-            let fail = |what: &str| format!("line {}: {what}", lineno + 1);
-            let ty = val
-                .get("type")
-                .and_then(Value::as_str)
-                .ok_or_else(|| fail("missing \"type\""))?;
-            match ty {
-                "meta" | "summary" => {
-                    if let Some(d) = val.get("dropped_events").and_then(Value::as_u64) {
-                        dropped = d;
-                    }
+            lines += 1;
+            let parsed = parse_json(line).and_then(|val| {
+                apply_trace_line(
+                    &val,
+                    &mut samples,
+                    &mut counters,
+                    &mut gauges,
+                    &mut hists,
+                    &mut dropped,
+                )
+            });
+            if let Err(e) = parsed {
+                malformed += 1;
+                if first_error.is_none() {
+                    first_error = Some(format!("line {}: {e}", lineno + 1));
                 }
-                "counter" => counters.push((
-                    val.get("id")
-                        .and_then(Value::as_str)
-                        .ok_or_else(|| fail("counter without id"))?
-                        .to_string(),
-                    val.get("value").and_then(Value::as_u64).unwrap_or(0),
-                )),
-                "gauge" => gauges.push((
-                    val.get("id")
-                        .and_then(Value::as_str)
-                        .ok_or_else(|| fail("gauge without id"))?
-                        .to_string(),
-                    val.get("value").and_then(Value::as_u64).unwrap_or(0),
-                )),
-                "histogram" => {
-                    let id = val
-                        .get("id")
-                        .and_then(Value::as_str)
-                        .ok_or_else(|| fail("histogram without id"))?
-                        .to_string();
-                    let edges = val
-                        .get("edges")
-                        .and_then(Value::as_u64_array)
-                        .ok_or_else(|| fail("histogram without edges"))?;
-                    let buckets = val
-                        .get("buckets")
-                        .and_then(Value::as_u64_array)
-                        .ok_or_else(|| fail("histogram without buckets"))?;
-                    hists.push(HistData {
-                        id,
-                        edges,
-                        buckets,
-                        count: val.get("count").and_then(Value::as_u64).unwrap_or(0),
-                        sum: val.get("sum").and_then(Value::as_u64).unwrap_or(0),
-                    });
-                }
-                "event" => {
-                    let name = val
-                        .get("name")
-                        .and_then(Value::as_str)
-                        .ok_or_else(|| fail("event without name"))?;
-                    let now_ps = val
-                        .get("now_ps")
-                        .and_then(Value::as_u64)
-                        .ok_or_else(|| fail("event without now_ps"))?;
-                    let busy = |lane: LaneKind| -> Sample {
-                        // Mesh-hop slices carry the wire id and the queue
-                        // depth on arrival as event args.
-                        let hop = (lane == LaneKind::Mesh).then(|| {
-                            (
-                                val.get("hop").and_then(Value::as_u64).unwrap_or(0),
-                                val.get("depth").and_then(Value::as_u64).unwrap_or(0),
-                            )
-                        });
-                        Sample::Busy {
-                            lane,
-                            hop,
-                            start_ps: val
-                                .get("start_ps")
-                                .and_then(Value::as_u64)
-                                .unwrap_or(now_ps),
-                            dur_ps: val.get("dur_ps").and_then(Value::as_u64).unwrap_or(0),
-                        }
-                    };
-                    let sample = if let Some(lane) = LaneKind::from_event_name(name) {
-                        busy(lane)
-                    } else {
-                        match name {
-                            "encode" => {
-                                Sample::Encode(match val.get("kind").and_then(Value::as_str) {
-                                    Some("raw") => EncodeKind::Raw,
-                                    Some("unseeded") => EncodeKind::Unseeded,
-                                    Some("diff") => EncodeKind::Diff,
-                                    _ => EncodeKind::RemoteHit,
-                                })
-                            }
-                            "nack" => Sample::Nack,
-                            "retransmit" => Sample::Retransmit,
-                            "fallback_raw" => Sample::FallbackRaw,
-                            "escalation" => Sample::Escalation,
-                            "phase" => Sample::PhaseMark(
-                                val.get("phase")
-                                    .and_then(Value::as_str)
-                                    .unwrap_or("")
-                                    .to_string(),
-                            ),
-                            _ => Sample::Other,
-                        }
-                    };
-                    samples.push(Stamped { now_ps, sample });
-                }
-                other => return Err(fail(&format!("unknown line type `{other}`"))),
             }
         }
-        Ok(aggregate(samples, counters, gauges, hists, dropped))
+        if malformed * 1000 > lines {
+            let first = first_error.unwrap_or_default();
+            return Err(format!(
+                "{first} ({malformed} of {lines} lines malformed, above the 1\u{2030} tolerance)"
+            ));
+        }
+        let mut report = aggregate(samples, counters, gauges, hists, dropped);
+        report.malformed_lines = malformed;
+        Ok(report)
     }
 
     /// Renders the report as human-readable tables.
@@ -488,17 +427,75 @@ impl Report {
             }
         }
         out.push_str(&self.render_hops(DEFAULT_HOP_TOP));
-        if !self.histograms.is_empty() {
+        let generic: Vec<&HistogramReport> = self
+            .histograms
+            .iter()
+            .filter(|h| !h.id.starts_with(LATENCY_METRIC_PREFIX))
+            .collect();
+        if !generic.is_empty() {
             let _ = writeln!(
                 out,
-                "\n{:28} {:>10} {:>10} {:>10} {:>10}",
-                "histogram", "count", "p50", "p90", "p99"
+                "\n{:28} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "histogram", "count", "p50", "p90", "p99", "p999"
             );
-            for h in &self.histograms {
+            for h in generic {
                 let _ = writeln!(
                     out,
-                    "{:28} {:>10} {:>10} {:>10} {:>10}",
-                    h.id, h.count, h.p50, h.p90, h.p99
+                    "{:28} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    h.id, h.count, h.p50, h.p90, h.p99, h.p999
+                );
+            }
+        }
+        out.push_str(&self.render_latency());
+        out
+    }
+
+    /// Renders the per-stage access-latency percentile tables, one table
+    /// per `(scheme, phase)` the trace recorded latency histograms for.
+    /// Stages appear in pipeline order ([`crate::latency::LATENCY_ALL_STAGES`]);
+    /// hop-keyed latency histograms stay out of the text render (they
+    /// remain in the JSON artifact and the diff). Empty string when the
+    /// trace carries no latency metrics.
+    #[must_use]
+    pub fn render_latency(&self) -> String {
+        let mut groups: BTreeMap<(String, String), BTreeMap<LatencyStage, &HistogramReport>> =
+            BTreeMap::new();
+        for h in &self.histograms {
+            let Some(key) = parse_latency_metric(&h.id) else {
+                continue;
+            };
+            if key.hop.is_some() {
+                continue;
+            }
+            groups
+                .entry((key.scheme.to_string(), key.phase.to_string()))
+                .or_default()
+                .insert(key.stage, h);
+        }
+        let mut out = String::new();
+        for ((scheme, phase), stages) in &groups {
+            let _ = writeln!(
+                out,
+                "\nlatency percentiles (ps) \u{2014} {scheme} / {phase}:"
+            );
+            let _ = writeln!(
+                out,
+                "  {:8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                "stage", "count", "p50", "p90", "p99", "p999"
+            );
+            for stage in LATENCY_ALL_STAGES {
+                let Some(h) = stages.get(&stage) else {
+                    continue;
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                    stage.as_str(),
+                    h.count,
+                    h.p50,
+                    h.p90,
+                    h.p99,
+                    h.p999
                 );
             }
         }
@@ -584,8 +581,8 @@ impl Report {
         let mut out = String::from("{\"type\":\"cable_report\",\"version\":1");
         let _ = write!(
             out,
-            ",\"span_start_ps\":{},\"span_end_ps\":{},\"events\":{},\"dropped_events\":{}",
-            self.span_start_ps, self.span_end_ps, self.events, self.dropped_events
+            ",\"span_start_ps\":{},\"span_end_ps\":{},\"events\":{},\"dropped_events\":{},\"malformed_lines\":{}",
+            self.span_start_ps, self.span_end_ps, self.events, self.dropped_events, self.malformed_lines
         );
         out.push_str(",\"phases\":[");
         for (i, p) in self.phases.iter().enumerate() {
@@ -651,13 +648,14 @@ impl Report {
             }
             let _ = write!(
                 out,
-                "{{\"id\":\"{}\",\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                "{{\"id\":\"{}\",\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
                 json::escape(&h.id),
                 h.count,
                 h.sum,
                 h.p50,
                 h.p90,
-                h.p99
+                h.p99,
+                h.p999
             );
         }
         out.push_str("],\"counters\":{");
@@ -699,6 +697,7 @@ impl Report {
             span_end_ps: u("span_end_ps"),
             events: u("events"),
             dropped_events: u("dropped_events"),
+            malformed_lines: u("malformed_lines"),
             ..Report::default()
         };
         if let Some(Value::Arr(phases)) = val.get("phases") {
@@ -776,6 +775,7 @@ impl Report {
                     p50: hu("p50"),
                     p90: hu("p90"),
                     p99: hu("p99"),
+                    p999: hu("p999"),
                 });
             }
         }
@@ -793,6 +793,19 @@ impl Report {
     }
 }
 
+/// Whether a compared row's underlying metric exists in both artifacts
+/// or only one of them (a hop, histogram, counter, or gauge id missing
+/// from the other side).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowPresence {
+    /// The metric exists in both reports.
+    Both,
+    /// Only the baseline report carries the metric (`removed`).
+    OnlyA,
+    /// Only the candidate report carries the metric (`added`).
+    OnlyB,
+}
+
 /// One compared field of a [`ReportDiff`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DiffRow {
@@ -803,6 +816,8 @@ pub struct DiffRow {
     pub a: u64,
     /// Value in the second (candidate) report.
     pub b: u64,
+    /// Whether the underlying metric exists in both artifacts.
+    pub presence: RowPresence,
 }
 
 impl DiffRow {
@@ -843,17 +858,20 @@ impl ReportDiff {
             .collect()
     }
 
-    /// Renders the delta table; breached rows are flagged with `!`.
+    /// Renders the delta table; breached rows are flagged with `!`, and
+    /// rows whose metric exists in only one artifact read `added` /
+    /// `removed` in the delta column.
     #[must_use]
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{:34} {:>14} {:>14} {:>9}", "field", "a", "b", "delta");
         for r in &self.rows {
             let delta = r.delta_permille();
-            let rendered = if delta == u64::MAX {
-                "+inf".to_string()
-            } else {
-                format!("{delta}\u{2030}")
+            let rendered = match r.presence {
+                RowPresence::OnlyA => "removed".to_string(),
+                RowPresence::OnlyB => "added".to_string(),
+                RowPresence::Both if delta == u64::MAX => "+inf".to_string(),
+                RowPresence::Both => format!("{delta}\u{2030}"),
             };
             let _ = writeln!(
                 out,
@@ -876,18 +894,26 @@ impl ReportDiff {
 /// Compares two reports field by field: phase-aggregated encode mix and
 /// fault counts, lane busy time, per-histogram count and percentiles,
 /// and every counter and gauge (matched by id, union of both sides).
-/// Rows where both sides are zero are elided.
+/// Rows where both sides are zero AND the metric exists in both
+/// artifacts are elided; one-sided rows always survive so an
+/// added/removed metric never disappears from the drift table.
 #[must_use]
 pub fn diff_reports(a: &Report, b: &Report, threshold_permille: u64) -> ReportDiff {
     let mut rows = Vec::new();
-    let mut push = |field: String, va: u64, vb: u64| {
-        if va != 0 || vb != 0 {
+    let mut push = |field: String, va: u64, vb: u64, presence: RowPresence| {
+        if va != 0 || vb != 0 || presence != RowPresence::Both {
             rows.push(DiffRow {
                 field,
                 a: va,
                 b: vb,
+                presence,
             });
         }
+    };
+    let presence_of = |in_a: bool, in_b: bool| match (in_a, in_b) {
+        (true, false) => RowPresence::OnlyA,
+        (false, true) => RowPresence::OnlyB,
+        _ => RowPresence::Both,
     };
     let totals = |r: &Report| {
         let mut t = [0u64; 11];
@@ -921,25 +947,28 @@ pub fn diff_reports(a: &Report, b: &Report, threshold_permille: u64) -> ReportDi
     ];
     let (ta, tb) = (totals(a), totals(b));
     for (field, (va, vb)) in TOTAL_FIELDS.iter().zip(ta.iter().zip(tb.iter())) {
-        push((*field).to_string(), *va, *vb);
+        push((*field).to_string(), *va, *vb, RowPresence::Both);
     }
 
     // Per-hop mesh drift, union of both sides in hop order.
     let mut hop_ids: Vec<u64> = a.hops.iter().chain(&b.hops).map(|h| h.hop).collect();
     hop_ids.sort_unstable();
     hop_ids.dedup();
-    let hop_fields = |r: &Report, hop: u64| -> [u64; 5] {
-        r.hops.iter().find(|h| h.hop == hop).map_or([0; 5], |h| {
-            [h.busy_ps, h.bits, h.nacks, h.faults, h.retransmitted_bits]
-        })
+    let hop_fields = |r: &Report, hop: u64| -> Option<[u64; 5]> {
+        r.hops
+            .iter()
+            .find(|h| h.hop == hop)
+            .map(|h| [h.busy_ps, h.bits, h.nacks, h.faults, h.retransmitted_bits])
     };
     for hop in hop_ids {
         let (ha, hb) = (hop_fields(a, hop), hop_fields(b, hop));
+        let presence = presence_of(ha.is_some(), hb.is_some());
+        let (ha, hb) = (ha.unwrap_or_default(), hb.unwrap_or_default());
         for (i, part) in ["busy_ps", "bits", "nacks", "faults", "retransmitted_bits"]
             .iter()
             .enumerate()
         {
-            push(format!("hop.{hop}.{part}"), ha[i], hb[i]);
+            push(format!("hop.{hop}.{part}"), ha[i], hb[i], presence);
         }
     }
 
@@ -952,16 +981,18 @@ pub fn diff_reports(a: &Report, b: &Report, threshold_permille: u64) -> ReportDi
         .collect();
     hist_ids.sort_unstable();
     hist_ids.dedup();
-    let find = |r: &'_ Report, id: &str| -> [u64; 4] {
+    let find = |r: &'_ Report, id: &str| -> Option<[u64; 5]> {
         r.histograms
             .iter()
             .find(|h| h.id == id)
-            .map_or([0; 4], |h| [h.count, h.p50, h.p90, h.p99])
+            .map(|h| [h.count, h.p50, h.p90, h.p99, h.p999])
     };
     for id in hist_ids {
         let (ha, hb) = (find(a, id), find(b, id));
-        for (i, part) in ["count", "p50", "p90", "p99"].iter().enumerate() {
-            push(format!("hist.{id}.{part}"), ha[i], hb[i]);
+        let presence = presence_of(ha.is_some(), hb.is_some());
+        let (ha, hb) = (ha.unwrap_or_default(), hb.unwrap_or_default());
+        for (i, part) in ["count", "p50", "p90", "p99", "p999"].iter().enumerate() {
+            push(format!("hist.{id}.{part}"), ha[i], hb[i], presence);
         }
     }
 
@@ -974,16 +1005,149 @@ pub fn diff_reports(a: &Report, b: &Report, threshold_permille: u64) -> ReportDi
         ids.sort_unstable();
         ids.dedup();
         let get = |pairs: &[(String, u64)], id: &str| {
-            pairs.iter().find(|(k, _)| k == id).map_or(0, |(_, v)| *v)
+            pairs.iter().find(|(k, _)| k == id).map(|(_, v)| *v)
         };
         for id in ids {
-            push(format!("{label}.{id}"), get(pa, id), get(pb, id));
+            let (va, vb) = (get(pa, id), get(pb, id));
+            let presence = presence_of(va.is_some(), vb.is_some());
+            push(
+                format!("{label}.{id}"),
+                va.unwrap_or(0),
+                vb.unwrap_or(0),
+                presence,
+            );
         }
     }
 
     ReportDiff {
         threshold_permille,
         rows,
+    }
+}
+
+/// One machine-checkable latency SLO gate: `stage.pXX<=limit_ps`
+/// (e.g. `total.p99<=1_200_000_ps`), evaluated against the non-hop
+/// latency histograms of a [`Report`] (`cable report --slo ...`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SloSpec {
+    /// Latency stage the gate applies to.
+    pub stage: LatencyStage,
+    /// Percentile rank in permille (500, 900, 990, or 999).
+    pub rank_permille: u64,
+    /// Largest tolerated percentile value, picoseconds.
+    pub limit_ps: u64,
+}
+
+impl SloSpec {
+    /// Parses `stage.pXX<=N`: stage is a latency stage name (`total`,
+    /// `hier`, `codec`, `queue`, `wire`, `retry`, `dram`), pXX one of
+    /// `p50`/`p90`/`p99`/`p999`, and N a picosecond bound that may use
+    /// `_` digit separators and an optional `ps` / `_ps` suffix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed part of the spec.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (lhs, rhs) = spec
+            .split_once("<=")
+            .ok_or_else(|| format!("SLO `{spec}` must look like `total.p99<=1_200_000_ps`"))?;
+        let (stage_s, pct_s) = lhs
+            .trim()
+            .split_once('.')
+            .ok_or_else(|| format!("SLO field `{lhs}` must be `<stage>.<percentile>`"))?;
+        let stage = LatencyStage::parse(stage_s)
+            .ok_or_else(|| format!("unknown latency stage `{stage_s}`"))?;
+        let rank_permille = match pct_s {
+            "p50" => 500,
+            "p90" => 900,
+            "p99" => 990,
+            "p999" => 999,
+            other => {
+                return Err(format!(
+                    "unknown percentile `{other}` (use p50, p90, p99, or p999)"
+                ))
+            }
+        };
+        let digits: String = rhs
+            .trim()
+            .strip_suffix("ps")
+            .unwrap_or(rhs.trim())
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(format!("bad SLO bound `{rhs}` (picosecond integer)"));
+        }
+        let limit_ps = digits
+            .parse::<u64>()
+            .map_err(|e| format!("bad SLO bound `{rhs}`: {e}"))?;
+        Ok(SloSpec {
+            stage,
+            rank_permille,
+            limit_ps,
+        })
+    }
+
+    /// The percentile column label the gate reads (`p50` ... `p999`).
+    #[must_use]
+    pub fn rank_label(&self) -> &'static str {
+        match self.rank_permille {
+            500 => "p50",
+            900 => "p90",
+            990 => "p99",
+            _ => "p999",
+        }
+    }
+
+    /// Evaluates the gate against every non-hop latency histogram of the
+    /// matching stage (one per `(scheme, phase)` the trace recorded) and
+    /// returns the offending `(metric id, observed value)` pairs — empty
+    /// means the SLO holds.
+    ///
+    /// # Errors
+    ///
+    /// When the report carries no latency histogram for the stage: a
+    /// gate that can never fire is a misconfiguration, not a pass.
+    pub fn check(&self, report: &Report) -> Result<Vec<(String, u64)>, String> {
+        let mut matched = 0u64;
+        let mut breaches = Vec::new();
+        for h in &report.histograms {
+            let Some(key) = parse_latency_metric(&h.id) else {
+                continue;
+            };
+            if key.hop.is_some() || key.stage != self.stage {
+                continue;
+            }
+            matched += 1;
+            let value = match self.rank_permille {
+                500 => h.p50,
+                900 => h.p90,
+                990 => h.p99,
+                _ => h.p999,
+            };
+            if value > self.limit_ps {
+                breaches.push((h.id.clone(), value));
+            }
+        }
+        if matched == 0 {
+            return Err(format!(
+                "no latency histograms for stage `{}` in the report (was the run traced with telemetry?)",
+                self.stage.as_str()
+            ));
+        }
+        Ok(breaches)
+    }
+}
+
+impl std::fmt::Display for SloSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}.{}<={}_ps",
+            self.stage.as_str(),
+            self.rank_label(),
+            self.limit_ps
+        )
     }
 }
 
@@ -1014,6 +1178,120 @@ fn int_array(values: &[u64]) -> String {
     }
     out.push(']');
     out
+}
+
+/// Applies one parsed trace line to the aggregation accumulators.
+/// Errors are bare messages; the caller prefixes the line number.
+fn apply_trace_line(
+    val: &Value,
+    samples: &mut Vec<Stamped>,
+    counters: &mut Vec<(String, u64)>,
+    gauges: &mut Vec<(String, u64)>,
+    hists: &mut Vec<HistData>,
+    dropped: &mut u64,
+) -> Result<(), String> {
+    let ty = val
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing \"type\"".to_string())?;
+    match ty {
+        "meta" | "summary" => {
+            if let Some(d) = val.get("dropped_events").and_then(Value::as_u64) {
+                *dropped = d;
+            }
+        }
+        "counter" => counters.push((
+            val.get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "counter without id".to_string())?
+                .to_string(),
+            val.get("value").and_then(Value::as_u64).unwrap_or(0),
+        )),
+        "gauge" => gauges.push((
+            val.get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "gauge without id".to_string())?
+                .to_string(),
+            val.get("value").and_then(Value::as_u64).unwrap_or(0),
+        )),
+        "histogram" => {
+            let id = val
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "histogram without id".to_string())?
+                .to_string();
+            let edges = val
+                .get("edges")
+                .and_then(Value::as_u64_array)
+                .ok_or_else(|| "histogram without edges".to_string())?;
+            let buckets = val
+                .get("buckets")
+                .and_then(Value::as_u64_array)
+                .ok_or_else(|| "histogram without buckets".to_string())?;
+            hists.push(HistData {
+                id,
+                edges,
+                buckets,
+                count: val.get("count").and_then(Value::as_u64).unwrap_or(0),
+                sum: val.get("sum").and_then(Value::as_u64).unwrap_or(0),
+            });
+        }
+        "event" => {
+            let name = val
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "event without name".to_string())?;
+            let now_ps = val
+                .get("now_ps")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| "event without now_ps".to_string())?;
+            let busy = |lane: LaneKind| -> Sample {
+                // Mesh-hop slices carry the wire id and the queue
+                // depth on arrival as event args.
+                let hop = (lane == LaneKind::Mesh).then(|| {
+                    (
+                        val.get("hop").and_then(Value::as_u64).unwrap_or(0),
+                        val.get("depth").and_then(Value::as_u64).unwrap_or(0),
+                    )
+                });
+                Sample::Busy {
+                    lane,
+                    hop,
+                    start_ps: val
+                        .get("start_ps")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(now_ps),
+                    dur_ps: val.get("dur_ps").and_then(Value::as_u64).unwrap_or(0),
+                }
+            };
+            let sample = if let Some(lane) = LaneKind::from_event_name(name) {
+                busy(lane)
+            } else {
+                match name {
+                    "encode" => Sample::Encode(match val.get("kind").and_then(Value::as_str) {
+                        Some("raw") => EncodeKind::Raw,
+                        Some("unseeded") => EncodeKind::Unseeded,
+                        Some("diff") => EncodeKind::Diff,
+                        _ => EncodeKind::RemoteHit,
+                    }),
+                    "nack" => Sample::Nack,
+                    "retransmit" => Sample::Retransmit,
+                    "fallback_raw" => Sample::FallbackRaw,
+                    "escalation" => Sample::Escalation,
+                    "phase" => Sample::PhaseMark(
+                        val.get("phase")
+                            .and_then(Value::as_str)
+                            .unwrap_or("")
+                            .to_string(),
+                    ),
+                    _ => Sample::Other,
+                }
+            };
+            samples.push(Stamped { now_ps, sample });
+        }
+        other => return Err(format!("unknown line type `{other}`")),
+    }
+    Ok(())
 }
 
 fn aggregate(
@@ -1280,7 +1558,7 @@ fn aggregate(
             continue;
         }
         let (depth_p50, depth_p99) = match depth_hist {
-            Some(h) => (percentile(h, 50), percentile(h, 99)),
+            Some(h) => (percentile(h, 500), percentile(h, 990)),
             None => (event_p50, event_p99),
         };
         hops.push(HopReport {
@@ -1303,9 +1581,10 @@ fn aggregate(
     let mut histograms: Vec<HistogramReport> = hists
         .into_iter()
         .map(|h| HistogramReport {
-            p50: percentile(&h, 50),
-            p90: percentile(&h, 90),
-            p99: percentile(&h, 99),
+            p50: percentile(&h, 500),
+            p90: percentile(&h, 900),
+            p99: percentile(&h, 990),
+            p999: percentile(&h, 999),
             id: h.id,
             count: h.count,
             sum: h.sum,
@@ -1319,6 +1598,7 @@ fn aggregate(
         span_end_ps: span_end,
         events,
         dropped_events: dropped,
+        malformed_lines: 0,
         phases,
         hops,
         histograms,
@@ -1328,13 +1608,14 @@ fn aggregate(
 }
 
 /// The smallest bucket upper edge whose cumulative count reaches the
-/// `q`-th percentile rank. Overflow-bucket hits saturate to the last
-/// edge; an empty histogram reports 0.
-fn percentile(h: &HistData, q: u64) -> u64 {
+/// `q`-permille rank (500 = median, 990 = p99, 999 = p99.9). Permille
+/// granularity is what the p999 column needs; overflow-bucket hits
+/// saturate to the last edge, and an empty histogram reports 0.
+fn percentile(h: &HistData, q_permille: u64) -> u64 {
     if h.count == 0 || h.edges.is_empty() {
         return 0;
     }
-    let target = (h.count * q).div_ceil(100);
+    let target = (h.count * q_permille).div_ceil(1000);
     let mut cum = 0u64;
     for (i, &b) in h.buckets.iter().enumerate() {
         cum += b;
@@ -1709,10 +1990,11 @@ mod tests {
             count: 100,
             sum: 0,
         };
-        assert_eq!(percentile(&h, 50), 10);
-        assert_eq!(percentile(&h, 90), 40);
-        assert_eq!(percentile(&h, 99), 40, "overflow saturates to last edge");
-        assert_eq!(percentile(&h, 80), 20);
+        assert_eq!(percentile(&h, 500), 10);
+        assert_eq!(percentile(&h, 900), 40);
+        assert_eq!(percentile(&h, 990), 40, "overflow saturates to last edge");
+        assert_eq!(percentile(&h, 999), 40);
+        assert_eq!(percentile(&h, 800), 20);
         let empty = HistData {
             id: "e".into(),
             edges: vec![1],
@@ -1720,7 +2002,7 @@ mod tests {
             count: 0,
             sum: 0,
         };
-        assert_eq!(percentile(&empty, 50), 0);
+        assert_eq!(percentile(&empty, 500), 0);
     }
 
     #[test]
@@ -1923,7 +2205,142 @@ mod tests {
     fn malformed_lines_are_reported_with_numbers() {
         let err = Report::from_jsonl("{\"type\":\"meta\"}\nnot json").unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("1 of 2 lines malformed"), "{err}");
         let err = Report::from_jsonl("{\"no_type\":1}").unwrap_err();
         assert!(err.contains("missing \"type\""), "{err}");
+    }
+
+    #[test]
+    fn rare_malformed_lines_are_skipped_and_counted() {
+        // 1 bad line in 1000 good ones sits inside the 1‰ tolerance: the
+        // trace still parses, the drop is counted, and the count survives
+        // the artifact round trip.
+        let mut text = String::new();
+        for i in 0..1000 {
+            let _ = writeln!(
+                text,
+                "{{\"type\":\"counter\",\"id\":\"c{i}\",\"value\":{i}}}"
+            );
+        }
+        text.push_str("garbage line\n");
+        let r = Report::from_jsonl(&text).expect("within the permille tolerance");
+        assert_eq!(r.malformed_lines, 1);
+        assert_eq!(r.counters.len(), 1000);
+        let round = Report::from_report_json(&r.to_json()).expect("artifact parses");
+        assert_eq!(round.malformed_lines, 1);
+        // Two bad lines in 1002 is above the tolerance: hard failure
+        // naming the first offender.
+        text.push_str("more garbage\n");
+        let err = Report::from_jsonl(&text).unwrap_err();
+        assert!(err.starts_with("line 1001:"), "{err}");
+        assert!(err.contains("2 of 1002 lines malformed"), "{err}");
+    }
+
+    #[test]
+    fn diff_renders_one_sided_rows_as_added_or_removed() {
+        let a = Report::from_telemetry(&mesh_tel());
+        let mut b = a.clone();
+        // Candidate drops hop 0 entirely and grows a counter the
+        // baseline never registered (at zero, so value elision would
+        // have hidden it before presence tracking).
+        b.hops.retain(|h| h.hop != 0);
+        b.counters.push(("mesh.hop.9.faults".to_string(), 0));
+        let diff = diff_reports(&a, &b, 1000);
+        let removed = diff
+            .rows
+            .iter()
+            .find(|r| r.field == "hop.0.busy_ps")
+            .expect("dropped hop still listed");
+        assert_eq!(removed.presence, RowPresence::OnlyA);
+        let added = diff
+            .rows
+            .iter()
+            .find(|r| r.field == "counter.mesh.hop.9.faults")
+            .expect("zero-valued one-sided counter still listed");
+        assert_eq!(added.presence, RowPresence::OnlyB);
+        let text = diff.render_text();
+        let removed_line = text
+            .lines()
+            .find(|l| l.starts_with("hop.0.busy_ps"))
+            .expect("row rendered");
+        assert!(removed_line.contains("removed"), "{removed_line}");
+        let added_line = text
+            .lines()
+            .find(|l| l.contains("mesh.hop.9.faults"))
+            .expect("row rendered");
+        assert!(added_line.contains("added"), "{added_line}");
+    }
+
+    fn latency_tel() -> Telemetry {
+        use crate::latency::{LatencyRecorder, StageSpans};
+        let tel = Telemetry::enabled();
+        let rec = LatencyRecorder::new(&tel, "CABLE+LBE", "measure");
+        for i in 0..100u64 {
+            rec.record(&StageSpans {
+                hier: 300,
+                codec: 120,
+                queue: 40 * i,
+                wire: 500,
+                retry: 0,
+                dram: if i % 4 == 0 { 30_000 } else { 0 },
+            });
+        }
+        tel
+    }
+
+    #[test]
+    fn latency_tables_render_per_stage_rows() {
+        let r = Report::from_telemetry(&latency_tel());
+        let text = r.render_text();
+        assert!(
+            text.contains("latency percentiles (ps) \u{2014} CABLE+LBE / measure:"),
+            "{text}"
+        );
+        for stage in LATENCY_ALL_STAGES {
+            let line = text
+                .lines()
+                .find(|l| l.trim_start().starts_with(stage.as_str()))
+                .unwrap_or_else(|| panic!("stage {} missing:\n{text}", stage.as_str()));
+            assert!(line.contains("100"), "count column present: {line}");
+        }
+        // Latency ids stay out of the generic histogram table.
+        assert!(!text.contains("\nlat.CABLE+LBE"), "{text}");
+        // The JSON artifact still carries them, with a p999 column.
+        let parsed = Report::from_report_json(&r.to_json()).expect("artifact parses");
+        assert_eq!(r, parsed);
+        assert!(parsed
+            .histograms
+            .iter()
+            .any(|h| h.id.starts_with("lat.") && h.p999 >= h.p99));
+    }
+
+    #[test]
+    fn slo_specs_parse_and_gate_percentiles() {
+        let spec = SloSpec::parse("total.p99<=1_200_000_ps").expect("parses");
+        assert_eq!(spec.stage, LatencyStage::Total);
+        assert_eq!(spec.rank_permille, 990);
+        assert_eq!(spec.limit_ps, 1_200_000);
+        assert_eq!(spec.to_string(), "total.p99<=1200000_ps");
+        assert_eq!(SloSpec::parse("queue.p50<=500").unwrap().limit_ps, 500);
+        assert!(SloSpec::parse("bogus.p99<=1").is_err());
+        assert!(SloSpec::parse("total.p42<=1").is_err());
+        assert!(SloSpec::parse("total.p99<=abc").is_err());
+        assert!(SloSpec::parse("total.p99").is_err());
+
+        let r = Report::from_telemetry(&latency_tel());
+        let generous = SloSpec::parse("total.p99<=100_000_000_ps").unwrap();
+        assert!(generous.check(&r).expect("stage matched").is_empty());
+        let tight = SloSpec::parse("total.p99<=1_000_ps").unwrap();
+        let breaches = tight.check(&r).expect("stage matched");
+        assert_eq!(breaches.len(), 1);
+        assert!(breaches[0].0.starts_with("lat.CABLE+LBE.measure.total"));
+        assert!(breaches[0].1 > 1_000);
+        // A gate over a stage the trace never recorded is an error, not
+        // a silent pass.
+        let empty = Report::default();
+        assert!(SloSpec::parse("total.p99<=1")
+            .unwrap()
+            .check(&empty)
+            .is_err());
     }
 }
